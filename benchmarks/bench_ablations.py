@@ -1,0 +1,165 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These go beyond the paper's own figures:
+
+* X1 — feedback-queue depth thresholds: the paper picks (2, 10, 2)
+  empirically and warns "too small an threshold may reduce the throughput
+  while too large an threshold will increase feasible overloads and
+  latency".  We sweep the depths and confirm exactly that trade-off.
+* X2 — cascade composition: disable each prepositive filter's
+  *selectivity* in turn (it still runs, but passes everything) and measure
+  how much of the end-to-end win each stage contributes.
+* X3 — heterogeneous placement: run SNM/T-YOLO on the same GPU as the
+  reference model (single-GPU placement) versus the paper's two-GPU split.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FFSVAConfig
+from repro.core.trace import FrameTrace
+from repro.devices import Placement, standard_server
+from repro.sim import simulate_offline
+
+from common import OPERATING_POINT, fleet, print_table, record
+
+TOR = 0.203
+
+
+def _defeat_stage(trace: FrameTrace, stage: str) -> FrameTrace:
+    """A trace variant where ``stage`` passes every frame (zero selectivity)."""
+    import dataclasses
+
+    if stage == "sdd":
+        return dataclasses.replace(
+            trace, sdd_dist=np.full(len(trace), trace.sdd_threshold + 1.0)
+        )
+    if stage == "snm":
+        return dataclasses.replace(
+            trace, snm_prob=np.ones(len(trace), dtype=np.float32)
+        )
+    if stage == "tyolo":
+        return dataclasses.replace(
+            trace, tyolo_count=np.maximum(trace.tyolo_count, 1)
+        )
+    raise ValueError(stage)
+
+
+def test_x1_queue_depth_sweep(benchmark):
+    traces = fleet(8, "jackson", TOR)
+    depth_sets = {
+        "tiny (1,2,1,2)": {"sdd": 1, "snm": 2, "tyolo": 1, "ref": 2},
+        "paper (2,10,2,4)": {"sdd": 2, "snm": 10, "tyolo": 2, "ref": 4},
+        "huge (16,80,16,32)": {"sdd": 16, "snm": 80, "tyolo": 16, "ref": 32},
+    }
+
+    def run(depths):
+        # NumberofObjects=2 keeps the run SNM-bound (see Figure 9's bench)
+        # so queue-depth effects on batching are visible.
+        cfg = OPERATING_POINT.with_(
+            queue_depths=depths, batch_policy="dynamic", number_of_objects=2
+        )
+        return simulate_offline(traces, cfg)
+
+    benchmark.pedantic(lambda: run(depth_sets["paper (2,10,2,4)"]), rounds=1, iterations=1)
+
+    rows = []
+    results = {}
+    for name, depths in depth_sets.items():
+        m = run(depths)
+        results[name] = m
+        rows.append([name, m.throughput_fps, m.frame_latency.mean, m.extra["mean_snm_batch"]])
+    print_table(
+        "Ablation X1: queue depth thresholds (offline, 8 streams, TOR=0.203)",
+        ["depths", "throughput FPS", "mean latency s", "mean SNM batch"],
+        rows,
+    )
+    record(
+        "ablation_x1",
+        {name: {"fps": m.throughput_fps, "latency": m.frame_latency.mean}
+         for name, m in results.items()},
+    )
+
+    tiny, paper, huge = results.values()
+    # Too-small thresholds strangle batching and cost throughput.
+    assert paper.throughput_fps > 1.1 * tiny.throughput_fps
+    # Huge thresholds buy little throughput over the paper's settings but
+    # inflate latency.
+    assert huge.throughput_fps < 1.15 * paper.throughput_fps
+    assert huge.frame_latency.mean > paper.frame_latency.mean
+
+
+def test_x2_cascade_composition(benchmark):
+    traces = fleet(2, "jackson", TOR)
+
+    def run(defeated: tuple[str, ...]):
+        ts = traces
+        for stage in defeated:
+            ts = [_defeat_stage(t, stage) for t in ts]
+        return simulate_offline(ts, OPERATING_POINT)
+
+    benchmark.pedantic(lambda: run(()), rounds=1, iterations=1)
+
+    variants = {
+        "full cascade": (),
+        "no SDD selectivity": ("sdd",),
+        "no SNM selectivity": ("snm",),
+        "no T-YOLO selectivity": ("tyolo",),
+        "no filtering at all": ("sdd", "snm", "tyolo"),
+    }
+    rows = []
+    fps = {}
+    for name, defeated in variants.items():
+        m = run(defeated)
+        fps[name] = m.throughput_fps
+        rows.append([name, m.throughput_fps, m.stage_fraction("ref")])
+    print_table(
+        "Ablation X2: cascade composition (offline, TOR=0.203)",
+        ["variant", "throughput FPS", "fraction reaching ref"],
+        rows,
+    )
+    record("ablation_x2", fps)
+
+    # Every filter's selectivity contributes: defeating any one of them
+    # costs throughput, and defeating all of them is the worst case (the
+    # system degenerates to YOLOv2-on-everything behind extra filter costs).
+    full = fps["full cascade"]
+    assert fps["no SNM selectivity"] < full
+    assert fps["no T-YOLO selectivity"] < full
+    assert fps["no filtering at all"] <= min(fps.values()) + 1e-9
+
+
+def test_x3_placement_ablation(benchmark):
+    traces = fleet(2, "jackson", TOR)
+
+    def single_gpu_placement():
+        devices = standard_server()
+        return Placement(
+            devices=devices,
+            stage_devices={
+                "sdd": ["cpu0"],
+                "snm": ["gpu0"],
+                "tyolo": ["gpu0"],
+                "ref": ["gpu0"],  # everything contends for one GPU
+            },
+        )
+
+    m_two = benchmark.pedantic(
+        lambda: simulate_offline(traces, OPERATING_POINT), rounds=1, iterations=1
+    )
+    m_one = simulate_offline(traces, OPERATING_POINT, placement=single_gpu_placement())
+
+    print_table(
+        "Ablation X3: device placement (offline, TOR=0.203)",
+        ["placement", "throughput FPS"],
+        [
+            ["paper: filters on GPU0, ref alone on GPU1", m_two.throughput_fps],
+            ["single GPU for everything", m_one.throughput_fps],
+        ],
+    )
+    record(
+        "ablation_x3",
+        {"two_gpu_fps": m_two.throughput_fps, "one_gpu_fps": m_one.throughput_fps},
+    )
+    # Isolating the reference model on its own GPU is a real win.
+    assert m_two.throughput_fps > 1.2 * m_one.throughput_fps

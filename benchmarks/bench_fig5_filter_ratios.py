@@ -1,0 +1,69 @@
+"""Figure 5 — the ratio of frames executed in each filter.
+
+The paper shows, for car detection (TOR=0.435) and person detection
+(TOR=0.259), what fraction of all frames each cascade stage actually
+executes, annotated with the stages' execution speeds (about 20K, 2K, 200,
+and 56 FPS).  The staircase — every stage executes a subset of its
+predecessor's output, with the expensive stages seeing only a TOR-sized
+sliver — is the entire point of FFS-VA.
+"""
+
+import pytest
+
+from repro.devices.costs import CostModel
+from repro.sim import simulate_offline
+
+from common import ACCURACY_POINT, fleet, print_table, record
+
+CASES = [
+    ("car", "jackson", 0.435),
+    ("person", "coral", 0.259),
+]
+
+
+@pytest.mark.parametrize("label,workload,tor", CASES, ids=[c[0] for c in CASES])
+def test_fig5_filter_ratios(benchmark, label, workload, tor):
+    traces = fleet(2, workload, tor)
+    m = benchmark.pedantic(
+        lambda: simulate_offline(traces, ACCURACY_POINT), rounds=1, iterations=1
+    )
+
+    cm = CostModel()
+    speeds = {
+        "sdd": cm.effective_fps("sdd"),
+        "snm": cm.effective_fps("snm", 10),
+        "tyolo": cm.effective_fps("tyolo", 2),
+        "ref": cm.effective_fps("ref"),
+    }
+    rows = [
+        [stage, m.stage_fraction(stage), f"{speeds[stage]:.0f} FPS"]
+        for stage in ("sdd", "snm", "tyolo", "ref")
+    ]
+    print_table(
+        f"Figure 5 ({label} detection, TOR={tor})",
+        ["filter", "fraction of frames executed", "stage speed"],
+        rows,
+    )
+    record(
+        f"fig5/{label}",
+        {
+            "tor": tor,
+            "fractions": {s: m.stage_fraction(s) for s in ("sdd", "snm", "tyolo", "ref")},
+            "stage_speeds_fps": {k: round(v) for k, v in speeds.items()},
+            "paper": {"stage_speeds_fps": {"sdd": 20000, "snm": 2000, "tyolo": 200, "ref": 56}},
+        },
+    )
+
+    # Shape assertions.
+    fracs = [m.stage_fraction(s) for s in ("sdd", "snm", "tyolo", "ref")]
+    # Every frame passes SDD; each later stage executes no more than the
+    # previous one; the reference model sees roughly a TOR-sized fraction.
+    assert fracs[0] == pytest.approx(1.0)
+    assert fracs[0] >= fracs[1] >= fracs[2] >= fracs[3]
+    assert fracs[3] < 0.75 * fracs[0]
+    assert abs(fracs[3] - tor) < 0.25
+    # Stage speeds land in the paper's regime (Figure 5 caption).
+    assert 15_000 < speeds["sdd"] < 25_000
+    assert 1_200 < speeds["snm"] < 3_000
+    assert 150 < speeds["tyolo"] < 230
+    assert 45 < speeds["ref"] < 67

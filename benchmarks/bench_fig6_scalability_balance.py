@@ -1,0 +1,88 @@
+"""Figure 6 — (a) maximum scalability as a function of TOR, (b) load balance.
+
+Figure 6a: "the maximum number of video streams supported by FFS-VA
+increases as TOR decreases."  We sweep TOR and find the real-time capacity
+at each point.
+
+Figure 6b: "the execution time of video streams, normalized to that of the
+longest execution time, with an even TOR distribution between 0 and 40%.
+Except the very low TOR, there is not much difference between these
+execution times.  This shows that load balancing is well performed."  We
+run a mixed-TOR fleet offline and compare normalized per-stream finish
+times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.admission import max_realtime_streams
+from repro.sim import simulate_offline, simulate_online
+
+from common import OPERATING_POINT, fleet, get_trace, print_table, record
+
+TOR_SWEEP = (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_fig6a_max_streams_vs_tor(benchmark):
+    def capacity(tor):
+        def run(n):
+            return simulate_online(
+                fleet(n, "jackson", tor, n_frames=1500), OPERATING_POINT
+            )
+
+        best, _ = max_realtime_streams(run, n_max=48)
+        return best
+
+    benchmark.pedantic(lambda: capacity(0.4), rounds=1, iterations=1)
+
+    rows = []
+    caps = []
+    for tor in TOR_SWEEP:
+        cap = capacity(tor)
+        caps.append(cap)
+        rows.append([tor, cap])
+    print_table("Figure 6a: max real-time streams vs TOR", ["TOR", "max streams"], rows)
+    record(
+        "fig6a",
+        {"tor": list(TOR_SWEEP), "max_streams": caps, "paper": "monotone decrease, ~30 at 0.1 down to 5-6 at 1.0"},
+    )
+
+    # Shape: capacity is (weakly) decreasing in TOR, with a large dynamic
+    # range between the low- and high-TOR ends.
+    assert all(a >= b for a, b in zip(caps, caps[1:]))
+    assert caps[0] >= 3 * caps[-1]
+    assert caps[-1] >= 1
+
+
+def test_fig6b_load_balance(benchmark):
+    # Streams with TORs spread evenly over (0, 0.4], as in the paper.
+    tors = [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4]
+    traces = [
+        get_trace("jackson", tor, n_frames=1500, seed=i).renamed(f"mix-{i}")
+        for i, tor in enumerate(tors[: 4])
+    ] + [
+        get_trace("jackson", tor, n_frames=1500, seed=i).renamed(f"mix-{i+4}")
+        for i, tor in enumerate(tors[4:])
+    ]
+
+    m = benchmark.pedantic(
+        lambda: simulate_offline(traces, OPERATING_POINT), rounds=1, iterations=1
+    )
+    finish = np.asarray(m.extra["per_stream_finish_time"], dtype=float)
+    normalized = finish / finish.max()
+    rows = [[f"stream {i} (TOR {tors[i]})", normalized[i]] for i in range(len(tors))]
+    print_table(
+        "Figure 6b: normalized per-stream execution time (offline, mixed TOR)",
+        ["stream", "normalized finish time"],
+        rows,
+    )
+    record(
+        "fig6b",
+        {"tors": tors, "normalized_finish": normalized.tolist(), "paper": "near-equal except very low TOR"},
+    )
+
+    # Shape: the round-robin schedulers keep streams finishing together —
+    # all but the lightest streams land within ~35% of the longest.
+    heavy = normalized[2:]
+    assert heavy.min() > 0.6
+    assert normalized.max() == pytest.approx(1.0)

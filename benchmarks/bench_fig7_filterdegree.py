@@ -1,0 +1,93 @@
+"""Figure 7 — throughput and error rate as a function of FilterDegree.
+
+Panel (a), car detection at TOR=0.197: "As the threshold increases, more
+frames whose prediction probability c is between c_low and c_high are
+filtered out" — output frames drop, offline throughput rises, the error
+rate creeps up.
+
+Panel (b), person detection at TOR=1.000: "The adjustment of the
+FilterDegree value has little effect on the filtering efficiency in this
+case" because every frame contains people, so the SNM keeps almost
+everything regardless.
+"""
+
+import pytest
+
+from repro.analytics import error_rate, scene_accuracy
+from repro.sim import simulate_offline
+
+from common import OPERATING_POINT, get_trace, print_table, record
+
+FDS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _sweep(workload, tor, n_frames=3000):
+    trace = get_trace(workload, tor, n_frames=n_frames, with_ref=True)
+    rows = []
+    for fd in FDS:
+        cfg = OPERATING_POINT.with_(filter_degree=fd)
+        m = simulate_offline([trace], cfg)
+        err = error_rate(trace, cfg)
+        scenes = scene_accuracy(trace, cfg)
+        rows.append(
+            {
+                "fd": fd,
+                "output_frames": int(trace.cascade_pass(fd, cfg.number_of_objects).sum()),
+                "throughput": m.throughput_fps,
+                "error_rate": err,
+                "scene_loss": scenes.scene_loss_rate,
+            }
+        )
+    return trace, rows
+
+
+def test_fig7a_car_detection(benchmark):
+    benchmark.pedantic(
+        lambda: simulate_offline(
+            [get_trace("jackson", 0.197, with_ref=True)], OPERATING_POINT
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    trace, rows = _sweep("jackson", 0.197)
+    print_table(
+        f"Figure 7a: car detection (measured TOR={trace.tor():.3f})",
+        ["FilterDegree", "output frames", "offline FPS", "error rate", "scene loss"],
+        [[r["fd"], r["output_frames"], r["throughput"], r["error_rate"], r["scene_loss"]] for r in rows],
+    )
+    record("fig7a", {"rows": rows, "paper": "output frames drop / error rises with FilterDegree"})
+
+    outputs = [r["output_frames"] for r in rows]
+    errors = [r["error_rate"] for r in rows]
+    tputs = [r["throughput"] for r in rows]
+    # Shape: output frames monotonically non-increasing in FilterDegree
+    # (the SNM is specialized enough that even FilterDegree 0 passes little
+    # beyond true targets, so the decline is real but moderate); the error
+    # rate rises with FilterDegree; the most aggressive setting is fastest.
+    assert all(a >= b for a, b in zip(outputs, outputs[1:]))
+    assert outputs[-1] <= 0.95 * outputs[0]
+    assert all(e2 >= e1 - 1e-9 for e1, e2 in zip(errors, errors[1:]))
+    assert errors[-1] > errors[0]
+    assert tputs[-1] >= max(tputs) * 0.95
+
+
+def test_fig7b_person_detection_high_tor(benchmark):
+    benchmark.pedantic(
+        lambda: simulate_offline(
+            [get_trace("coral", 1.0, with_ref=True)], OPERATING_POINT
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    trace, rows = _sweep("coral", 1.0)
+    print_table(
+        f"Figure 7b: person detection (measured TOR={trace.tor():.3f})",
+        ["FilterDegree", "output frames", "offline FPS", "error rate", "scene loss"],
+        [[r["fd"], r["output_frames"], r["throughput"], r["error_rate"], r["scene_loss"]] for r in rows],
+    )
+    record("fig7b", {"rows": rows, "paper": "FilterDegree has little effect at TOR=1"})
+
+    outputs = [r["output_frames"] for r in rows]
+    # Shape: with people in (nearly) every frame, the SNM cannot filter:
+    # the whole sweep changes the output by only a small fraction.
+    assert outputs[-1] > 0.7 * outputs[0]

@@ -1,0 +1,113 @@
+"""Figure 8 — output frames and error rate vs NumberofObjects.
+
+Panel (a), car detection at TOR=0.197: raising the intensity threshold cuts
+the output sharply (a scene holds at most ~3 cars).  Panel (b), person
+detection at TOR=1.000: output decays gradually with NumberofObjects, and
+the error rate is comparatively high because "for the detection of small
+and dense targets ... T-YOLO generally identifies fewer target objects than
+YOLOv2".  Section 5.3.3 then shows that tolerating one or two object
+misjudgments (our ``relax``) cuts the error dramatically (80.7% / 94.8%)
+for a modest hit to filtering efficiency.
+"""
+
+import pytest
+
+from repro.analytics import error_rate
+
+from common import OPERATING_POINT, get_trace, print_table, record
+
+CAR_NS = (1, 2, 3, 4)
+PERSON_NS = (1, 2, 4, 6, 8, 10, 12)
+
+
+def _sweep(trace, ns, relax=0):
+    rows = []
+    for n in ns:
+        cfg = OPERATING_POINT.with_(number_of_objects=n, relax=relax)
+        out = int(trace.cascade_pass(cfg.filter_degree, n, relax).sum())
+        rows.append({"n": n, "relax": relax, "output_frames": out,
+                     "error_rate": error_rate(trace, cfg)})
+    return rows
+
+
+def test_fig8a_car_detection(benchmark):
+    trace = get_trace("jackson", 0.197, with_ref=True)
+    benchmark.pedantic(lambda: _sweep(trace, CAR_NS), rounds=1, iterations=1)
+    rows = _sweep(trace, CAR_NS)
+    print_table(
+        f"Figure 8a: car detection (TOR={trace.tor():.3f})",
+        ["NumberofObjects", "output frames", "error rate"],
+        [[r["n"], r["output_frames"], r["error_rate"]] for r in rows],
+    )
+    record("fig8a", {"rows": rows, "paper": "output drops ~80% by N=3; scenes hold <= ~3 cars"})
+
+    outputs = [r["output_frames"] for r in rows]
+    assert all(a >= b for a, b in zip(outputs, outputs[1:]))
+    # Raising the threshold to the scene's max occupancy guts the output.
+    assert outputs[-1] < 0.4 * outputs[0]
+
+
+def test_fig8b_person_detection(benchmark):
+    trace = get_trace("coral", 1.0, with_ref=True)
+    benchmark.pedantic(lambda: _sweep(trace, PERSON_NS), rounds=1, iterations=1)
+    rows = _sweep(trace, PERSON_NS)
+    print_table(
+        f"Figure 8b: person detection (TOR={trace.tor():.3f})",
+        ["NumberofObjects", "output frames", "error rate"],
+        [[r["n"], r["output_frames"], r["error_rate"]] for r in rows],
+    )
+    record("fig8b", {"rows": rows, "paper": "gradual decline; high error for dense small targets"})
+
+    outputs = [r["output_frames"] for r in rows]
+    errors = [r["error_rate"] for r in rows]
+    assert all(a >= b for a, b in zip(outputs, outputs[1:]))
+    assert outputs[-1] < outputs[0]
+    # Dense small targets: the error rate at higher thresholds must exceed
+    # the car case's near-zero regime (T-YOLO undercounts crowds).
+    assert max(errors) > 0.02
+
+
+def test_fig8b_relaxed_thresholds_cut_error(benchmark):
+    """Section 5.3.3: tolerating 1-2 miscounted objects slashes the error."""
+    trace = get_trace("coral", 1.0, with_ref=True)
+    n = 6
+
+    def run():
+        return {relax: _sweep(trace, (n,), relax)[0] for relax in (0, 1, 2)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [r["relax"], r["output_frames"], r["error_rate"]] for r in results.values()
+    ]
+    print_table(
+        f"Figure 8b relaxation at NumberofObjects={n}",
+        ["relax", "output frames", "error rate"],
+        rows,
+    )
+    err0, err1, err2 = (results[r]["error_rate"] for r in (0, 1, 2))
+    out0, out1, out2 = (results[r]["output_frames"] for r in (0, 1, 2))
+    cut1 = 1 - err1 / err0 if err0 else 0.0
+    cut2 = 1 - err2 / err0 if err0 else 0.0
+    eff1 = out1 / out0 - 1 if out0 else 0.0
+    print(
+        f"error cut: relax=1 -> {cut1:.1%}, relax=2 -> {cut2:.1%} "
+        f"(paper: 80.7% / 94.8%); extra output at relax=1: {eff1:+.1%} "
+        "(paper: ~12.6% / 22.2% efficiency cost)"
+    )
+    record(
+        "fig8b_relax",
+        {
+            "n": n,
+            "error": [err0, err1, err2],
+            "output": [out0, out1, out2],
+            "error_cut": [cut1, cut2],
+            "paper": {"error_cut": [0.807, 0.948], "efficiency_cost": [0.126, 0.222]},
+        },
+    )
+
+    # Shape: relaxing cuts error substantially and monotonically, at the
+    # cost of more frames passed downstream.
+    assert err1 < err0
+    assert err2 <= err1
+    assert cut1 > 0.3
+    assert out2 >= out1 >= out0

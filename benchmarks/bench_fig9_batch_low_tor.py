@@ -1,0 +1,106 @@
+"""Figure 9 — batch mechanisms at TOR = 0.203 (10 streams).
+
+Panel (a): offline throughput vs BatchSize for the static, feedback, and
+dynamic mechanisms.  Small batches pay the SNM model-load overhead per
+frame; larger batches amortize it until another stage becomes the
+bottleneck.  The feedback mechanism can never form batches beyond its
+queue-depth threshold (10), so it plateaus where static keeps its full
+batch size.
+
+Panel (b): online mean frame latency vs BatchSize.  "As BatchSize
+increases, more video frames need to wait a period of time in the
+feedback-queue because of the fixed batch size.  For the dynamic batch
+mechanism, since the batch size can be adjusted automatically according to
+video contents, the average latency is basically unchanged."
+"""
+
+import pytest
+
+from repro.sim import simulate_offline, simulate_online
+
+from common import OPERATING_POINT, fleet, print_table, record
+
+TOR = 0.203
+BATCHES = (1, 2, 4, 8, 10, 16, 24, 30)
+N_STREAMS = 10
+
+
+def _cfg(policy, batch):
+    # NumberofObjects=2 keeps the reference stage below saturation so the
+    # experiment isolates the SNM batching efficiency the figure studies
+    # (with N=1 the 56 FPS reference model is the offline bottleneck and
+    # masks every batching effect).
+    return OPERATING_POINT.with_(
+        batch_policy=policy, batch_size=batch, number_of_objects=2
+    )
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return fleet(N_STREAMS, "jackson", TOR)
+
+
+def test_fig9a_throughput_vs_batch(benchmark, traces):
+    benchmark.pedantic(
+        lambda: simulate_offline(traces, _cfg("dynamic", 10)), rounds=1, iterations=1
+    )
+    data = {p: [] for p in ("static", "feedback", "dynamic")}
+    for b in BATCHES:
+        for policy in data:
+            m = simulate_offline(traces, _cfg(policy, b))
+            data[policy].append(m.throughput_fps)
+    rows = [
+        [b, data["static"][i], data["feedback"][i], data["dynamic"][i]]
+        for i, b in enumerate(BATCHES)
+    ]
+    print_table(
+        "Figure 9a: offline throughput (FPS) vs BatchSize, TOR=0.203",
+        ["BatchSize", "static", "feedback", "dynamic"],
+        rows,
+    )
+    record("fig9a", {"batch": list(BATCHES), **data,
+                     "paper": "throughput grows with batch; feedback dips ~8% at large batch"})
+
+    # Shape: batching pays — every mechanism is markedly faster at its
+    # best batch than at batch 1, and static's largest-batch throughput is
+    # at least as good as the depth-capped feedback mechanism's (the paper
+    # reports feedback ~8% below static at large BatchSize).
+    for policy in data:
+        assert max(data[policy]) > 1.2 * data[policy][0]
+    assert data["static"][-1] >= data["feedback"][-1] * 0.99
+    # Once past the amortization knee the curves flatten (bottleneck moves
+    # to T-YOLO/ref): the last two static points differ by < 10%.
+    assert abs(data["static"][-1] - data["static"][-2]) < 0.1 * data["static"][-1]
+
+
+def test_fig9b_latency_vs_batch(benchmark, traces):
+    benchmark.pedantic(
+        lambda: simulate_online(traces, _cfg("dynamic", 10)), rounds=1, iterations=1
+    )
+    data = {p: [] for p in ("static", "feedback", "dynamic")}
+    for b in BATCHES:
+        for policy in data:
+            m = simulate_online(traces, _cfg(policy, b))
+            data[policy].append(m.frame_latency.mean)
+    rows = [
+        [b, data["static"][i], data["feedback"][i], data["dynamic"][i]]
+        for i, b in enumerate(BATCHES)
+    ]
+    print_table(
+        "Figure 9b: online mean frame latency (s) vs BatchSize, TOR=0.203",
+        ["BatchSize", "static", "feedback", "dynamic"],
+        rows,
+    )
+    record("fig9b", {"batch": list(BATCHES), **data,
+                     "paper": "static/feedback latency grows with batch; dynamic flat"})
+
+    # Shape (excluding BatchSize 1, where every mechanism pays the
+    # per-frame model-load overhead and the GPU runs near saturation):
+    # dynamic latency is essentially flat across the sweep...
+    dyn = data["dynamic"][1:]
+    assert max(dyn) < min(dyn) + 0.35
+    # ...while static grows substantially with BatchSize...
+    assert data["static"][-1] > 1.8 * data["static"][1]
+    # ...and at large batches dynamic beats both fixed-batch mechanisms.
+    assert dyn[-1] < 0.6 * data["static"][-1]
+    assert dyn[-1] <= data["feedback"][-1]

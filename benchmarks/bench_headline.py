@@ -1,0 +1,139 @@
+"""Section 5.2 headline numbers — offline speedup and online scalability.
+
+Paper claims reproduced here:
+
+* Offline, single stream, TOR ~0.1: FFS-VA reaches 404 FPS, 3x YOLOv2 on
+  the same two-GPU box, cutting total execution time by 72.3%.
+* Online: up to 30 streams vs the baseline's 4 (7x); see Figure 3's bench
+  for the full sweep — here we assert the capacity ratio headline.
+* Dynamic batching: ~50% lower latency than the feedback-queue mechanism
+  alone for ~16-20% throughput cost (Sections 4.3.2 / 5.2).
+"""
+
+import pytest
+
+from repro.baseline import baseline_offline, baseline_online
+from repro.core.admission import max_realtime_streams
+from repro.sim import simulate_offline, simulate_online
+
+from common import ACCURACY_POINT, OPERATING_POINT, fleet, print_table, record
+
+TOR = 0.103
+
+
+def test_headline_offline_speedup(benchmark):
+    """S1: offline analysis of one stream, FFS-VA vs YOLOv2-everywhere."""
+    traces = fleet(1, "jackson", TOR)
+
+    m_ffs = benchmark.pedantic(
+        lambda: simulate_offline(traces, OPERATING_POINT), rounds=1, iterations=1
+    )
+    m_ffs_acc = simulate_offline(traces, ACCURACY_POINT)
+    m_base = baseline_offline(traces)
+
+    speedup = m_ffs.throughput_fps / m_base.throughput_fps
+    speedup_acc = m_ffs_acc.throughput_fps / m_base.throughput_fps
+    time_cut = 1.0 - m_base.throughput_fps / m_ffs.throughput_fps
+
+    print_table(
+        "Headline offline (single stream, TOR=0.103)",
+        ["system", "FPS", "vs baseline"],
+        [
+            ["FFS-VA (throughput point)", m_ffs.throughput_fps, f"{speedup:.2f}x"],
+            ["FFS-VA (accuracy point)", m_ffs_acc.throughput_fps, f"{speedup_acc:.2f}x"],
+            ["YOLOv2 x2 GPUs", m_base.throughput_fps, "1.00x"],
+        ],
+    )
+    print("paper: 404 FPS = 3x, execution time -72.3%")
+    record(
+        "headline/offline",
+        {
+            "ffsva_fps": m_ffs.throughput_fps,
+            "ffsva_accuracy_point_fps": m_ffs_acc.throughput_fps,
+            "baseline_fps": m_base.throughput_fps,
+            "speedup": speedup,
+            "speedup_accuracy_point": speedup_acc,
+            "paper": {"ffsva_fps": 404, "speedup": 3.0, "time_cut": 0.723},
+        },
+    )
+
+    # Shape: a multi-x offline win at low TOR at either operating point.
+    assert speedup >= 2.5
+    assert speedup_acc >= 2.0
+    assert time_cut > 0.5
+
+
+def test_headline_online_capacity_ratio(benchmark):
+    """S2: online capacity, FFS-VA vs baseline (paper: 30 vs 4 = 7x)."""
+
+    def run_ffs(n):
+        return simulate_online(fleet(n, "jackson", TOR, n_frames=1800), OPERATING_POINT)
+
+    def run_base(n):
+        return baseline_online(fleet(n, "jackson", TOR, n_frames=1800))
+
+    benchmark.pedantic(lambda: run_ffs(8), rounds=1, iterations=1)
+    best_ffs, _ = max_realtime_streams(run_ffs, n_max=48)
+    best_base, _ = max_realtime_streams(run_base, n_max=12)
+    ratio = best_ffs / max(best_base, 1)
+
+    print(
+        f"\nonline capacity: FFS-VA={best_ffs} streams, baseline={best_base} "
+        f"-> {ratio:.1f}x (paper: 30 vs 4 = 7x)"
+    )
+    record(
+        "headline/online",
+        {
+            "ffsva_streams": best_ffs,
+            "baseline_streams": best_base,
+            "ratio": ratio,
+            "paper": {"ffsva_streams": 30, "baseline_streams": 4, "ratio": 7.0},
+        },
+    )
+    assert ratio >= 4.0
+
+
+def test_headline_dynamic_batch_tradeoff(benchmark):
+    """Dynamic batching: large latency cut for a bounded throughput cost.
+
+    The paper quantifies the trade-off as -50% average latency for -16%
+    throughput.  The latency side shows online (frames stop waiting for
+    batch mates); the throughput side shows offline in the SNM-bound
+    regime, where dynamic/depth-capped batches amortize the model-load
+    overhead less than full static batches.  (See EXPERIMENTS.md: in our
+    simulator the throughput cost is milder, ~5%, because saturated SNM
+    queues keep dynamic batches near the depth cap.)
+    """
+    traces = fleet(10, "jackson", 0.203)
+    snm_bound = OPERATING_POINT.with_(number_of_objects=2, batch_size=30)
+    fixed = snm_bound.with_(batch_policy="static")
+    dynamic = snm_bound.with_(batch_policy="dynamic")
+
+    m_fix_on = simulate_online(traces, fixed)
+    m_dy_on = benchmark.pedantic(
+        lambda: simulate_online(traces, dynamic), rounds=1, iterations=1
+    )
+    m_fix_off = simulate_offline(traces, fixed)
+    m_dy_off = simulate_offline(traces, dynamic)
+
+    lat_cut = 1.0 - m_dy_on.frame_latency.mean / m_fix_on.frame_latency.mean
+    tput_cost = 1.0 - m_dy_off.throughput_fps / m_fix_off.throughput_fps
+    print(
+        f"\ndynamic vs fixed batching (10 streams, TOR 0.203, BatchSize 30): "
+        f"latency -{lat_cut:.0%}, offline throughput -{tput_cost:.0%} "
+        "(paper: -50% / -16%)"
+    )
+    record(
+        "headline/dynamic_tradeoff",
+        {
+            "latency_cut": lat_cut,
+            "throughput_cost": tput_cost,
+            "fixed_latency": m_fix_on.frame_latency.mean,
+            "dynamic_latency": m_dy_on.frame_latency.mean,
+            "fixed_fps": m_fix_off.throughput_fps,
+            "dynamic_fps": m_dy_off.throughput_fps,
+            "paper": {"latency_cut": 0.5, "throughput_cost": 0.16},
+        },
+    )
+    assert lat_cut > 0.3  # dynamic clearly cuts latency (paper: ~50%)
+    assert 0.0 <= tput_cost < 0.3  # at a bounded throughput cost (paper: 16%)

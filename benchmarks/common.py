@@ -1,0 +1,138 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Each ``bench_*.py`` file regenerates one table or figure from the paper's
+evaluation (see DESIGN.md section 4 for the index).  The heavy lifting —
+training per-stream models and tracing the filter cascade over thousands of
+frames — is cached on disk by :mod:`repro.core.tracecache`, so the first run
+of the suite builds the trace inventory and subsequent runs are fast.
+
+Conventions:
+
+* ``fleet(...)`` produces N stream traces the way the paper does — a few
+  genuinely distinct clips plus phase-rotated copies ("typical
+  non-overlapping video clips from each video file").
+* ``record(...)`` accumulates every measured series into
+  ``benchmarks/results.json`` so EXPERIMENTS.md can be regenerated from a
+  single artifact.
+* Shape assertions (who wins, what is monotone, where crossovers sit) are
+  part of every benchmark — absolute FPS values depend on the cost model
+  calibration, but the paper's qualitative claims must hold.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from pathlib import Path
+
+from repro.core import FFSVAConfig, FrameTrace, workload_trace
+from repro.video import WorkloadSpec, coral, jackson
+
+__all__ = [
+    "OPERATING_POINT",
+    "ACCURACY_POINT",
+    "BENCH_FRAMES",
+    "get_trace",
+    "fleet",
+    "record",
+    "print_table",
+    "jackson",
+    "coral",
+]
+
+#: Frames per stream used by throughput/latency sweeps (the paper uses 5000
+#: everywhere; 3000 keeps first-run trace building tolerable while leaving
+#: the queueing dynamics unchanged; accuracy experiments use the full 5000).
+BENCH_FRAMES = 3000
+
+#: Throughput-leaning operating point: maximum SNM specificity, the paper's
+#: empirical queue thresholds, feedback batching (their 30-stream headline
+#: configuration).
+OPERATING_POINT = FFSVAConfig(
+    filter_degree=1.0,
+    number_of_objects=1,
+    relax=0,
+    batch_policy="feedback",
+    batch_size=10,
+)
+
+#: Accuracy-leaning operating point: mid FilterDegree ("relaxed filtering
+#: conditions") used by the error-rate experiments.
+ACCURACY_POINT = OPERATING_POINT.with_(filter_degree=0.5, batch_policy="dynamic")
+
+#: How many genuinely distinct clips to build per workload/TOR before
+#: resorting to phase rotations.
+_DISTINCT = 4
+
+
+@lru_cache(maxsize=64)
+def _base_trace(workload: str, tor: float, n_frames: int, seed: int, with_ref: bool):
+    spec = jackson() if workload == "jackson" else coral()
+    return workload_trace(spec, n_frames, tor=tor, seed=seed, with_ref=with_ref)
+
+
+def get_trace(
+    workload: str = "jackson",
+    tor: float = 0.103,
+    *,
+    n_frames: int = BENCH_FRAMES,
+    seed: int = 0,
+    with_ref: bool = False,
+) -> FrameTrace:
+    """One cached trace for a workload/TOR combination."""
+    return _base_trace(workload, round(float(tor), 4), n_frames, seed, with_ref)
+
+
+def fleet(
+    n_streams: int,
+    workload: str = "jackson",
+    tor: float = 0.103,
+    *,
+    n_frames: int = BENCH_FRAMES,
+) -> list[FrameTrace]:
+    """``n_streams`` stream traces: distinct clips plus rotated phases."""
+    traces = []
+    for i in range(n_streams):
+        base = get_trace(workload, tor, n_frames=n_frames, seed=i % _DISTINCT)
+        offset = (i // _DISTINCT) * 997
+        tr = base.rotated(offset) if offset else base
+        traces.append(tr.renamed(f"{workload}-{tor}-{i}"))
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# result recording and pretty-printing
+# ---------------------------------------------------------------------------
+_RESULTS_PATH = Path(__file__).parent / "results.json"
+
+
+def record(experiment: str, payload: dict) -> None:
+    """Merge one experiment's measurements into benchmarks/results.json."""
+    data = {}
+    if _RESULTS_PATH.exists():
+        try:
+            data = json.loads(_RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[experiment] = payload
+    _RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print a figure/table reproduction in a fixed-width layout."""
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.3f}" if abs(v) < 100 else f"{v:.1f}"
+    return str(v)

@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Makes the in-repo ``benchmarks`` directory importable and prints a pointer
+to the accumulated results artifact at the end of a run.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    results = Path(__file__).parent / "results.json"
+    if results.exists():
+        print(f"\n[benchmarks] accumulated measurements: {results}")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Post-facto search: find crowded moments in a day of aquarium footage.
+
+The paper's second use case is offline analysis — "all stored videos need
+to be processed as fast as possible to capture interesting scenes."  This
+example scans a Coral-reef-like recording for frames with several visitors,
+sweeps the FilterDegree knob to show the accuracy/efficiency trade-off
+(Figure 7's experiment as a user workflow), and reports scene-level
+accuracy against the reference-model oracle.
+
+    python examples/aquarium_offline_search.py
+"""
+
+from repro import FFSVA, FFSVAConfig, coral, make_stream
+from repro.analytics import error_rate, scene_accuracy
+from repro.sim import simulate_offline
+
+
+def main() -> None:
+    stream = make_stream(coral(), 2400, tor=0.4, seed=23)
+    print(f"scanning {stream.stream_id}: {len(stream)} frames, TOR={stream.tor():.2f}")
+
+    system = FFSVA(FFSVAConfig(filter_degree=0.5, number_of_objects=2))
+    system.train(stream, n_train_frames=300, stride=2)
+
+    # One pass of the real models produces a trace we can re-threshold and
+    # re-simulate instantly (this is how the paper sweeps its knobs too).
+    print("tracing the cascade observables (incl. reference oracle) ...")
+    trace = system.trace(stream, with_ref=True)
+
+    print("\nFilterDegree sweep (offline, NumberofObjects=2):")
+    print(f"{'FD':>5} {'output frames':>14} {'est. FPS':>10} "
+          f"{'frame err':>10} {'scenes lost':>12}")
+    for fd in (0.0, 0.25, 0.5, 0.75, 1.0):
+        cfg = system.config.with_(filter_degree=fd)
+        out = int(trace.cascade_pass(fd, cfg.number_of_objects, cfg.relax).sum())
+        m = simulate_offline([trace], cfg)
+        err = error_rate(trace, cfg)
+        sc = scene_accuracy(trace, cfg)
+        print(f"{fd:5.2f} {out:14d} {m.throughput_fps:10.0f} "
+              f"{err:10.3%} {sc.n_lost:6d}/{sc.n_scenes}")
+
+    # T-YOLO undercounts grouped people (it merges adjacent small objects),
+    # so a strict count threshold loses crowded scenes.  Apply the paper's
+    # Section 5.3.3 remedy: relax the count threshold by one, then pick the
+    # most aggressive FilterDegree that still loses (almost) no scene.
+    print("\nrelaxing the T-YOLO count threshold (Section 5.3.3):")
+    for relax in (0, 1, 2):
+        cfg = system.config.with_(relax=relax)
+        sc = scene_accuracy(trace, cfg)
+        print(f"  relax={relax}: scene recall {sc.detection_rate:.1%}, "
+              f"frame error {error_rate(trace, cfg):.3%}")
+
+    chosen_fd, chosen_relax = 0.0, 2
+    for relax in (1, 2):
+        for fd in (1.0, 0.75, 0.5, 0.25, 0.0):
+            cfg = system.config.with_(filter_degree=fd, relax=relax)
+            if scene_accuracy(trace, cfg).n_lost == 0:
+                chosen_fd, chosen_relax = fd, relax
+                break
+        else:
+            continue
+        break
+    print(f"\nchosen operating point: FilterDegree={chosen_fd}, relax={chosen_relax}")
+
+    cfg = system.config.with_(filter_degree=chosen_fd, relax=chosen_relax)
+    survivors = trace.cascade_pass(chosen_fd, cfg.number_of_objects, cfg.relax)
+    hits = [i for i in range(len(trace)) if survivors[i]]
+    print(f"{len(hits)} candidate frames forwarded to the full-feature model "
+          f"({len(hits)/len(trace):.0%} of the recording)")
+    sc = scene_accuracy(trace, cfg)
+    print(f"scene recall vs oracle: {sc.detection_rate:.1%} "
+          f"({sc.n_detected}/{sc.n_scenes} crowded scenes found)")
+    if hits:
+        print(f"first crowded moment: frame {hits[0]} "
+              f"(t={hits[0]/stream.fps:.1f}s into the recording)")
+    print("note: counting dense small targets is the paper's documented hard "
+          "case (Figure 8b) — relaxation recovers most, not all, of the recall.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""FFS-VA: A Fast Filtering System for Large-scale Video Analytics.
+
+A complete reproduction of Zhang et al., ICPP 2018: a pipelined multi-stage
+filtering system that interposes two stream-specialized filters (SDD, SNM)
+and a shared small detector (T-YOLO) in front of a full-feature reference
+model, with a global feedback-queue mechanism and dynamic batching.
+
+Public entry points
+-------------------
+:class:`FFSVA`
+    High-level facade: train per-stream models, analyze offline, serve
+    online, and run paper-scale simulations.
+:class:`FFSVAConfig`
+    All system knobs (FilterDegree, NumberofObjects, batch policy, queue
+    depths, ...).
+:func:`jackson` / :func:`coral` / :func:`make_stream`
+    The evaluation workloads (Table 1 stand-ins).
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from .analytics import error_rate, scene_accuracy
+from .api import AnalysisReport, FFSVA
+from .baseline import baseline_offline, baseline_online
+from .core import (
+    FFSVAConfig,
+    FrameTrace,
+    RunMetrics,
+    build_trace,
+    workload_trace,
+)
+from .devices import CostModel
+from .models import ModelZoo
+from .sim import simulate_offline, simulate_online
+from .video import VideoStream, coral, jackson, make_stream, make_streams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FFSVA",
+    "AnalysisReport",
+    "FFSVAConfig",
+    "ModelZoo",
+    "CostModel",
+    "FrameTrace",
+    "RunMetrics",
+    "build_trace",
+    "workload_trace",
+    "simulate_offline",
+    "simulate_online",
+    "baseline_offline",
+    "baseline_online",
+    "error_rate",
+    "scene_accuracy",
+    "VideoStream",
+    "jackson",
+    "coral",
+    "make_stream",
+    "make_streams",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Evaluation analytics: TOR, accuracy, and error statistics."""
+
+from .accuracy import (
+    ErrorRunStats,
+    SceneAccuracy,
+    error_rate,
+    error_run_stats,
+    false_negative_mask,
+    oracle_positive,
+    scene_accuracy,
+)
+from .detection_eval import (
+    average_precision,
+    evaluate_map,
+    iou,
+    match_detections,
+    precision_recall,
+)
+from .tor import sliding_tor, tor_of_counts, tor_of_trace
+
+__all__ = [
+    "oracle_positive",
+    "false_negative_mask",
+    "error_rate",
+    "SceneAccuracy",
+    "scene_accuracy",
+    "ErrorRunStats",
+    "error_run_stats",
+    "tor_of_counts",
+    "tor_of_trace",
+    "sliding_tor",
+    "iou",
+    "match_detections",
+    "precision_recall",
+    "average_precision",
+    "evaluate_map",
+]

@@ -1,0 +1,170 @@
+"""Accuracy analytics: error rate, scene-level accuracy, Table 2 statistics.
+
+The paper's accuracy methodology (Sections 3.3 and 5.3.3):
+
+* The oracle is the reference model run over **every** frame: "To verify the
+  accuracy of FFS-VA, all the filtered frames by FFS-VA are completely
+  detected by the reference model YOLOv2."
+* A **false negative** is a frame the oracle flags as target-positive that
+  some prepositive filter dropped; the **error rate** is "the number of all
+  false-negative frames divided by the number of all input frames".
+* Users care about **scenes**, not frames: a scene (a maximal run of
+  consecutive target frames) counts as detected if at least one of its
+  frames survives the cascade.  Only scenes losing *all* their frames are
+  real misses.
+* Table 2 categorizes false-negative frames by run length: isolated single
+  frames, 2-3 frame runs, runs shorter than 30 frames, and runs of 30+
+  frames (the only category that threatens whole scenes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import FFSVAConfig
+from ..core.trace import FrameTrace
+from ..video.scene import scenes_from_counts
+
+__all__ = [
+    "oracle_positive",
+    "false_negative_mask",
+    "error_rate",
+    "SceneAccuracy",
+    "scene_accuracy",
+    "ErrorRunStats",
+    "error_run_stats",
+]
+
+
+def oracle_positive(trace: FrameTrace, number_of_objects: int = 1) -> np.ndarray:
+    """Frames the reference model would report as matching the event."""
+    if trace.ref_count is None:
+        raise ValueError(
+            "trace has no reference-model counts; rebuild with with_ref=True"
+        )
+    return trace.ref_count >= number_of_objects
+
+
+def false_negative_mask(trace: FrameTrace, config: FFSVAConfig) -> np.ndarray:
+    """Oracle-positive frames that the prepositive filters dropped."""
+    survived = trace.cascade_pass(
+        config.filter_degree, config.number_of_objects, config.relax
+    )
+    return oracle_positive(trace, config.number_of_objects) & ~survived
+
+
+def error_rate(trace: FrameTrace, config: FFSVAConfig) -> float:
+    """False-negative frames / all input frames (the paper's definition)."""
+    if len(trace) == 0:
+        return 0.0
+    return float(false_negative_mask(trace, config).mean())
+
+
+@dataclass(frozen=True)
+class SceneAccuracy:
+    """Scene-level detection outcome."""
+
+    n_scenes: int
+    n_detected: int
+    n_lost: int
+    lost_frames: int  # frames belonging to fully-lost scenes
+    total_frames: int
+
+    @property
+    def scene_loss_rate(self) -> float:
+        return self.n_lost / self.n_scenes if self.n_scenes else 0.0
+
+    @property
+    def detection_rate(self) -> float:
+        return self.n_detected / self.n_scenes if self.n_scenes else 1.0
+
+    @property
+    def lost_frame_rate(self) -> float:
+        """Fraction of all frames inside fully-lost scenes (the <2% claim)."""
+        return self.lost_frames / self.total_frames if self.total_frames else 0.0
+
+
+def scene_accuracy(
+    trace: FrameTrace,
+    config: FFSVAConfig,
+    *,
+    use_oracle_scenes: bool = True,
+) -> SceneAccuracy:
+    """Scene-level accuracy of the cascade against the oracle.
+
+    Scenes are maximal runs of consecutive positive frames, taken from the
+    reference-model oracle by default (ground truth with
+    ``use_oracle_scenes=False``).  A scene is detected iff any of its frames
+    survives all three filters.
+    """
+    if use_oracle_scenes:
+        counts = np.asarray(
+            oracle_positive(trace, config.number_of_objects), dtype=np.int64
+        )
+    else:
+        counts = (trace.gt_count >= config.number_of_objects).astype(np.int64)
+    survived = trace.cascade_pass(
+        config.filter_degree, config.number_of_objects, config.relax
+    )
+    scenes = scenes_from_counts(counts)
+    detected = 0
+    lost_frames = 0
+    for start, stop in scenes:
+        if survived[start:stop].any():
+            detected += 1
+        else:
+            lost_frames += stop - start
+    return SceneAccuracy(
+        n_scenes=len(scenes),
+        n_detected=detected,
+        n_lost=len(scenes) - detected,
+        lost_frames=lost_frames,
+        total_frames=len(trace),
+    )
+
+
+@dataclass(frozen=True)
+class ErrorRunStats:
+    """Table 2: false-negative frames grouped by run length (frame counts)."""
+
+    isolated_single: int  # runs of exactly 1 frame
+    isolated_short: int  # runs of 2-3 frames
+    continuous_short: int  # runs of 4-29 frames
+    continuous_long: int  # runs of >= 30 frames
+
+    @property
+    def total(self) -> int:
+        return (
+            self.isolated_single
+            + self.isolated_short
+            + self.continuous_short
+            + self.continuous_long
+        )
+
+    def as_rows(self) -> list[tuple[str, int]]:
+        """Rows in the paper's Table 2 order."""
+        return [
+            ("An isolated single error frame", self.isolated_single),
+            ("2-3 isolated-continuous error frames", self.isolated_short),
+            ("Continuously-error frames less than 30", self.continuous_short),
+            ("Continuously-error frames more than 30", self.continuous_long),
+        ]
+
+
+def error_run_stats(trace: FrameTrace, config: FFSVAConfig) -> ErrorRunStats:
+    """Categorize false-negative frames by consecutive-run length."""
+    fn = false_negative_mask(trace, config)
+    single = short = mid = long_ = 0
+    for start, stop in scenes_from_counts(fn.astype(np.int64)):
+        run = stop - start
+        if run == 1:
+            single += run
+        elif run <= 3:
+            short += run
+        elif run < 30:
+            mid += run
+        else:
+            long_ += run
+    return ErrorRunStats(single, short, mid, long_)

@@ -1,0 +1,62 @@
+"""Target-object-ratio (TOR) utilities — Equation 1 of the paper.
+
+``TOR = num_target_object_frames / num_all_frames`` over a window of
+frames.  TOR "is primarily determined by both video contents and filtering
+conditions": the same clip has different TORs for different
+``NumberofObjects`` thresholds, and different TORs over time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.trace import FrameTrace
+
+__all__ = ["tor_of_counts", "tor_of_trace", "sliding_tor"]
+
+
+def tor_of_counts(counts: np.ndarray, number_of_objects: int = 1) -> float:
+    """TOR of a per-frame count vector at an intensity threshold."""
+    counts = np.asarray(counts)
+    if counts.size == 0:
+        return 0.0
+    return float((counts >= number_of_objects).mean())
+
+
+def tor_of_trace(
+    trace: FrameTrace,
+    *,
+    number_of_objects: int = 1,
+    source: str = "gt",
+) -> float:
+    """TOR of a trace, from ground truth (``"gt"``), the reference model
+    (``"ref"``), or T-YOLO (``"tyolo"``) counts."""
+    if source == "gt":
+        counts = trace.gt_count
+    elif source == "ref":
+        if trace.ref_count is None:
+            raise ValueError("trace has no reference counts")
+        counts = trace.ref_count
+    elif source == "tyolo":
+        counts = trace.tyolo_count
+    else:
+        raise ValueError(f"unknown source {source!r}")
+    return tor_of_counts(counts, number_of_objects)
+
+
+def sliding_tor(
+    counts: np.ndarray, window: int, number_of_objects: int = 1
+) -> np.ndarray:
+    """TOR over a sliding window (how TOR fluctuates through the day).
+
+    Returns one value per full window position (length ``n - window + 1``),
+    computed with a cumulative sum so large traces stay cheap.
+    """
+    counts = np.asarray(counts)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if counts.size < window:
+        return np.empty(0, dtype=np.float64)
+    hits = (counts >= number_of_objects).astype(np.float64)
+    csum = np.concatenate(([0.0], np.cumsum(hits)))
+    return (csum[window:] - csum[:-window]) / window

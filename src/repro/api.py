@@ -1,0 +1,131 @@
+"""High-level FFS-VA facade — the library's front door.
+
+Typical use::
+
+    from repro import FFSVA, FFSVAConfig, jackson, make_stream
+
+    system = FFSVA(FFSVAConfig(filter_degree=0.5, number_of_objects=1))
+    stream = make_stream(jackson(), 3000, tor=0.1, seed=0)
+    system.train(stream)                      # specialize SDD + SNM
+    report = system.analyze_offline(stream, n_frames=1000)
+    print(report.metrics.throughput_fps, len(report.events))
+
+Two execution paths are offered:
+
+* :meth:`FFSVA.analyze_offline` / :meth:`FFSVA.serve_online` run the real
+  threaded pipeline (actual NumPy inference) — ground truth for behaviour.
+* :meth:`FFSVA.simulate_offline` / :meth:`FFSVA.simulate_online` replay a
+  :class:`~repro.core.trace.FrameTrace` through the discrete-event
+  simulator with the paper-calibrated cost model — ground truth for
+  paper-scale performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .baseline import baseline_offline, baseline_online
+from .core.config import FFSVAConfig
+from .core.metrics import RunMetrics
+from .core.trace import FrameTrace, build_trace
+from .devices.costs import CostModel
+from .models.zoo import ModelZoo, StreamModels
+from .runtime.engine import FrameOutcome, ThreadedPipeline
+from .sim import simulate_offline, simulate_online
+from .video.stream import VideoStream
+
+__all__ = ["AnalysisReport", "FFSVA"]
+
+
+@dataclass
+class AnalysisReport:
+    """Result of a real (threaded) pipeline run."""
+
+    metrics: RunMetrics
+    outcomes: list[FrameOutcome]
+    #: Frames that reached the reference model and matched the event
+    #: (reference count >= NumberofObjects) — the system's actual output.
+    events: list[FrameOutcome] = field(default_factory=list)
+
+
+class FFSVA:
+    """A Fast Filtering System for Video Analytics."""
+
+    def __init__(
+        self,
+        config: FFSVAConfig | None = None,
+        zoo: ModelZoo | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        self.config = config or FFSVAConfig()
+        self.zoo = zoo or ModelZoo()
+        self.cost_model = cost_model or CostModel()
+
+    # ------------------------------------------------------------------
+    # model management
+    # ------------------------------------------------------------------
+    def train(self, stream: VideoStream, **train_kwargs) -> StreamModels:
+        """Train and register the stream's specialized SDD and SNM."""
+        return self.zoo.train_for_stream(stream, **train_kwargs)
+
+    def is_trained(self, stream: VideoStream) -> bool:
+        return stream.stream_id in self.zoo
+
+    # ------------------------------------------------------------------
+    # real execution
+    # ------------------------------------------------------------------
+    def _ensure_trained(self, streams: list[VideoStream]) -> None:
+        for s in streams:
+            if s.stream_id not in self.zoo:
+                self.zoo.train_for_stream(s)
+
+    def analyze_offline(
+        self, stream: VideoStream, n_frames: int | None = None
+    ) -> AnalysisReport:
+        """Analyze one stored stream as fast as possible (real inference)."""
+        return self._run([stream], n_frames, online=False)
+
+    def serve_online(
+        self,
+        streams: list[VideoStream],
+        n_frames: int | None = None,
+        paced_fps: float | None = None,
+    ) -> AnalysisReport:
+        """Serve live streams with paced arrivals (real inference)."""
+        return self._run(streams, n_frames, online=True, paced_fps=paced_fps)
+
+    def _run(self, streams, n_frames, *, online, paced_fps=None) -> AnalysisReport:
+        self._ensure_trained(streams)
+        pipeline = ThreadedPipeline(streams, self.zoo, self.config)
+        metrics = pipeline.run(n_frames, online=online, paced_fps=paced_fps)
+        events = [
+            o
+            for o in pipeline.outcomes
+            if o.stage == "ref"
+            and o.ref_count is not None
+            and o.ref_count >= self.config.number_of_objects
+        ]
+        return AnalysisReport(metrics=metrics, outcomes=pipeline.outcomes, events=events)
+
+    # ------------------------------------------------------------------
+    # trace building and simulation
+    # ------------------------------------------------------------------
+    def trace(self, stream: VideoStream, *, with_ref: bool = False, **kw) -> FrameTrace:
+        """Run the real models over the stream and record their observables."""
+        return build_trace(stream, self.zoo, with_ref=with_ref, **kw)
+
+    def simulate_offline(self, traces: list[FrameTrace]) -> RunMetrics:
+        """Paper-scale offline run on the calibrated virtual server."""
+        return simulate_offline(traces, self.config, self.cost_model)
+
+    def simulate_online(self, traces: list[FrameTrace], **kw) -> RunMetrics:
+        """Paper-scale online run on the calibrated virtual server."""
+        return simulate_online(traces, self.config, self.cost_model, **kw)
+
+    def simulate_baseline_offline(self, traces: list[FrameTrace]) -> RunMetrics:
+        """The YOLOv2-on-everything comparison system, offline."""
+        return baseline_offline(traces, self.config, self.cost_model)
+
+    def simulate_baseline_online(self, traces: list[FrameTrace], **kw) -> RunMetrics:
+        """The YOLOv2-on-everything comparison system, online."""
+        return baseline_online(traces, self.config, self.cost_model, **kw)

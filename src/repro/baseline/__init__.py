@@ -1,0 +1,5 @@
+"""The YOLOv2-on-everything baseline system."""
+
+from .yolo_all import BaselineSimulator, baseline_offline, baseline_online
+
+__all__ = ["BaselineSimulator", "baseline_offline", "baseline_online"]

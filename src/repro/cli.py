@@ -1,0 +1,192 @@
+"""Command-line interface for the FFS-VA reproduction.
+
+Usage (also available as ``python -m repro``)::
+
+    ffs-va workloads
+    ffs-va train    --workload jackson --tor 0.3 --frames 2400 --out models/
+    ffs-va analyze  --workload jackson --tor 0.3 --frames 600
+    ffs-va simulate --workload jackson --tor 0.103 --streams 20 --mode online
+    ffs-va plan     --workload jackson --tor 0.103
+
+Every command synthesizes its stream deterministically from the workload
+preset, TOR and seed, so results are reproducible from the command line
+alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .core.config import FFSVAConfig
+from .core.planner import offline_throughput_bound, plan_capacity
+from .core.tracecache import workload_trace
+from .models import ModelZoo
+from .sim import simulate_offline, simulate_online
+from .video.workloads import coral, jackson, make_stream
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = {"jackson": jackson, "coral": coral}
+
+
+def _add_stream_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", choices=sorted(_WORKLOADS), default="jackson")
+    p.add_argument("--tor", type=float, default=None, help="target-object ratio")
+    p.add_argument("--frames", type=int, default=3000)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_config_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--filter-degree", type=float, default=0.5)
+    p.add_argument("--number-of-objects", type=int, default=1)
+    p.add_argument("--relax", type=int, default=0)
+    p.add_argument(
+        "--batch-policy", choices=["static", "feedback", "dynamic"], default="dynamic"
+    )
+    p.add_argument("--batch-size", type=int, default=10)
+
+
+def _config_from(args) -> FFSVAConfig:
+    return FFSVAConfig(
+        filter_degree=args.filter_degree,
+        number_of_objects=args.number_of_objects,
+        relax=args.relax,
+        batch_policy=args.batch_policy,
+        batch_size=args.batch_size,
+    )
+
+
+def _stream_from(args):
+    spec = _WORKLOADS[args.workload]()
+    return make_stream(spec, args.frames, tor=args.tor, seed=args.seed)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ffs-va",
+        description="FFS-VA: a fast filtering system for large-scale video analytics",
+    )
+    parser.add_argument("--version", action="version", version=f"ffs-va {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the evaluation workload presets")
+
+    p = sub.add_parser("train", help="train a stream's specialized models")
+    _add_stream_args(p)
+    p.add_argument("--out", default=None, help="directory to save the models into")
+    p.add_argument("--train-frames", type=int, default=400)
+
+    p = sub.add_parser("analyze", help="run the real threaded pipeline offline")
+    _add_stream_args(p)
+    _add_config_args(p)
+    p.add_argument("--train-frames", type=int, default=300)
+
+    p = sub.add_parser("simulate", help="paper-scale simulation on the virtual server")
+    _add_stream_args(p)
+    _add_config_args(p)
+    p.add_argument("--streams", type=int, default=1)
+    p.add_argument("--mode", choices=["offline", "online"], default="offline")
+
+    p = sub.add_parser("plan", help="analytic capacity plan for a workload")
+    _add_stream_args(p)
+    _add_config_args(p)
+    return parser
+
+
+def _cmd_workloads(args) -> int:
+    print(f"{'name':<10} {'object':<8} {'paper res':<10} {'fps':<5} {'base TOR'}")
+    for name, fn in sorted(_WORKLOADS.items()):
+        spec = fn()
+        w, h = spec.paper_resolution
+        print(f"{name:<10} {spec.kind:<8} {w}*{h:<6} {spec.fps:<5.0f} {spec.base_tor}")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    stream = _stream_from(args)
+    print(f"training on {stream.stream_id} ({len(stream)} frames, TOR={stream.tor():.3f})")
+    zoo = ModelZoo()
+    bundle = zoo.train_for_stream(stream, n_train_frames=args.train_frames)
+    for key, value in bundle.train_info.items():
+        print(f"  {key}: {value}")
+    if args.out:
+        path = zoo.save_stream(stream.stream_id, args.out)
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .api import FFSVA
+
+    stream = _stream_from(args)
+    system = FFSVA(_config_from(args))
+    system.train(stream, n_train_frames=args.train_frames)
+    report = system.analyze_offline(stream)
+    m = report.metrics
+    print(f"processed {m.frames_ingested} frames in {m.duration:.1f}s "
+          f"({m.throughput_fps:.0f} FPS real compute)")
+    for stage in ("sdd", "snm", "tyolo", "ref"):
+        c = m.stages[stage]
+        print(f"  {stage:>6}: executed {c.entered:5d}  filtered {c.filtered:5d}")
+    print(f"{len(report.events)} event frames confirmed by the reference model")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    config = _config_from(args)
+    base = workload_trace(
+        _WORKLOADS[args.workload](), args.frames, tor=args.tor, seed=args.seed
+    )
+    traces = [base.rotated(997 * i).renamed(f"stream-{i}") for i in range(args.streams)]
+    if args.mode == "offline":
+        m = simulate_offline(traces, config)
+    else:
+        m = simulate_online(traces, config)
+    print(f"{args.mode} simulation of {args.streams} stream(s):")
+    print(f"  throughput: {m.throughput_fps:.1f} FPS aggregate "
+          f"({m.per_stream_fps:.1f}/stream)")
+    if args.mode == "online":
+        print(f"  real-time: {'yes' if m.realtime() else 'NO'} "
+              f"(ingest ratio {m.ingest_ratio:.3f})")
+    print(f"  latency: mean {m.frame_latency.mean:.3f}s  p95 {m.frame_latency.p95:.3f}s")
+    print(f"  frames to reference model: {m.frames_to_ref} "
+          f"({m.stage_fraction('ref'):.1%} of input)")
+    for dev, util in sorted(m.device_utilization.items()):
+        print(f"  {dev} utilization: {util:.0%}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    config = _config_from(args)
+    trace = workload_trace(
+        _WORKLOADS[args.workload](), args.frames, tor=args.tor, seed=args.seed
+    )
+    plan = plan_capacity(trace, config)
+    bound = offline_throughput_bound(trace, config)
+    print(f"capacity plan for {args.workload} at TOR={trace.tor():.3f}:")
+    print(f"  max real-time streams: {plan.max_streams} "
+          f"(bottleneck: {plan.bottleneck_device})")
+    for dev, demand in sorted(plan.device_demand.items()):
+        print(f"  {dev}: {demand:.4f} device-seconds per stream-second")
+    print(f"  offline throughput bound (1 stream): {bound:.0f} FPS")
+    return 0
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "train": _cmd_train,
+    "analyze": _cmd_analyze,
+    "simulate": _cmd_simulate,
+    "plan": _cmd_plan,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""FFS-VA core: configuration, queues, batching, traces, and metrics."""
+
+from .batching import batch_wait_bound, decide_batch
+from .config import FFSVAConfig
+from .metrics import LatencyStats, RunMetrics, StageCounters
+from .planner import CapacityPlan, offline_throughput_bound, plan_capacity
+from .queues import FeedbackQueue, QueueClosed, SimQueue
+from .trace import FrameTrace, build_trace
+from .tracecache import cached_trace, workload_trace
+
+__all__ = [
+    "FFSVAConfig",
+    "decide_batch",
+    "batch_wait_bound",
+    "FeedbackQueue",
+    "SimQueue",
+    "QueueClosed",
+    "FrameTrace",
+    "build_trace",
+    "cached_trace",
+    "workload_trace",
+    "RunMetrics",
+    "StageCounters",
+    "LatencyStats",
+    "CapacityPlan",
+    "plan_capacity",
+    "offline_throughput_bound",
+]

@@ -1,0 +1,168 @@
+"""Online stream admission and inter-instance load balancing (Section 4.3.1).
+
+The paper's rules:
+
+* "when the execution speed of T-YOLO is lower than a certain level
+  (e.g., 140 FPS) for a period of time (e.g., 5s), it means this FFS-VA
+  instance has spare ability to serve extra streams.  Consequently, a new
+  stream can be considered to add into the instance."
+* "when any queue of T-YOLO or SNM is longer than its predefined threshold,
+  it means that the FFS-VA instance overloads.  The corresponding video
+  stream is re-forwarded to another FFS-VA instance with spare capacity
+  immediately."
+
+:class:`AdmissionController` turns raw observations (T-YOLO processing rate
+samples, queue depths) into those two signals.  :func:`max_realtime_streams`
+searches for the largest stream count an instance sustains in real time —
+the quantity Figures 3, 4, and 6a report.  :class:`InstanceGroup` applies
+the re-forwarding rule across several simulated instances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .config import FFSVAConfig
+from .metrics import RunMetrics
+from .trace import FrameTrace
+
+__all__ = ["AdmissionController", "max_realtime_streams", "InstanceGroup"]
+
+
+@dataclass
+class AdmissionController:
+    """Sliding-window admission / overload signals for one instance."""
+
+    config: FFSVAConfig = field(default_factory=FFSVAConfig)
+    _samples: deque = field(default_factory=deque)  # (time, tyolo_fps)
+
+    def observe_tyolo_rate(self, time: float, fps: float) -> None:
+        """Record a T-YOLO throughput sample and trim the window."""
+        self._samples.append((time, fps))
+        horizon = time - self.config.admission_window
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def can_admit(self) -> bool:
+        """Spare capacity: T-YOLO stayed under the threshold all window long.
+
+        Requires the window to actually span ``admission_window`` seconds of
+        samples; a half-empty window is not yet evidence.
+        """
+        if len(self._samples) < 2:
+            return False
+        span = self._samples[-1][0] - self._samples[0][0]
+        if span < self.config.admission_window * 0.9:
+            return False
+        return all(fps < self.config.admission_tyolo_fps for _, fps in self._samples)
+
+    def overloaded(self, queue_depths: dict[str, int]) -> bool:
+        """Any SNM/T-YOLO queue beyond its threshold means overload."""
+        for name, depth in queue_depths.items():
+            if name.startswith("snm") and depth > self.config.queue_depth("snm"):
+                return True
+            if name.startswith("tyolo") and depth > self.config.queue_depth("tyolo"):
+                return True
+        return False
+
+
+def max_realtime_streams(
+    run_with_n: Callable[[int], RunMetrics],
+    *,
+    n_max: int = 64,
+    stream_fps: float = 30.0,
+    tolerance: float = 0.98,
+) -> tuple[int, dict[int, RunMetrics]]:
+    """Largest N for which ``run_with_n(N)`` sustains real-time ingest.
+
+    Uses an exponential probe followed by bisection, so expensive simulations
+    run O(log n_max) times.  Returns the maximum N (0 if even one stream
+    fails) plus all evaluated runs keyed by N.
+    """
+    runs: dict[int, RunMetrics] = {}
+
+    def ok(n: int) -> bool:
+        if n not in runs:
+            runs[n] = run_with_n(n)
+        return runs[n].realtime(stream_fps, tolerance)
+
+    if not ok(1):
+        return 0, runs
+    lo = 1
+    hi = 2
+    while hi <= n_max and ok(hi):
+        lo = hi
+        hi *= 2
+    if hi > n_max:
+        hi = n_max + 1
+        if lo < n_max and ok(n_max):
+            return n_max, runs
+    # Invariant: ok(lo), not ok(hi).
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo, runs
+
+
+class InstanceGroup:
+    """A set of FFS-VA instances with re-forwarding between them.
+
+    The group assigns streams greedily and applies the paper's rules after
+    each evaluation epoch: overloaded instances shed their most expensive
+    stream to the instance with the most headroom.
+    """
+
+    def __init__(
+        self,
+        n_instances: int,
+        run_instance: Callable[[list[FrameTrace]], RunMetrics],
+        config: FFSVAConfig | None = None,
+    ):
+        if n_instances < 1:
+            raise ValueError("need at least one instance")
+        self.config = config or FFSVAConfig()
+        self.run_instance = run_instance
+        self.assignments: list[list[FrameTrace]] = [[] for _ in range(n_instances)]
+        self.history: list[dict] = []
+
+    def assign(self, traces: Sequence[FrameTrace]) -> None:
+        """Initial round-robin placement of streams onto instances."""
+        for i, tr in enumerate(traces):
+            self.assignments[i % len(self.assignments)].append(tr)
+
+    def epoch(self) -> list[RunMetrics]:
+        """Evaluate every instance once and apply one re-forwarding step."""
+        results = [
+            self.run_instance(traces) if traces else RunMetrics(n_streams=0)
+            for traces in self.assignments
+        ]
+        # Ingest ratio is the headroom signal (1.0 = keeping up).
+        ratios = [
+            (m.frames_ingested / m.frames_offered) if m.frames_offered else 1.0
+            for m in results
+        ]
+        worst = min(range(len(ratios)), key=lambda i: ratios[i])
+        best = max(range(len(ratios)), key=lambda i: ratios[i])
+        moved = None
+        if (
+            ratios[worst] < 0.98
+            and ratios[best] >= 0.999
+            and len(self.assignments[worst]) > 1
+            and worst != best
+        ):
+            moved = self.assignments[worst].pop()
+            self.assignments[best].append(moved)
+        self.history.append(
+            {
+                "ratios": ratios,
+                "moved": None if moved is None else moved.stream_id,
+                "from": worst if moved is not None else None,
+                "to": best if moved is not None else None,
+            }
+        )
+        return results

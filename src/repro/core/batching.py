@@ -1,0 +1,85 @@
+"""Batch-formation policies (Section 4.3.2).
+
+The paper compares three mechanisms on the SNM stage:
+
+* **static** — always wait for a full ``BatchSize`` of frames, with
+  unbounded queues (no feedback).  Highest GPU efficiency, highest latency.
+* **feedback** — full batches over bounded feedback queues: batch formation
+  is additionally capped by the queue depth threshold, so "when the batch
+  size is greater than the queue depth threshold, video frames have to wait
+  in the SNM" — a slight throughput drop (~8%) at large BatchSize.
+* **dynamic** — "if there are enough video frames in the SNM queue, SNM pops
+  out a batch of (BatchSize) images from the queue for SNM prediction.
+  Otherwise, the frames are popped from the SNM queue until the queue is
+  empty."  Smaller average batches lower computational efficiency (~16%
+  throughput) but halve the average latency.
+
+The decision logic is a pure function over observable queue state so the
+threaded runtime and the discrete-event simulator share it exactly.
+"""
+
+from __future__ import annotations
+
+from .config import FFSVAConfig
+
+__all__ = ["decide_batch", "batch_wait_bound"]
+
+
+def decide_batch(
+    policy: str,
+    queue_len: int,
+    batch_size: int,
+    queue_depth: int | None,
+    *,
+    eof: bool = False,
+) -> int:
+    """How many frames the SNM stage should pop right now (0 = keep waiting).
+
+    Parameters
+    ----------
+    policy:
+        ``"static"``, ``"feedback"``, or ``"dynamic"``.
+    queue_len:
+        Current number of frames waiting in the stage's input queue.
+    batch_size:
+        The configured BatchSize.
+    queue_depth:
+        The queue's depth threshold (None = unbounded, static mode).
+    eof:
+        True once the producer finished; remaining frames must flush even if
+        a full batch can never form again.
+    """
+    if queue_len < 0 or batch_size < 1:
+        raise ValueError("queue_len must be >= 0 and batch_size >= 1")
+    if queue_len == 0:
+        return 0
+    if eof:
+        return min(queue_len, batch_size)
+
+    if policy == "static":
+        return batch_size if queue_len >= batch_size else 0
+    if policy == "feedback":
+        # Full batches, but a bounded queue can never hold more than its
+        # depth: the effective batch target is capped by the threshold.
+        target = batch_size if queue_depth is None else min(batch_size, queue_depth)
+        return target if queue_len >= target else 0
+    if policy == "dynamic":
+        return min(queue_len, batch_size)
+    raise ValueError(f"unknown batch policy {policy!r}")
+
+
+def batch_wait_bound(config: FFSVAConfig, input_fps: float) -> float:
+    """Worst-case batch-formation wait (seconds) under the given config.
+
+    For static/feedback policies a frame may wait for the rest of its batch
+    to arrive; dynamic batching never waits once a frame is queued.  Used by
+    capacity planning and asserted by the latency benchmarks.
+    """
+    if input_fps <= 0:
+        raise ValueError("input_fps must be positive")
+    if config.batch_policy == "dynamic":
+        return 0.0
+    target = config.batch_size
+    if config.batch_policy == "feedback":
+        target = min(target, config.queue_depth("snm"))
+    return (target - 1) / input_fps

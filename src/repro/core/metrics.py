@@ -1,0 +1,149 @@
+"""Pipeline metrics: per-stage counters, throughput, and latency.
+
+These are the quantities every figure in the evaluation reports:
+throughput in FPS (Figures 3, 4, 7, 9, 10), per-frame latency (Figures 3,
+4, 9, 10), the ratio of frames executed in each filter (Figure 5), and
+output-frame counts (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..devices.costs import STAGES
+
+__all__ = ["StageCounters", "LatencyStats", "RunMetrics"]
+
+
+@dataclass
+class StageCounters:
+    """Frames entering, passing, and filtered at one stage."""
+
+    entered: int = 0
+    passed: int = 0
+    filtered: int = 0
+
+    def record(self, n_in: int, n_passed: int) -> None:
+        if n_passed > n_in:
+            raise ValueError("cannot pass more frames than entered")
+        self.entered += n_in
+        self.passed += n_passed
+        self.filtered += n_in - n_passed
+
+    @property
+    def pass_rate(self) -> float:
+        return self.passed / self.entered if self.entered else 0.0
+
+
+@dataclass
+class LatencyStats:
+    """Summary of per-frame latencies (seconds)."""
+
+    count: int = 0
+    mean: float = 0.0
+    p50: float = 0.0
+    p95: float = 0.0
+    p99: float = 0.0
+    max: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray | list) -> "LatencyStats":
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            return cls()
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p95=float(np.percentile(arr, 95)),
+            p99=float(np.percentile(arr, 99)),
+            max=float(arr.max()),
+        )
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured in one pipeline run (real or simulated)."""
+
+    n_streams: int = 0
+    duration: float = 0.0  # makespan (virtual or wall seconds)
+    frames_offered: int = 0  # frames the sources produced
+    frames_ingested: int = 0  # frames that entered the pipeline (SDD)
+    frames_to_ref: int = 0  # frames that reached the reference model
+    stages: dict[str, StageCounters] = field(
+        default_factory=lambda: {s: StageCounters() for s in STAGES}
+    )
+    #: End-to-end latency of frames that completed the reference stage.
+    ref_latency: LatencyStats = field(default_factory=LatencyStats)
+    #: Latency over all ingested frames (to wherever each frame's journey
+    #: ended: the stage that filtered it, or the reference model).
+    frame_latency: LatencyStats = field(default_factory=LatencyStats)
+    device_utilization: dict[str, float] = field(default_factory=dict)
+    queue_high_water: dict[str, int] = field(default_factory=dict)
+    #: Extra run-specific data (per-stream rates, admission events, ...).
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def throughput_fps(self) -> float:
+        """Aggregate processed frames per second over the run."""
+        return self.frames_ingested / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def per_stream_fps(self) -> float:
+        """Average per-stream processing rate."""
+        return self.throughput_fps / self.n_streams if self.n_streams else 0.0
+
+    @property
+    def ingest_ratio(self) -> float:
+        """Fraction of offered frames the pipeline ingested (1.0 = kept up)."""
+        if not self.frames_offered:
+            return 1.0
+        return self.frames_ingested / self.frames_offered
+
+    def achieved_stream_fps(self, stream_fps: float = 30.0) -> float:
+        """Offered rate scaled by the ingest ratio: the per-stream rate the
+        sources actually sustained (robust to horizon slack in online runs)."""
+        return stream_fps * self.ingest_ratio
+
+    def stage_fraction(self, stage: str) -> float:
+        """Fraction of ingested frames executed by ``stage`` (Figure 5)."""
+        if not self.frames_ingested:
+            return 0.0
+        return self.stages[stage].entered / self.frames_ingested
+
+    def realtime(self, stream_fps: float = 30.0, tolerance: float = 0.98) -> bool:
+        """Did the run sustain real-time ingest for every stream?
+
+        The paper's criterion: "As long as the foremost prefetching process
+        can keep at least 30 FPS, the video stream is being analyzed in
+        real-time."  We require the average ingest rate to stay within
+        ``tolerance`` of the offered rate.
+        """
+        if self.frames_offered == 0:
+            return True
+        return self.frames_ingested >= tolerance * self.frames_offered
+
+    def check_conservation(self) -> None:
+        """Assert flow conservation through the cascade (testing hook).
+
+        Every frame entering a stage is either filtered there or passed to
+        the next stage; the next stage cannot see more frames than its
+        predecessor passed (it may see fewer while frames are still in
+        flight at run end).
+        """
+        order = [s for s in STAGES if self.stages[s].entered > 0 or s == "sdd"]
+        for stage in order:
+            c = self.stages[stage]
+            if c.entered != c.passed + c.filtered:
+                raise AssertionError(
+                    f"{stage}: entered {c.entered} != passed {c.passed} + filtered {c.filtered}"
+                )
+        for up, down in zip(STAGES, STAGES[1:]):
+            if self.stages[down].entered > self.stages[up].passed:
+                raise AssertionError(
+                    f"{down} entered {self.stages[down].entered} exceeds "
+                    f"{up} passed {self.stages[up].passed}"
+                )

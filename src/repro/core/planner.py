@@ -1,0 +1,175 @@
+"""Analytic capacity model for FFS-VA deployments.
+
+The simulator answers "how does this exact configuration behave"; this
+module answers the designer's questions in closed form, using the same
+cost model and a trace's measured pass fractions:
+
+* how much device time does one stream consume per second at each stage,
+* which device is the bottleneck,
+* how many concurrent real-time streams a server supports, and
+* what offline throughput a stream mix achieves.
+
+The analysis mirrors Section 2.3's motivation arithmetic (a GPU supports
+two YOLOv2 streams; a dual-GPU server four) and is validated against the
+discrete-event simulator in the test suite — the two must agree to within
+the granularity effects the analytic model ignores (batch quantization,
+round-robin scheduling, queue ramp-up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..devices.costs import CostModel
+from ..devices.placement import Placement, ffs_va_placement
+from .config import FFSVAConfig
+from .trace import FrameTrace
+
+__all__ = ["StageLoad", "CapacityPlan", "plan_capacity", "offline_throughput_bound"]
+
+
+@dataclass(frozen=True)
+class StageLoad:
+    """Per-stream service demand of one stage."""
+
+    stage: str
+    device: str
+    fraction: float  # fraction of source frames this stage executes
+    per_frame: float  # amortized seconds of device time per executed frame
+    seconds_per_stream_second: float  # device seconds consumed per stream second
+
+
+@dataclass
+class CapacityPlan:
+    """Result of the analytic capacity analysis."""
+
+    loads: list[StageLoad]
+    device_demand: dict[str, float]  # device seconds per stream second
+    bottleneck_device: str
+    max_streams: int
+    include_reference: bool
+    config: FFSVAConfig = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def utilization_at(self, n_streams: int) -> dict[str, float]:
+        """Predicted device utilizations with ``n_streams`` live streams."""
+        return {d: v * n_streams for d, v in self.device_demand.items()}
+
+
+def _stage_fractions(trace: FrameTrace, config: FFSVAConfig) -> dict[str, float]:
+    """Fraction of source frames executed by each stage under ``config``."""
+    sdd = trace.sdd_pass()
+    snm = sdd & trace.snm_pass(config.filter_degree)
+    tyolo = snm & trace.tyolo_pass(config.number_of_objects, config.relax)
+    n = max(len(trace), 1)
+    return {
+        "sdd": 1.0,
+        "snm": float(sdd.sum()) / n,
+        "tyolo": float(snm.sum()) / n,
+        "ref": float(tyolo.sum()) / n,
+    }
+
+
+def _effective_batch(config: FFSVAConfig, stage: str) -> int:
+    """Steady-state batch size the cost model should amortize over."""
+    if stage == "snm":
+        if config.batch_policy == "static":
+            return config.batch_size
+        return min(config.batch_size, config.queue_depth("snm"))
+    if stage == "tyolo":
+        return config.num_t_yolo
+    return 1
+
+
+def plan_capacity(
+    trace: FrameTrace,
+    config: FFSVAConfig | None = None,
+    cost_model: CostModel | None = None,
+    placement: Placement | None = None,
+    *,
+    utilization_cap: float = 1.0,
+) -> CapacityPlan:
+    """How many concurrent real-time streams like ``trace`` fit on a server.
+
+    Each stage's demand is ``fraction * per_frame_time * stream_fps`` device
+    seconds per stream second, spread evenly over the devices hosting the
+    stage.  The supported stream count is the largest N keeping every
+    counted device at or below ``utilization_cap``.
+
+    With ``config.ref_overflow_to_storage`` (the default, see DESIGN.md),
+    the reference device is excluded from the real-time constraint — its
+    overflow goes to storage — matching what the simulator enforces.
+    """
+    config = config or FFSVAConfig()
+    costs = cost_model or CostModel()
+    placement = placement or ffs_va_placement()
+    fractions = _stage_fractions(trace, config)
+    fps = config.stream_fps
+
+    loads: list[StageLoad] = []
+    demand: dict[str, float] = {name: 0.0 for name in placement.devices}
+    for stage in ("sdd", "snm", "tyolo", "ref"):
+        devices = placement.stage_devices.get(stage)
+        if not devices:
+            continue
+        batch = _effective_batch(config, stage)
+        per_frame = costs.per_frame_time(stage, batch)
+        frac = fractions[stage]
+        per_stream = frac * per_frame * fps
+        share = per_stream / len(devices)
+        for dev in devices:
+            demand[dev] += share
+            loads.append(StageLoad(stage, dev, frac, per_frame, share))
+
+    include_ref = not config.ref_overflow_to_storage
+    filter_devices = {
+        name
+        for stage in ("sdd", "snm", "tyolo")
+        for name in placement.stage_devices.get(stage, [])
+    }
+    counted = {
+        name: load
+        for name, load in demand.items()
+        if load > 0 and (include_ref or name in filter_devices)
+    }
+    if not counted:
+        raise ValueError("no device carries load; check the placement")
+    bottleneck = max(counted, key=lambda name: counted[name])
+    max_streams = int(utilization_cap / counted[bottleneck])
+    return CapacityPlan(
+        loads=loads,
+        device_demand=demand,
+        bottleneck_device=bottleneck,
+        max_streams=max_streams,
+        include_reference=include_ref,
+        config=config,
+    )
+
+
+def offline_throughput_bound(
+    trace: FrameTrace,
+    config: FFSVAConfig | None = None,
+    cost_model: CostModel | None = None,
+    placement: Placement | None = None,
+) -> float:
+    """Upper bound on offline FPS for one stream: the bottleneck stage rate.
+
+    Offline analysis is work-conserving, so throughput is limited by the
+    most loaded device: ``1 / max_d(sum over its stages of
+    fraction * per_frame)``.  The reference stage always counts offline —
+    the run is not finished until it has drained.
+    """
+    config = config or FFSVAConfig()
+    costs = cost_model or CostModel()
+    placement = placement or ffs_va_placement()
+    fractions = _stage_fractions(trace, config)
+    per_device: dict[str, float] = {}
+    for stage in ("sdd", "snm", "tyolo", "ref"):
+        devices = placement.stage_devices.get(stage)
+        if not devices:
+            continue
+        batch = _effective_batch(config, stage)
+        cost = fractions[stage] * costs.per_frame_time(stage, batch) / len(devices)
+        for dev in devices:
+            per_device[dev] = per_device.get(dev, 0.0) + cost
+    worst = max(per_device.values())
+    return 1.0 / worst if worst > 0 else float("inf")

@@ -1,0 +1,190 @@
+"""Frame traces: precomputed filter observables for a stream.
+
+The simulated runtime must make the *same filtering decisions* the real
+models make, at paper-scale frame counts.  The key observation is that every
+threshold in FFS-VA is applied to a scalar the models compute per frame:
+
+=========  =========================  ===========================
+Filter      Observable                 Decision
+=========  =========================  ===========================
+SDD         distance to reference      pass iff distance > delta_diff
+SNM         probability c              pass iff c >= t_pre(FilterDegree)
+T-YOLO      detected object count      pass iff count >= NumberofObjects-relax
+reference   detected object count      (final analysis / accuracy oracle)
+=========  =========================  ===========================
+
+A :class:`FrameTrace` stores those observables for every frame of a clip,
+computed **once** by the real models in vectorized batches.  Any
+combination of FilterDegree / NumberofObjects / relax / batch mechanism can
+then be evaluated without re-running inference — which is exactly what the
+threshold-sensitivity experiments (Figures 7 and 8) sweep.
+
+Traces also power multi-stream experiments cheaply: the paper extracts
+non-overlapping clips of one video to simulate many streams, and
+:meth:`FrameTrace.rotated` provides the analogous trick (same scene
+statistics, shifted phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..models.tyolo import count_filter_mask
+from ..models.zoo import ModelZoo, StreamModels
+from ..video.stream import VideoStream
+
+__all__ = ["FrameTrace", "build_trace"]
+
+
+@dataclass(frozen=True)
+class FrameTrace:
+    """Per-frame filter observables for one stream clip."""
+
+    stream_id: str
+    kind: str
+    fps: float
+    sdd_dist: np.ndarray
+    sdd_threshold: float
+    snm_prob: np.ndarray
+    c_low: float
+    c_high: float
+    tyolo_count: np.ndarray
+    gt_count: np.ndarray
+    ref_count: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = len(self.sdd_dist)
+        for name in ("snm_prob", "tyolo_count", "gt_count"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length mismatch ({len(getattr(self, name))} != {n})")
+        if self.ref_count is not None and len(self.ref_count) != n:
+            raise ValueError("ref_count length mismatch")
+
+    def __len__(self) -> int:
+        return len(self.sdd_dist)
+
+    # -- decisions -------------------------------------------------------
+    def sdd_pass(self) -> np.ndarray:
+        """Mask of frames SDD forwards (content differs from background)."""
+        return self.sdd_dist > self.sdd_threshold
+
+    def t_pre(self, filter_degree: float) -> float:
+        """Equation 2 on this trace's calibrated thresholds."""
+        if not 0.0 <= filter_degree <= 1.0:
+            raise ValueError("filter_degree must be in [0, 1]")
+        return (self.c_high - self.c_low) * filter_degree + self.c_low
+
+    def snm_pass(self, filter_degree: float) -> np.ndarray:
+        """Mask of frames SNM forwards at the given FilterDegree."""
+        return self.snm_prob >= self.t_pre(filter_degree)
+
+    def tyolo_pass(self, number_of_objects: int = 1, relax: int = 0) -> np.ndarray:
+        """Mask of frames T-YOLO forwards at the given intensity threshold."""
+        return count_filter_mask(self.tyolo_count, number_of_objects, relax)
+
+    def cascade_pass(
+        self, filter_degree: float, number_of_objects: int = 1, relax: int = 0
+    ) -> np.ndarray:
+        """Frames that survive all three filters (reach the reference model)."""
+        return (
+            self.sdd_pass()
+            & self.snm_pass(filter_degree)
+            & self.tyolo_pass(number_of_objects, relax)
+        )
+
+    def tor(self) -> float:
+        """Ground-truth target-object ratio of the clip."""
+        return float((self.gt_count > 0).mean()) if len(self) else 0.0
+
+    # -- transforms ------------------------------------------------------
+    def rotated(self, offset: int) -> "FrameTrace":
+        """Circularly shift the clip by ``offset`` frames (a phase-shifted
+        'non-overlapping clip' with identical content statistics)."""
+        offset %= max(len(self), 1)
+        roll = lambda a: None if a is None else np.roll(a, -offset)
+        return replace(
+            self,
+            sdd_dist=roll(self.sdd_dist),
+            snm_prob=roll(self.snm_prob),
+            tyolo_count=roll(self.tyolo_count),
+            gt_count=roll(self.gt_count),
+            ref_count=roll(self.ref_count),
+        )
+
+    def sliced(self, start: int, stop: int) -> "FrameTrace":
+        """A sub-clip trace over ``[start, stop)``."""
+        if not 0 <= start < stop <= len(self):
+            raise ValueError(f"bad slice [{start}, {stop}) for trace of {len(self)}")
+        cut = lambda a: None if a is None else a[start:stop]
+        return replace(
+            self,
+            sdd_dist=cut(self.sdd_dist),
+            snm_prob=cut(self.snm_prob),
+            tyolo_count=cut(self.tyolo_count),
+            gt_count=cut(self.gt_count),
+            ref_count=cut(self.ref_count),
+        )
+
+    def renamed(self, stream_id: str) -> "FrameTrace":
+        return replace(self, stream_id=stream_id)
+
+
+def build_trace(
+    stream: VideoStream,
+    zoo: ModelZoo | None = None,
+    *,
+    with_ref: bool = False,
+    n_frames: int | None = None,
+    chunk: int = 256,
+    **train_kwargs,
+) -> FrameTrace:
+    """Run the real models over ``stream`` and record their observables.
+
+    Parameters
+    ----------
+    zoo:
+        A :class:`ModelZoo`; the stream's specialized models are trained on
+        demand if not yet registered.
+    with_ref:
+        Also run the reference model over *every* frame (needed by accuracy
+        experiments, expensive otherwise).
+    n_frames:
+        Trace only the first ``n_frames`` frames.
+    chunk:
+        Frames rendered/processed per vectorized batch (memory knob).
+    """
+    zoo = zoo or ModelZoo()
+    if stream.stream_id not in zoo:
+        zoo.train_for_stream(stream, **train_kwargs)
+    bundle: StreamModels = zoo[stream.stream_id]
+
+    n = len(stream) if n_frames is None else min(n_frames, len(stream))
+    sdd_dist = np.empty(n, dtype=np.float64)
+    snm_prob = np.empty(n, dtype=np.float32)
+    tyolo_count = np.empty(n, dtype=np.int64)
+    ref_count = np.empty(n, dtype=np.int64) if with_ref else None
+
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        px = stream.pixel_batch(np.arange(start, stop))
+        sdd_dist[start:stop] = bundle.sdd.distances(px)
+        snm_prob[start:stop] = bundle.snm.predict_proba(px)
+        tyolo_count[start:stop] = zoo.tyolo.count_batch(px, bundle.background)
+        if ref_count is not None:
+            ref_count[start:stop] = zoo.reference.count_batch(px, bundle.background)
+
+    return FrameTrace(
+        stream_id=stream.stream_id,
+        kind=stream.kind,
+        fps=stream.fps,
+        sdd_dist=sdd_dist,
+        sdd_threshold=bundle.sdd.threshold,
+        snm_prob=snm_prob,
+        c_low=bundle.snm.c_low,
+        c_high=bundle.snm.c_high,
+        tyolo_count=tyolo_count,
+        gt_count=stream.gt_counts()[:n].astype(np.int64),
+        ref_count=ref_count,
+    )

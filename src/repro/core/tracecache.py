@@ -1,0 +1,148 @@
+"""Disk cache for frame traces.
+
+Building a trace renders thousands of frames and runs three models over
+them; the benchmark suite reuses a small set of workload/TOR/seed
+combinations across many experiments, so traces are cached as ``.npz``
+archives keyed by a content hash of their generating parameters.
+
+The cache lives in ``.trace_cache/`` next to the repository root by default
+(override with the ``REPRO_TRACE_CACHE`` environment variable, or disable
+with ``REPRO_TRACE_CACHE=off``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..models.zoo import ModelZoo
+from ..video.workloads import WorkloadSpec, make_stream
+from .trace import FrameTrace, build_trace
+
+__all__ = ["cache_dir", "cached_trace", "workload_trace"]
+
+#: Bump to invalidate caches after behaviour-affecting model changes.
+_CACHE_VERSION = 4
+
+
+def cache_dir() -> Path | None:
+    """Resolve the cache directory (None = caching disabled)."""
+    env = os.environ.get("REPRO_TRACE_CACHE", "")
+    if env.lower() == "off":
+        return None
+    if env:
+        path = Path(env)
+    else:
+        path = Path(__file__).resolve().parents[3] / ".trace_cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _key(params: dict) -> str:
+    canon = json.dumps(params, sort_keys=True, default=str)
+    return hashlib.sha1(canon.encode()).hexdigest()[:20]
+
+
+def _save(path: Path, trace: FrameTrace) -> None:
+    meta = dict(
+        stream_id=trace.stream_id,
+        kind=trace.kind,
+        fps=trace.fps,
+        sdd_threshold=trace.sdd_threshold,
+        c_low=trace.c_low,
+        c_high=trace.c_high,
+        has_ref=trace.ref_count is not None,
+    )
+    arrays = dict(
+        sdd_dist=trace.sdd_dist,
+        snm_prob=trace.snm_prob,
+        tyolo_count=trace.tyolo_count,
+        gt_count=trace.gt_count,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    if trace.ref_count is not None:
+        arrays["ref_count"] = trace.ref_count
+    tmp = path.with_suffix(".tmp.npz")
+    np.savez_compressed(tmp, **arrays)
+    os.replace(tmp, path)
+
+
+def _load(path: Path) -> FrameTrace:
+    with np.load(path) as z:
+        meta = json.loads(bytes(z["meta"].tobytes()).decode())
+        return FrameTrace(
+            stream_id=meta["stream_id"],
+            kind=meta["kind"],
+            fps=meta["fps"],
+            sdd_dist=z["sdd_dist"],
+            sdd_threshold=meta["sdd_threshold"],
+            snm_prob=z["snm_prob"],
+            c_low=meta["c_low"],
+            c_high=meta["c_high"],
+            tyolo_count=z["tyolo_count"],
+            gt_count=z["gt_count"],
+            ref_count=z["ref_count"] if meta["has_ref"] else None,
+        )
+
+
+def cached_trace(params: dict, builder) -> FrameTrace:
+    """Fetch the trace for ``params`` from cache, building it if absent.
+
+    ``builder`` is a zero-argument callable producing the trace.  A cached
+    trace without reference counts does not satisfy a request with
+    ``with_ref=True`` (encoded in the params), so such requests use distinct
+    keys.
+    """
+    directory = cache_dir()
+    if directory is None:
+        return builder()
+    path = directory / f"trace_{_key({**params, 'v': _CACHE_VERSION})}.npz"
+    if path.exists():
+        try:
+            return _load(path)
+        except Exception:
+            path.unlink(missing_ok=True)
+    trace = builder()
+    _save(path, trace)
+    return trace
+
+
+def workload_trace(
+    spec: WorkloadSpec,
+    n_frames: int,
+    *,
+    tor: float | None = None,
+    seed: int = 0,
+    with_ref: bool = False,
+    zoo: ModelZoo | None = None,
+) -> FrameTrace:
+    """Cached trace for one synthetic workload clip.
+
+    This is the entry point the benchmarks use: it materializes the stream,
+    trains its specialized models, runs the filter cascade observables, and
+    caches the result on disk.
+    """
+    params = dict(
+        workload=spec.name,
+        kind=spec.kind,
+        h=spec.render_height,
+        w=spec.render_width,
+        fps=spec.fps,
+        tor=spec.base_tor if tor is None else tor,
+        max_objects=spec.max_objects,
+        intensity=spec.intensity,
+        scene_len=spec.mean_scene_len,
+        n=n_frames,
+        seed=seed,
+        ref=with_ref,
+    )
+
+    def builder() -> FrameTrace:
+        stream = make_stream(spec, n_frames, tor=tor, seed=seed)
+        return build_trace(stream, zoo or ModelZoo(), with_ref=with_ref)
+
+    return cached_trace(params, builder)

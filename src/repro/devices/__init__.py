@@ -1,0 +1,15 @@
+"""Simulated heterogeneous server: devices, cost model, placements."""
+
+from .costs import STAGES, CostModel
+from .device import Device, standard_server
+from .placement import Placement, baseline_placement, ffs_va_placement
+
+__all__ = [
+    "CostModel",
+    "STAGES",
+    "Device",
+    "standard_server",
+    "Placement",
+    "ffs_va_placement",
+    "baseline_placement",
+]

@@ -1,0 +1,69 @@
+"""Stage-to-device placement policies.
+
+Section 3.1.2 fixes the paper's placement: "SDDs are executed on the CPUs,
+and SNMs and T-YOLO are executed on a single GPU.  The powerful full-feature
+model uses another GPU alone."  The baseline YOLOv2 system instead spreads
+the reference model across both GPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .costs import STAGES
+from .device import Device, standard_server
+
+__all__ = ["Placement", "ffs_va_placement", "baseline_placement"]
+
+
+@dataclass
+class Placement:
+    """Maps each pipeline stage to the devices allowed to run it."""
+
+    devices: dict[str, Device]
+    stage_devices: dict[str, list[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for stage, names in self.stage_devices.items():
+            if stage not in STAGES:
+                raise ValueError(f"unknown stage {stage!r}")
+            for name in names:
+                if name not in self.devices:
+                    raise ValueError(f"stage {stage!r} mapped to unknown device {name!r}")
+            if not names:
+                raise ValueError(f"stage {stage!r} has no devices")
+
+    def devices_for(self, stage: str) -> list[Device]:
+        """All devices allowed to execute ``stage``."""
+        return [self.devices[n] for n in self.stage_devices[stage]]
+
+    def device_for(self, stage: str) -> Device:
+        """The primary device of ``stage`` (first in its list)."""
+        return self.devices[self.stage_devices[stage][0]]
+
+    def reset(self) -> None:
+        for dev in self.devices.values():
+            dev.reset()
+
+
+def ffs_va_placement(devices: dict[str, Device] | None = None) -> Placement:
+    """The paper's FFS-VA placement on the standard two-GPU server."""
+    devices = devices or standard_server()
+    return Placement(
+        devices=devices,
+        stage_devices={
+            "sdd": ["cpu0"],
+            "snm": ["gpu0"],
+            "tyolo": ["gpu0"],
+            "ref": ["gpu1"],
+        },
+    )
+
+
+def baseline_placement(devices: dict[str, Device] | None = None) -> Placement:
+    """The YOLOv2 baseline: the full-feature model on both GPUs."""
+    devices = devices or standard_server()
+    return Placement(
+        devices=devices,
+        stage_devices={"ref": ["gpu0", "gpu1"]},
+    )

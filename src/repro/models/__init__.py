@@ -1,0 +1,29 @@
+"""FFS-VA's filter models: SDD, SNM, T-YOLO, and the reference model."""
+
+from .drift import SceneChangeMonitor
+from .griddet import Detection, GridDetector, classify_kind
+from .reference import ReferenceModel
+from .sdd import SDD, calibrate_sdd, mse, nrmse, sad
+from .snm import SNM, SNMConfig, train_snm
+from .tyolo import TYolo, count_filter_mask
+from .zoo import ModelZoo, StreamModels
+
+__all__ = [
+    "Detection",
+    "GridDetector",
+    "classify_kind",
+    "SDD",
+    "calibrate_sdd",
+    "mse",
+    "nrmse",
+    "sad",
+    "SNM",
+    "SNMConfig",
+    "train_snm",
+    "TYolo",
+    "count_filter_mask",
+    "ReferenceModel",
+    "ModelZoo",
+    "StreamModels",
+    "SceneChangeMonitor",
+]

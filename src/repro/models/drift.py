@@ -1,0 +1,88 @@
+"""Scene-change detection — the Section 5.5 "Scene Switch" remedy.
+
+The specialized SDD/SNM models assume a fixed viewpoint: "when the scene
+changes dramatically or the function and position of the camera have
+changed, the previous specialized models will no longer work."  FFS-VA must
+notice this and trigger retraining (about an hour in the paper; seconds
+here).
+
+:class:`SceneChangeMonitor` watches the statistic SDD already computes for
+free — the distance of each frame to the reference background.  Under the
+trained scene, *background* frames sit near the calibrated noise floor; if
+the running background-distance level rises persistently far above the SDD
+threshold, the reference image no longer describes the scene and the
+stream's models are stale.  Periodic changes (day/night) stay below the
+trip-wire because the threshold was calibrated across them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SceneChangeMonitor"]
+
+
+@dataclass
+class SceneChangeMonitor:
+    """Flags a scene switch from sustained background-distance inflation.
+
+    Parameters
+    ----------
+    sdd_threshold:
+        The stream SDD's calibrated ``delta_diff``.
+    trip_factor:
+        How far above the threshold the *rolling minimum* distance must sit
+        to count as a changed scene.  Using the window minimum (the most
+        background-like recent frame) makes the monitor insensitive to
+        bursts of legitimate foreground activity, which inflate the mean
+        but not the minimum.
+    window:
+        Number of recent frames considered.
+    patience:
+        Consecutive tripped windows required before declaring a switch.
+    """
+
+    sdd_threshold: float
+    trip_factor: float = 3.0
+    window: int = 120
+    patience: int = 3
+    _distances: deque = field(default_factory=deque)
+    _tripped_windows: int = 0
+    _frames_seen: int = 0
+
+    def observe(self, distances: np.ndarray | float) -> None:
+        """Feed the SDD distances of one or more frames."""
+        arr = np.atleast_1d(np.asarray(distances, dtype=np.float64))
+        for d in arr:
+            self._distances.append(float(d))
+            if len(self._distances) > self.window:
+                self._distances.popleft()
+            self._frames_seen += 1
+            if self._frames_seen % self.window == 0:
+                self._evaluate_window()
+
+    def _evaluate_window(self) -> None:
+        floor = min(self._distances)
+        if floor > self.trip_factor * self.sdd_threshold:
+            self._tripped_windows += 1
+        else:
+            self._tripped_windows = 0
+
+    @property
+    def scene_changed(self) -> bool:
+        """True once the background level has stayed inflated long enough."""
+        return self._tripped_windows >= self.patience
+
+    @property
+    def background_floor(self) -> float:
+        """Current rolling-minimum distance (diagnostic)."""
+        return min(self._distances) if self._distances else 0.0
+
+    def reset(self) -> None:
+        """Clear state after the stream's models have been retrained."""
+        self._distances.clear()
+        self._tripped_windows = 0
+        self._frames_seen = 0

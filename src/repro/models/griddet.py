@@ -1,0 +1,224 @@
+"""Grid-cell object detection backbone shared by T-YOLO and the reference model.
+
+The paper's third filter is Tiny-YOLO-Voc: "T-YOLO divides the input image
+into a 13*13 grid cells automatically.  Each grid cell predicts 5 bounding
+boxes and confidence scores for these boxes.  If the confidence score
+exceeds the threshold (e.g., 0.2), one target object is considered to appear
+in the image."  The reference model is full YOLOv2 — the same idea at higher
+fidelity.
+
+We reproduce both as instances of one *real* detection algorithm whose
+fidelity is controlled by its working resolution and grid granularity:
+
+1. resize the frame and the scene's reference background to
+   ``resolution`` × ``resolution``,
+2. correct for global lighting drift by scaling the background to the
+   frame's median luminance (surveillance lighting is multiplicative), then
+   take the absolute deviation as a per-pixel foreground response,
+3. pool the response into ``grid`` × ``grid`` cells,
+4. mark cells whose response exceeds an activation threshold, group
+   connected active cells into detections (connected components play the
+   role of non-maximum suppression: one detection per blob), and
+5. score each detection with a confidence from its peak cell response,
+   keeping those above ``conf_threshold``.
+
+Where the real T-YOLO separates objects from background via *learned
+appearance*, our substitute uses the fixed-viewpoint scene prior
+(background subtraction) — the detector parameters stay generic and shared
+across streams; only the per-stream scene reference differs, just as a
+trained detector implicitly knows typical backgrounds.  DESIGN.md section 2
+records this substitution.
+
+The **fidelity gap** between T-YOLO (13×13 cells) and the reference model
+(a much finer grid) is structural, exactly as in the paper: at 13×13, two
+small objects closer than one cell merge into one detection (under-counting
+dense crowds — the Section 5.3.3 person-detection error mode) and objects
+barely entering the frame activate no cell strongly enough (missing partial
+appearances — the other documented error mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..video.ops import block_reduce_mean, resize_bilinear
+
+__all__ = ["Detection", "GridDetector", "classify_kind"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One detected object in original-frame coordinates."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    confidence: float
+    kind: str
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+
+def classify_kind(width: float, height: float) -> str:
+    """Assign a class label from box geometry.
+
+    Vehicles present wider-than-tall boxes, pedestrians taller-than-wide —
+    the standard aspect-ratio prior.  This keeps the detector genuinely
+    multi-class (the paper's T-YOLO detects 20 VOC classes; we model the two
+    the evaluation uses).
+    """
+    if height <= 0:
+        return "car"
+    return "car" if width / height >= 1.0 else "person"
+
+
+# Typical foreground deviation produced by an object; maps raw responses onto
+# a [0, 1]-ish confidence scale compatible with the paper's conf > 0.2.
+_RESPONSE_SCALE = 0.25
+
+
+class GridDetector:
+    """Background-deviation grid detector (see module docstring).
+
+    Parameters
+    ----------
+    grid:
+        Number of cells per side (13 for T-YOLO).
+    resolution:
+        Working resolution per side; must be a multiple of ``grid``.
+    conf_threshold:
+        Minimum detection confidence (paper default 0.2).
+    cell_activation:
+        Minimum normalized cell response for a cell to participate in a
+        detection blob.
+    name:
+        Used in cost-model lookups and reporting.
+    """
+
+    def __init__(
+        self,
+        grid: int = 13,
+        resolution: int = 104,
+        conf_threshold: float = 0.2,
+        cell_activation: float = 0.15,
+        name: str = "griddet",
+    ):
+        if resolution % grid != 0:
+            raise ValueError(f"resolution {resolution} must be a multiple of grid {grid}")
+        if not 0.0 < conf_threshold < 1.0:
+            raise ValueError("conf_threshold must be in (0, 1)")
+        self.grid = grid
+        self.resolution = resolution
+        self.cell = resolution // grid
+        self.conf_threshold = conf_threshold
+        self.cell_activation = cell_activation
+        self.name = name
+        # Per-background resize cache: detect() is called frame-by-frame with
+        # the same reference image, so resizing it once matters.
+        self._bg_cache: tuple[int, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    def _resized_background(self, background: np.ndarray) -> np.ndarray:
+        key = id(background)
+        if self._bg_cache is not None and self._bg_cache[0] == key:
+            return self._bg_cache[1]
+        resized = resize_bilinear(background, (self.resolution, self.resolution))
+        self._bg_cache = (key, resized)
+        return resized
+
+    def response_cells(self, frames: np.ndarray, background: np.ndarray) -> np.ndarray:
+        """Normalized per-cell foreground response, ``(N, grid, grid)``.
+
+        Vectorized over the batch; this is the detector's hot path.
+        """
+        batch = np.asarray(frames, dtype=np.float32)
+        single = batch.ndim == 2
+        if single:
+            batch = batch[None]
+        resized = resize_bilinear(batch, (self.resolution, self.resolution))
+        bg = self._resized_background(np.asarray(background, dtype=np.float32))
+        # Global multiplicative lighting correction per frame.
+        bg_med = float(np.median(bg)) or 1.0
+        frame_med = np.median(resized, axis=(1, 2))
+        gain = (frame_med / bg_med)[:, None, None].astype(np.float32)
+        resp = np.abs(resized - bg[None] * gain)
+        cells = block_reduce_mean(resp, self.cell) / _RESPONSE_SCALE
+        return cells[0] if single else cells
+
+    def _detect_from_cells(
+        self, cells: np.ndarray, frame_hw: tuple[int, int]
+    ) -> list[Detection]:
+        """Group active cells into detections for a single response map."""
+        active = cells > self.cell_activation
+        if not active.any():
+            return []
+        labels, _ = ndimage.label(active)
+        h, w = frame_hw
+        sy = h / self.grid
+        sx = w / self.grid
+        detections: list[Detection] = []
+        slices = ndimage.find_objects(labels)
+        for blob_idx, slc in enumerate(slices, start=1):
+            if slc is None:
+                continue
+            blob_cells = cells[slc] * (labels[slc] == blob_idx)
+            confidence = float(np.clip(blob_cells.max(), 0.0, 1.0))
+            if confidence < self.conf_threshold:
+                continue
+            y_sl, x_sl = slc
+            x0, x1 = x_sl.start * sx, x_sl.stop * sx
+            y0, y1 = y_sl.start * sy, y_sl.stop * sy
+            kind = classify_kind(x1 - x0, y1 - y0)
+            detections.append(Detection(x0, y0, x1, y1, confidence, kind))
+        return detections
+
+    # ------------------------------------------------------------------
+    def detect(self, frame: np.ndarray, background: np.ndarray) -> list[Detection]:
+        """Detect objects in a single ``(H, W)`` frame."""
+        cells = self.response_cells(frame, background)
+        return self._detect_from_cells(cells, frame.shape[-2:])
+
+    def detect_batch(
+        self, frames: np.ndarray, background: np.ndarray
+    ) -> list[list[Detection]]:
+        """Detect objects in an ``(N, H, W)`` batch."""
+        cells = self.response_cells(frames, background)
+        hw = frames.shape[-2:]
+        return [self._detect_from_cells(c, hw) for c in cells]
+
+    def count(
+        self, frame: np.ndarray, background: np.ndarray, kind: str | None = None
+    ) -> int:
+        """Number of detections (optionally restricted to ``kind``)."""
+        dets = self.detect(frame, background)
+        if kind is None:
+            return len(dets)
+        return sum(1 for d in dets if d.kind == kind)
+
+    def count_batch(
+        self, frames: np.ndarray, background: np.ndarray, kind: str | None = None
+    ) -> np.ndarray:
+        """Vector of per-frame detection counts for an ``(N, H, W)`` batch."""
+        out = np.empty(len(frames), dtype=np.int64)
+        cells = self.response_cells(frames, background)
+        hw = frames.shape[-2:]
+        for i, c in enumerate(cells):
+            dets = self._detect_from_cells(c, hw)
+            if kind is not None:
+                dets = [d for d in dets if d.kind == kind]
+            out[i] = len(dets)
+        return out

@@ -1,0 +1,38 @@
+"""A minimal from-scratch NumPy deep-learning framework.
+
+Provides exactly what FFS-VA's stream-specialized network models (SNMs)
+need: conv/pool/dense layers with backprop, SGD with momentum, a training
+loop with early stopping, and weight (de)serialization.
+"""
+
+from .extras import Adam, BatchNorm2D, augment_flips_shifts
+from .layers import Conv2D, Dense, Dropout, Flatten, Layer, MaxPool2D, ReLU
+from .losses import SigmoidBCE, SoftmaxCrossEntropy, softmax
+from .network import Sequential
+from .optim import SGD
+from .serialize import load_weights, save_weights
+from .train import TrainConfig, TrainResult, accuracy, train_classifier
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "ReLU",
+    "Flatten",
+    "Dropout",
+    "Sequential",
+    "softmax",
+    "SoftmaxCrossEntropy",
+    "SigmoidBCE",
+    "SGD",
+    "TrainConfig",
+    "TrainResult",
+    "train_classifier",
+    "accuracy",
+    "save_weights",
+    "load_weights",
+    "BatchNorm2D",
+    "Adam",
+    "augment_flips_shifts",
+]

@@ -1,0 +1,292 @@
+"""Neural-network layers with forward and backward passes, in pure NumPy.
+
+FFS-VA's stream-specialized network model (SNM) is "a three-layer CNN
+(CONV, CONV, and FC)" trained per stream with stochastic gradient descent
+(paper Sections 2.1 and 3.2.2).  The original uses Darknet/CUDA; this module
+is the reproduction's substrate: a minimal but real deep-learning framework
+sufficient to train and run such models.
+
+Conventions
+-----------
+* Activations are ``float32`` arrays shaped ``(N, C, H, W)`` for spatial
+  layers and ``(N, D)`` for dense layers.
+* ``forward`` caches whatever the corresponding ``backward`` needs;
+  ``backward`` receives the loss gradient w.r.t. the layer output and
+  returns the gradient w.r.t. the layer input, accumulating parameter
+  gradients in ``grads``.
+* Convolution is implemented via **im2col** so the inner loop is a single
+  GEMM — the standard trick for CPU inference performance (see the
+  hpc-parallel guides: vectorize, avoid Python-level pixel loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "ReLU",
+    "Flatten",
+    "Dropout",
+    "im2col",
+    "col2im",
+]
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(N, C, H, W)`` into ``(N * OH * OW, C * kh * kw)`` patches.
+
+    Returns the patch matrix plus the output spatial dims ``(OH, OW)``.
+    Uses stride tricks (a view, no copy) for the window extraction and one
+    reshape-copy to produce the GEMM operand.
+    """
+    n, c, h, w = x.shape
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel {kh}x{kw} stride {stride} pad {pad} too large for input {h}x{w}"
+        )
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, oh, ow, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, OH, OW, C, kh, kw) -> rows are receptive fields.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    oh: int,
+    ow: int,
+) -> np.ndarray:
+    """Fold patch gradients back to an input-shaped gradient (im2col adjoint)."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    dx = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    # Scatter-add each kernel offset in one vectorized slice assignment.
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i : i + stride * oh : stride, j : j + stride * ow : stride] += cols6[
+                :, :, :, :, i, j
+            ]
+    if pad:
+        dx = dx[:, :, pad:-pad, pad:-pad]
+    return dx
+
+
+class Layer:
+    """Base class: stateless by default, parameterized layers override."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.training = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def zero_grads(self) -> None:
+        for k in self.grads:
+            self.grads[k][...] = 0.0
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b`` with He-uniform init."""
+
+    def __init__(self, in_features: int, out_features: int, *, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        bound = np.sqrt(6.0 / in_features)
+        self.params = {
+            "W": rng.uniform(-bound, bound, size=(in_features, out_features)).astype(np.float32),
+            "b": np.zeros(out_features, dtype=np.float32),
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects (N, D) input, got shape {x.shape}")
+        self._x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward called before forward"
+        self.grads["W"] += self._x.T @ dout
+        self.grads["b"] += dout.sum(axis=0)
+        return dout @ self.params["W"].T
+
+
+class Conv2D(Layer):
+    """2-D convolution (cross-correlation) via im2col + GEMM."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        *,
+        stride: int = 1,
+        pad: int = 0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = pad
+        fan_in = in_channels * kernel_size * kernel_size
+        bound = np.sqrt(6.0 / fan_in)
+        self.params = {
+            "W": rng.uniform(
+                -bound, bound, size=(out_channels, in_channels, kernel_size, kernel_size)
+            ).astype(np.float32),
+            "b": np.zeros(out_channels, dtype=np.float32),
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects (N, {self.in_channels}, H, W), got shape {x.shape}"
+            )
+        k, s, p = self.kernel_size, self.stride, self.pad
+        cols, oh, ow = im2col(x, k, k, s, p)
+        wmat = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ wmat.T + self.params["b"]
+        n = x.shape[0]
+        out = out.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2)
+        self._cache = (x.shape, cols, oh, ow)
+        return np.ascontiguousarray(out)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward called before forward"
+        x_shape, cols, oh, ow = self._cache
+        n = x_shape[0]
+        k, s, p = self.kernel_size, self.stride, self.pad
+        dflat = dout.transpose(0, 2, 3, 1).reshape(n * oh * ow, self.out_channels)
+        wmat = self.params["W"].reshape(self.out_channels, -1)
+        self.grads["W"] += (dflat.T @ cols).reshape(self.params["W"].shape)
+        self.grads["b"] += dflat.sum(axis=0)
+        dcols = dflat @ wmat
+        return col2im(dcols, x_shape, k, k, s, p, oh, ow)
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling with square window ``size``."""
+
+    def __init__(self, size: int = 2):
+        super().__init__()
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.size
+        oh, ow = h // s, w // s
+        if oh == 0 or ow == 0:
+            raise ValueError(f"pool size {s} too large for input {h}x{w}")
+        view = x[:, :, : oh * s, : ow * s].reshape(n, c, oh, s, ow, s)
+        out = view.max(axis=(3, 5))
+        # Mask of the (first) argmax positions, used to route gradients.
+        mask = view == out[:, :, :, None, :, None]
+        self._cache = (x.shape, mask, oh, ow)
+        return out
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward called before forward"
+        x_shape, mask, oh, ow = self._cache
+        n, c, h, w = x_shape
+        s = self.size
+        # Ties split the gradient; normalize by the tie count per window.
+        ties = mask.sum(axis=(3, 5), keepdims=True)
+        dwin = mask * (dout[:, :, :, None, :, None] / ties)
+        dx = np.zeros(x_shape, dtype=dout.dtype)
+        dx[:, :, : oh * s, : ow * s] = dwin.reshape(n, c, oh * s, ow * s)
+        return dx
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0).astype(x.dtype, copy=False)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._mask is not None, "backward called before forward"
+        return dout * self._mask
+
+
+class Flatten(Layer):
+    """Collapse all but the batch dimension."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        assert self._shape is not None, "backward called before forward"
+        return dout.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float = 0.5, *, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return dout
+        return dout * self._mask

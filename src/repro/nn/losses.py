@@ -1,0 +1,69 @@
+"""Loss functions with fused, numerically stable gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "SoftmaxCrossEntropy", "SigmoidBCE"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, stabilized by max subtraction."""
+    z = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + cross-entropy with integer class labels.
+
+    Fusing the two yields the famously simple gradient
+    ``(softmax(logits) - onehot) / N`` and avoids log-of-zero issues.
+    """
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, C) logits, got {logits.shape}")
+        n = logits.shape[0]
+        probs = softmax(logits)
+        self._probs = probs
+        self._labels = labels
+        eps = 1e-12
+        return float(-np.log(probs[np.arange(n), labels] + eps).mean())
+
+    def backward(self) -> np.ndarray:
+        probs, labels = self._probs, self._labels
+        n = probs.shape[0]
+        grad = probs.copy()
+        grad[np.arange(n), labels] -= 1.0
+        return grad / n
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class SigmoidBCE:
+    """Sigmoid + binary cross-entropy over a single logit column.
+
+    Accepts logits shaped ``(N,)`` or ``(N, 1)`` and float targets in
+    ``{0, 1}``; uses the log-sum-exp form for stability.
+    """
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        z = np.asarray(logits, dtype=np.float64).reshape(-1)
+        y = np.asarray(targets, dtype=np.float64).reshape(-1)
+        if z.shape != y.shape:
+            raise ValueError(f"shape mismatch: logits {z.shape} vs targets {y.shape}")
+        self._z, self._y = z, y
+        self._shape = np.asarray(logits).shape
+        # max(z,0) - z*y + log(1 + exp(-|z|))
+        loss = np.maximum(z, 0) - z * y + np.log1p(np.exp(-np.abs(z)))
+        return float(loss.mean())
+
+    def backward(self) -> np.ndarray:
+        p = 1.0 / (1.0 + np.exp(-self._z))
+        grad = (p - self._y) / len(self._z)
+        return grad.reshape(self._shape).astype(np.float32)
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)

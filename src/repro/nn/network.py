@@ -1,0 +1,79 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from .layers import Layer
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """An ordered stack of layers with joint forward/backward passes."""
+
+    def __init__(self, layers: Iterable[Layer]):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- parameter plumbing ---------------------------------------------------
+    def parameters(self) -> list[tuple[str, dict[str, np.ndarray], dict[str, np.ndarray]]]:
+        """Yield ``(layer_tag, params, grads)`` for every parameterized layer."""
+        out = []
+        for i, layer in enumerate(self.layers):
+            if layer.params:
+                out.append((f"{i}:{type(layer).__name__}", layer.params, layer.grads))
+        return out
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def set_training(self, training: bool) -> None:
+        for layer in self.layers:
+            layer.training = training
+
+    def n_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for _, params, _ in self.parameters() for p in params.values())
+
+    # -- (de)serialization -----------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of ``"layerTag/paramName" -> array`` (copies)."""
+        state = {}
+        for tag, params, _ in self.parameters():
+            for name, arr in params.items():
+                state[f"{tag}/{name}"] = arr.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters saved by :meth:`state_dict` (strict shapes/keys)."""
+        expected = {
+            f"{tag}/{name}": arr
+            for tag, params, _ in self.parameters()
+            for name, arr in params.items()
+        }
+        if set(expected) != set(state):
+            missing = set(expected) - set(state)
+            extra = set(state) - set(expected)
+            raise KeyError(f"state mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+        for key, arr in state.items():
+            if expected[key].shape != arr.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: expected {expected[key].shape}, got {arr.shape}"
+                )
+            expected[key][...] = arr

@@ -1,0 +1,54 @@
+"""Optimizers.
+
+The paper trains specialized models with "the stochastic gradient descent
+algorithm"; SGD with classical momentum and optional step decay is all the
+tiny SNM architectures need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import Sequential
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        net: Sequential,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.net = net
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for tag, params, grads in self.net.parameters():
+            for name, p in params.items():
+                g = grads[name]
+                if self.weight_decay and name == "W":
+                    g = g + self.weight_decay * p
+                key = f"{tag}/{name}"
+                v = self._velocity.get(key)
+                if v is None:
+                    v = np.zeros_like(p)
+                    self._velocity[key] = v
+                v *= self.momentum
+                v -= self.lr * g
+                p += v
+
+    def zero_grad(self) -> None:
+        self.net.zero_grads()

@@ -1,0 +1,40 @@
+"""Save/load network weights to ``.npz`` archives.
+
+The model zoo uses this to persist per-stream specialized models, mirroring
+the paper's note that retrained scene models can be "saved models in the
+past that can match the current environment" (Section 5.5).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .network import Sequential
+
+__all__ = ["save_weights", "load_weights"]
+
+# ``/`` appears in our state keys but npz field names survive it fine; keep a
+# marker so load can sanity-check the archive came from us.
+_FORMAT_KEY = "__repro_nn_format__"
+_FORMAT_VERSION = 1
+
+
+def save_weights(net: Sequential, path: str | os.PathLike) -> None:
+    """Serialize ``net.state_dict()`` to ``path`` (npz, uncompressed)."""
+    state = net.state_dict()
+    state[_FORMAT_KEY] = np.array(_FORMAT_VERSION)
+    np.savez(path, **state)
+
+
+def load_weights(net: Sequential, path: str | os.PathLike) -> None:
+    """Load weights saved with :func:`save_weights` into ``net`` (strict)."""
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files}
+    version = state.pop(_FORMAT_KEY, None)
+    if version is None:
+        raise ValueError(f"{path} is not a repro.nn weight archive")
+    if int(version) != _FORMAT_VERSION:
+        raise ValueError(f"unsupported weight format version {version}")
+    net.load_state_dict(state)

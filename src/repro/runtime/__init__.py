@@ -1,0 +1,5 @@
+"""Threaded FFS-VA runtime with real model inference."""
+
+from .engine import FrameOutcome, ThreadedPipeline
+
+__all__ = ["ThreadedPipeline", "FrameOutcome"]

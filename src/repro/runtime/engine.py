@@ -1,0 +1,338 @@
+"""Threaded FFS-VA runtime: real models, real queues, real threads.
+
+This is the functional counterpart of the discrete-event simulator: every
+stage is an independent thread (Section 3.1.2's "through the parallel and
+pipelined structure of multiple threads"), connected by the bounded
+:class:`~repro.core.queues.FeedbackQueue` instances that implement the
+global feedback mechanism.  Per stream there is a prefetcher, an SDD worker,
+and an SNM worker; one shared T-YOLO worker round-robins over all streams
+and one shared reference worker drains the final queue.
+
+Device placement is honoured with locks: SNM and T-YOLO inference both
+acquire the ``gpu0`` lock (they share a GPU in the paper), the reference
+model acquires ``gpu1``.  On a CPU-only host this costs nothing but keeps
+the execution structure faithful.
+
+The runtime is meant for functional validation and moderate scales; the
+paper-scale experiments use :mod:`repro.sim` with the calibrated cost model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.batching import decide_batch
+from ..core.config import FFSVAConfig
+from ..core.metrics import LatencyStats, RunMetrics
+from ..core.queues import FeedbackQueue
+from ..devices.placement import Placement, ffs_va_placement
+from ..models.zoo import ModelZoo
+from ..video.stream import VideoStream
+
+__all__ = ["FrameOutcome", "ThreadedPipeline"]
+
+
+@dataclass(frozen=True)
+class FrameOutcome:
+    """Where one frame's journey through the cascade ended."""
+
+    stream_id: str
+    index: int
+    stage: str  # "sdd" | "snm" | "tyolo" = dropped there; "ref" = analyzed
+    ref_count: int | None  # reference-model object count (ref frames only)
+    latency: float  # seconds from prefetch to final disposition
+
+
+@dataclass
+class _Work:
+    """A frame in flight between stages."""
+
+    stream_idx: int
+    index: int
+    pixels: np.ndarray
+    t_start: float
+
+
+@dataclass
+class _StreamCtx:
+    stream: VideoStream
+    bundle: object
+    sdd_q: FeedbackQueue = field(default=None)  # type: ignore[assignment]
+    snm_q: FeedbackQueue = field(default=None)  # type: ignore[assignment]
+    tyolo_q: FeedbackQueue = field(default=None)  # type: ignore[assignment]
+
+
+class ThreadedPipeline:
+    """Run FFS-VA end-to-end with real inference on a set of streams."""
+
+    def __init__(
+        self,
+        streams: list[VideoStream],
+        zoo: ModelZoo,
+        config: FFSVAConfig | None = None,
+        placement: Placement | None = None,
+    ):
+        if not streams:
+            raise ValueError("need at least one stream")
+        for s in streams:
+            if s.stream_id not in zoo:
+                raise ValueError(
+                    f"stream {s.stream_id} has no trained models; call "
+                    "zoo.train_for_stream() first"
+                )
+        self.config = config or FFSVAConfig()
+        self.zoo = zoo
+        self.placement = placement or ffs_va_placement()
+        cfg = self.config
+        depth = (
+            (lambda s: cfg.queue_depth(s)) if cfg.bounded_queues else (lambda s: None)
+        )
+        self.ctxs = [
+            _StreamCtx(
+                stream=s,
+                bundle=zoo[s.stream_id],
+                sdd_q=FeedbackQueue(depth("sdd"), f"sdd[{i}]"),
+                snm_q=FeedbackQueue(depth("snm"), f"snm[{i}]"),
+                tyolo_q=FeedbackQueue(depth("tyolo"), f"tyolo[{i}]"),
+            )
+            for i, s in enumerate(streams)
+        ]
+        ref_depth = None if cfg.ref_overflow_to_storage else depth("ref")
+        self.ref_q = FeedbackQueue(ref_depth, "ref")
+        self.outcomes: list[FrameOutcome] = []
+        self._outcome_lock = threading.Lock()
+        self.metrics = RunMetrics(n_streams=len(streams))
+        self._stage_lock = threading.Lock()
+        self._gpu0 = self.placement.devices["gpu0"].lock
+        self._gpu1 = self.placement.devices["gpu1"].lock
+        self._errors: list[BaseException] = []
+        self._abort = threading.Event()
+
+    # ------------------------------------------------------------------
+    def _record(self, ctx: _StreamCtx, work: _Work, stage: str, ref_count=None):
+        outcome = FrameOutcome(
+            stream_id=ctx.stream.stream_id,
+            index=work.index,
+            stage=stage,
+            ref_count=ref_count,
+            latency=time.monotonic() - work.t_start,
+        )
+        with self._outcome_lock:
+            self.outcomes.append(outcome)
+
+    def _count(self, stage: str, n_in: int, n_pass: int) -> None:
+        with self._stage_lock:
+            self.metrics.stages[stage].record(n_in, n_pass)
+
+    def _put(self, queue: FeedbackQueue, item) -> bool:
+        """Blocking put that gives up when the pipeline is aborting.
+
+        Without this, a worker dying downstream would leave its producer
+        blocked forever on a full feedback queue.
+        """
+        while not self._abort.is_set():
+            if queue.put(item, timeout=0.1):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # stage workers
+    # ------------------------------------------------------------------
+    def _prefetch_worker(self, idx: int, n_frames: int, paced_fps: float | None):
+        ctx = self.ctxs[idx]
+        t0 = time.monotonic()
+        try:
+            for i in range(n_frames):
+                if paced_fps is not None:
+                    target = t0 + i / paced_fps
+                    delay = target - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                pixels = ctx.stream.pixels(i)
+                if not self._put(ctx.sdd_q, _Work(idx, i, pixels, time.monotonic())):
+                    return
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._errors.append(exc)
+            self._abort.set()
+        finally:
+            ctx.sdd_q.close()
+
+    def _sdd_worker(self, idx: int):
+        ctx = self.ctxs[idx]
+        sdd = ctx.bundle.sdd
+        try:
+            while True:
+                batch = ctx.sdd_q.pop_batch(16, timeout=0.05)
+                if not batch:
+                    if self._abort.is_set() or (
+                        ctx.sdd_q.closed and len(ctx.sdd_q) == 0
+                    ):
+                        break
+                    continue
+                pixels = np.stack([w.pixels for w in batch])
+                passes = sdd.passes(pixels)
+                self._count("sdd", len(batch), int(passes.sum()))
+                for work, ok in zip(batch, passes):
+                    if ok:
+                        if not self._put(ctx.snm_q, work):
+                            return
+                    else:
+                        self._record(ctx, work, "sdd")
+        except BaseException as exc:
+            self._errors.append(exc)
+            self._abort.set()
+        finally:
+            ctx.snm_q.close()
+
+    def _snm_worker(self, idx: int):
+        ctx = self.ctxs[idx]
+        snm = ctx.bundle.snm
+        cfg = self.config
+        min_n = 1
+        if cfg.batch_policy in ("static", "feedback"):
+            min_n = cfg.batch_size
+            if cfg.batch_policy == "feedback":
+                min_n = min(min_n, cfg.queue_depth("snm"))
+        try:
+            while True:
+                batch = ctx.snm_q.pop_batch(cfg.batch_size, min_n=min_n, timeout=0.05)
+                if not batch:
+                    if self._abort.is_set() or (
+                        ctx.snm_q.closed and len(ctx.snm_q) == 0
+                    ):
+                        break
+                    continue
+                pixels = np.stack([w.pixels for w in batch])
+                with self._gpu0:
+                    probs = snm.predict_proba(pixels)
+                passes = snm.passes(probs, cfg.filter_degree)
+                self._count("snm", len(batch), int(passes.sum()))
+                for work, ok in zip(batch, passes):
+                    if ok:
+                        if not self._put(ctx.tyolo_q, work):
+                            return
+                    else:
+                        self._record(ctx, work, "snm")
+        except BaseException as exc:
+            self._errors.append(exc)
+            self._abort.set()
+        finally:
+            ctx.tyolo_q.close()
+
+    def _tyolo_worker(self):
+        cfg = self.config
+        tyolo = self.zoo.tyolo
+        try:
+            while True:
+                all_done = True
+                any_served = False
+                for ctx in self.ctxs:
+                    if not (ctx.tyolo_q.closed and len(ctx.tyolo_q) == 0):
+                        all_done = False
+                    batch = ctx.tyolo_q.pop_batch(
+                        cfg.num_t_yolo, min_n=1, timeout=0.0
+                    )
+                    if not batch:
+                        continue
+                    any_served = True
+                    pixels = np.stack([w.pixels for w in batch])
+                    with self._gpu0:
+                        counts = tyolo.count_batch(pixels, ctx.bundle.background)
+                    effective = max(1, cfg.number_of_objects - cfg.relax)
+                    passes = counts >= effective
+                    self._count("tyolo", len(batch), int(passes.sum()))
+                    for work, ok in zip(batch, passes):
+                        if ok:
+                            if not self._put(self.ref_q, work):
+                                return
+                        else:
+                            self._record(ctx, work, "tyolo")
+                if all_done or self._abort.is_set():
+                    break
+                if not any_served:
+                    time.sleep(0.002)
+        except BaseException as exc:
+            self._errors.append(exc)
+            self._abort.set()
+        finally:
+            self.ref_q.close()
+
+    def _ref_worker(self):
+        ref = self.zoo.reference
+        try:
+            while True:
+                batch = self.ref_q.pop_batch(1, timeout=0.05)
+                if not batch:
+                    if self._abort.is_set() or (
+                        self.ref_q.closed and len(self.ref_q) == 0
+                    ):
+                        break
+                    continue
+                work = batch[0]
+                ctx = self.ctxs[work.stream_idx]
+                with self._gpu1:
+                    count = ref.count(work.pixels, ctx.bundle.background)
+                self._count("ref", 1, 1)
+                self._record(ctx, work, "ref", ref_count=int(count))
+        except BaseException as exc:
+            self._errors.append(exc)
+            self._abort.set()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        n_frames: int | None = None,
+        *,
+        online: bool = False,
+        paced_fps: float | None = None,
+    ) -> RunMetrics:
+        """Process every stream to completion and return metrics.
+
+        ``online=True`` paces each prefetcher at ``paced_fps`` (default the
+        config's ``stream_fps``); offline mode renders as fast as possible.
+        """
+        fps = (paced_fps or self.config.stream_fps) if online else None
+        counts = [
+            len(ctx.stream) if n_frames is None else min(n_frames, len(ctx.stream))
+            for ctx in self.ctxs
+        ]
+        threads = []
+        for i, ctx in enumerate(self.ctxs):
+            threads.append(
+                threading.Thread(
+                    target=self._prefetch_worker, args=(i, counts[i], fps), daemon=True
+                )
+            )
+            threads.append(threading.Thread(target=self._sdd_worker, args=(i,), daemon=True))
+            threads.append(threading.Thread(target=self._snm_worker, args=(i,), daemon=True))
+        threads.append(threading.Thread(target=self._tyolo_worker, daemon=True))
+        threads.append(threading.Thread(target=self._ref_worker, daemon=True))
+
+        t0 = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        duration = time.monotonic() - t0
+        if self._errors:
+            raise RuntimeError(f"pipeline worker failed: {self._errors[0]!r}") from self._errors[0]
+
+        m = self.metrics
+        m.duration = duration
+        m.frames_offered = sum(counts)
+        m.frames_ingested = sum(counts)
+        m.frames_to_ref = sum(1 for o in self.outcomes if o.stage == "ref")
+        ref_lat = [o.latency for o in self.outcomes if o.stage == "ref"]
+        m.ref_latency = LatencyStats.from_samples(ref_lat)
+        m.frame_latency = LatencyStats.from_samples([o.latency for o in self.outcomes])
+        m.queue_high_water = {
+            **{f"sdd[{i}]": c.sdd_q.high_water for i, c in enumerate(self.ctxs)},
+            **{f"snm[{i}]": c.snm_q.high_water for i, c in enumerate(self.ctxs)},
+            **{f"tyolo[{i}]": c.tyolo_q.high_water for i, c in enumerate(self.ctxs)},
+            "ref": self.ref_q.high_water,
+        }
+        return m

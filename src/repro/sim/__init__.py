@@ -1,0 +1,5 @@
+"""Discrete-event simulation of FFS-VA at paper scale."""
+
+from .simulator import PipelineSimulator, simulate_offline, simulate_online
+
+__all__ = ["PipelineSimulator", "simulate_offline", "simulate_online"]

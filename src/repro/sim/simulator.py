@@ -1,0 +1,527 @@
+"""Discrete-event simulator of the FFS-VA pipeline on a two-GPU server.
+
+The simulator replays precomputed :class:`~repro.core.trace.FrameTrace`
+filter decisions through the full pipeline mechanics — bounded feedback
+queues, batch policies, the shared T-YOLO round-robin, and the
+stage-to-device placement — against the calibrated
+:class:`~repro.devices.costs.CostModel`.  It produces the same
+:class:`~repro.core.metrics.RunMetrics` the threaded runtime does, but at
+paper scale (tens of streams, thousands of frames each) on a virtual clock.
+
+Semantics reproduced from the paper:
+
+* Each stage is a logically independent worker thread; stages sharing a
+  device (SNM and T-YOLO on GPU 0) interleave their service there
+  (Section 3.1.2).
+* A stage pushing to a full downstream queue **blocks**: completed
+  survivors wait in the worker's hands (an out-buffer) and the worker takes
+  no new batch until they are delivered.  Frames the stage *filters out*
+  never need downstream room, so a fully-filtered batch proceeds even while
+  the next stage is saturated — the paper's "bypass" (Section 4.3.1).
+* T-YOLO visits the per-stream queues round-robin, taking at most
+  ``num_t_yolo`` frames per stream per visit (Sections 3.2.3, 4.3.1).
+* Batch formation at SNM follows the static / feedback / dynamic policies
+  of Section 4.3.2 via :func:`repro.core.batching.decide_batch`; the static
+  policy runs with unbounded queues (no feedback mechanism).
+* Online sources deliver frames at ``stream_fps``; a run is real-time when
+  ingest keeps pace with arrivals (Section 4.3.1's 30 FPS criterion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.batching import decide_batch
+from ..core.config import FFSVAConfig
+from ..core.metrics import LatencyStats, RunMetrics
+from ..core.queues import SimQueue
+from ..core.trace import FrameTrace
+from ..devices.costs import CostModel
+from ..devices.placement import Placement, ffs_va_placement
+
+__all__ = ["PipelineSimulator", "simulate_offline", "simulate_online"]
+
+#: SDD frames processed per service event (SDD is ~300x faster than the
+#: bottleneck; batching its events only coarsens simulator bookkeeping).
+_SDD_EVENT_BATCH = 16
+
+
+@dataclass
+class _StreamState:
+    """Mutable per-stream simulation state."""
+
+    trace: FrameTrace
+    sdd_pass: np.ndarray
+    snm_pass: np.ndarray
+    tyolo_pass: np.ndarray
+    n: int
+    admitted: int = 0  # frames pushed into the SDD queue
+    dropped: int = 0  # frames filtered out at some stage
+    ref_done: int = 0  # frames fully analyzed by the reference model
+    finish_time: float = 0.0  # virtual time the last frame was disposed of
+    sdd_q: SimQueue = None  # type: ignore[assignment]
+    snm_q: SimQueue = None  # type: ignore[assignment]
+    tyolo_q: SimQueue = None  # type: ignore[assignment]
+    # Out-buffers: survivors a blocked worker is holding for this stream.
+    sdd_out: deque = None  # type: ignore[assignment]
+    snm_out: deque = None  # type: ignore[assignment]
+    ingest_time: np.ndarray = None  # type: ignore[assignment]
+    in_flight_sdd: int = 0
+    in_flight_snm: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.dropped + self.ref_done == self.n
+
+    def source_drained(self) -> bool:
+        """All frames admitted and none left before the SNM stage."""
+        return (
+            self.admitted == self.n
+            and len(self.sdd_q) == 0
+            and self.in_flight_sdd == 0
+            and not self.sdd_out
+        )
+
+
+@dataclass
+class _Service:
+    stage: str
+    stream_idx: int | None
+    frames: list  # [(stream_idx, frame_idx), ...]
+    passes: list  # bool per frame
+    start: float
+    end: float
+
+
+class PipelineSimulator:
+    """One FFS-VA instance processing a fixed set of stream traces."""
+
+    def __init__(
+        self,
+        traces: list[FrameTrace],
+        config: FFSVAConfig | None = None,
+        cost_model: CostModel | None = None,
+        placement: Placement | None = None,
+        *,
+        online: bool = True,
+        record_events: bool = False,
+    ):
+        if not traces:
+            raise ValueError("need at least one stream trace")
+        self.config = config or FFSVAConfig()
+        self.costs = cost_model or CostModel()
+        self.placement = placement or ffs_va_placement()
+        self.placement.reset()
+        self.online = online
+        cfg = self.config
+
+        bounded = cfg.bounded_queues
+        depth = (lambda s: cfg.queue_depth(s)) if bounded else (lambda s: None)
+        self.streams: list[_StreamState] = []
+        for idx, trace in enumerate(traces):
+            st = _StreamState(
+                trace=trace,
+                sdd_pass=trace.sdd_pass(),
+                snm_pass=trace.snm_pass(cfg.filter_degree),
+                tyolo_pass=trace.tyolo_pass(cfg.number_of_objects, cfg.relax),
+                n=len(trace),
+            )
+            st.sdd_q = SimQueue(depth("sdd"), f"sdd[{idx}]")
+            st.snm_q = SimQueue(depth("snm"), f"snm[{idx}]")
+            st.tyolo_q = SimQueue(depth("tyolo"), f"tyolo[{idx}]")
+            st.sdd_out = deque()
+            st.snm_out = deque()
+            st.ingest_time = np.full(st.n, np.nan)
+            self.streams.append(st)
+        ref_depth = None if cfg.ref_overflow_to_storage else depth("ref")
+        self.ref_q = SimQueue(ref_depth, "ref")
+        # Each device hosting T-YOLO has its own worker, hence its own
+        # out-buffer of survivors held while the reference queue is full.
+        self._tyolo_out: dict[str, deque] = {
+            name: deque() for name in self.placement.stage_devices.get("tyolo", [])
+        }
+
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._in_service: dict[str, _Service] = {}
+        self._rr_tyolo = 0
+        self._rr_snm = 0
+        self._rr_sdd = 0
+        self._rr_ref_dev = 0
+        self._dev_last: dict[str, str] = {}
+        self._batch_events = {"sdd": 0, "snm": 0, "tyolo": 0, "ref": 0}
+        self.metrics = RunMetrics(n_streams=len(traces))
+        self._ref_latencies: list[float] = []
+        self._drop_latencies: list[float] = []
+        self._tyolo_frames_done = 0
+        self.record_events = record_events
+        #: When enabled: (start, end, device, stage, stream_idx, n, n_pass)
+        #: per service, in completion order — a Gantt chart of the run.
+        self.events: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # arrival model
+    # ------------------------------------------------------------------
+    def _arrival_time(self, stream: _StreamState, frame_idx: int) -> float:
+        if not self.online:
+            return 0.0
+        return frame_idx / self.config.stream_fps
+
+    def _top_up_arrivals(self, now: float) -> bool:
+        """Admit arrived frames into each SDD queue while room remains."""
+        eps = 1e-12
+        progress = False
+        for st in self.streams:
+            while st.admitted < st.n and st.sdd_q.has_room(1):
+                if self._arrival_time(st, st.admitted) > now + eps:
+                    break
+                st.sdd_q.put(st.admitted)
+                st.ingest_time[st.admitted] = max(
+                    now, self._arrival_time(st, st.admitted)
+                )
+                st.admitted += 1
+                progress = True
+        return progress
+
+    def _next_pending_arrival(self, now: float) -> float | None:
+        """Earliest future arrival that could enter an SDD queue."""
+        best = None
+        for st in self.streams:
+            if st.admitted < st.n:
+                t = self._arrival_time(st, st.admitted)
+                if t > now and (best is None or t < best):
+                    best = t
+        return best
+
+    # ------------------------------------------------------------------
+    # out-buffer draining (blocked workers delivering held survivors)
+    # ------------------------------------------------------------------
+    def _drain_out_buffers(self) -> bool:
+        progress = False
+        for st in self.streams:
+            while st.sdd_out and st.snm_q.has_room(1):
+                st.snm_q.put(st.sdd_out.popleft())
+                progress = True
+            while st.snm_out and st.tyolo_q.has_room(1):
+                st.tyolo_q.put(st.snm_out.popleft())
+                progress = True
+        for out in self._tyolo_out.values():
+            while out and self.ref_q.has_room(1):
+                self.ref_q.put(out.popleft())
+                progress = True
+        return progress
+
+    # ------------------------------------------------------------------
+    # work starting
+    # ------------------------------------------------------------------
+    def _device_idle(self, name: str) -> bool:
+        return name not in self._in_service
+
+    def _start(self, device_name: str, service: _Service) -> None:
+        self._in_service[device_name] = service
+        device = self.placement.devices[device_name]
+        device.busy_time += service.end - service.start
+        self._batch_events[service.stage] += 1
+        heapq.heappush(self._heap, (service.end, next(self._seq), device_name))
+
+    def _try_start_sdd(self, now: float) -> bool:
+        name = self.placement.stage_devices["sdd"][0]
+        if not self._device_idle(name):
+            return False
+        n_streams = len(self.streams)
+        for off in range(n_streams):
+            idx = (self._rr_sdd + off) % n_streams
+            st = self.streams[idx]
+            if st.sdd_out or len(st.sdd_q) == 0:
+                continue  # worker still blocked, or nothing to do
+            n_take = min(len(st.sdd_q), _SDD_EVENT_BATCH)
+            frames = [(idx, st.sdd_q.pop()) for _ in range(n_take)]
+            passes = [bool(st.sdd_pass[fi]) for _, fi in frames]
+            st.in_flight_sdd += n_take
+            dt = self.costs.service_time("sdd", n_take)
+            self._start(name, _Service("sdd", idx, frames, passes, now, now + dt))
+            self._rr_sdd = (idx + 1) % n_streams
+            return True
+        return False
+
+    def _try_start_snm(self, now: float, name: str) -> bool:
+        if not self._device_idle(name):
+            return False
+        cfg = self.config
+        n_streams = len(self.streams)
+        for off in range(n_streams):
+            idx = (self._rr_snm + off) % n_streams
+            st = self.streams[idx]
+            if st.snm_out:
+                continue  # this stream's SNM worker is blocked on T-YOLO
+            n_take = decide_batch(
+                cfg.batch_policy,
+                len(st.snm_q),
+                cfg.batch_size,
+                st.snm_q.depth,
+                eof=st.source_drained(),
+            )
+            if n_take == 0:
+                continue
+            frames = [(idx, st.snm_q.pop()) for _ in range(n_take)]
+            passes = [bool(st.snm_pass[fi]) for _, fi in frames]
+            st.in_flight_snm += n_take
+            dt = self.costs.service_time("snm", n_take)
+            self._start(name, _Service("snm", idx, frames, passes, now, now + dt))
+            self._rr_snm = (idx + 1) % n_streams
+            return True
+        return False
+
+    def _try_start_tyolo(self, now: float, name: str) -> bool:
+        if not self._device_idle(name):
+            return False
+        if self._tyolo_out[name]:
+            return False  # this T-YOLO worker is blocked on the ref queue
+        cfg = self.config
+        n_streams = len(self.streams)
+        for off in range(n_streams):
+            idx = (self._rr_tyolo + off) % n_streams
+            st = self.streams[idx]
+            if len(st.tyolo_q) == 0:
+                continue
+            n_take = min(len(st.tyolo_q), cfg.num_t_yolo)
+            frames = [(idx, st.tyolo_q.pop()) for _ in range(n_take)]
+            passes = [bool(st.tyolo_pass[fi]) for _, fi in frames]
+            dt = self.costs.service_time("tyolo", n_take)
+            self._start(name, _Service("tyolo", idx, frames, passes, now, now + dt))
+            self._rr_tyolo = (idx + 1) % n_streams
+            return True
+        return False
+
+    def _try_start_ref(self, now: float) -> bool:
+        started = False
+        devices = self.placement.stage_devices["ref"]
+        n_dev = len(devices)
+        for off in range(n_dev):
+            name = devices[(self._rr_ref_dev + off) % n_dev]
+            if not self._device_idle(name) or len(self.ref_q) == 0:
+                continue
+            item = self.ref_q.pop()
+            dt = self.costs.service_time("ref", 1)
+            self._start(name, _Service("ref", None, [item], [True], now, now + dt))
+            started = True
+        if started:
+            self._rr_ref_dev = (self._rr_ref_dev + 1) % n_dev
+        return started
+
+    def _filter_order(self, name: str) -> tuple[str, str]:
+        """Service order for a device hosting both SNM and T-YOLO.
+
+        The two worker threads share the GPU through the driver, which
+        time-slices them roughly in proportion to their pending work.  We
+        approximate that by serving whichever stage has more queued
+        service-time, falling back to strict alternation on ties — without
+        this, a long unbounded SNM backlog (static batching) would starve
+        T-YOLO and stall the reference stage behind it.
+        """
+        snm_pf = self.costs.per_frame_time("snm", max(self.config.batch_size, 1))
+        ty_pf = self.costs.per_frame_time("tyolo", self.config.num_t_yolo)
+        snm_work = sum(len(st.snm_q) for st in self.streams) * snm_pf
+        ty_work = sum(len(st.tyolo_q) for st in self.streams) * ty_pf
+        if abs(snm_work - ty_work) < 1e-12:
+            last = self._dev_last.get(name, "snm")
+            return ("snm", "tyolo") if last == "tyolo" else ("tyolo", "snm")
+        return ("snm", "tyolo") if snm_work > ty_work else ("tyolo", "snm")
+
+    def _try_start_filters(self, now: float) -> bool:
+        """Start SNM / T-YOLO work on each device hosting them.
+
+        With the paper's placement both run on GPU 0; placements may also
+        spread them over several GPUs (the Section 4.3.2 scale-out note),
+        in which case every such device arbitrates independently."""
+        snm_devs = self.placement.stage_devices.get("snm", [])
+        tyolo_devs = self.placement.stage_devices.get("tyolo", [])
+        any_started = False
+        for name in dict.fromkeys([*snm_devs, *tyolo_devs]):
+            order = self._filter_order(name)
+            for kind in order:
+                if kind == "snm" and name in snm_devs:
+                    started = self._try_start_snm(now, name)
+                elif kind == "tyolo" and name in tyolo_devs:
+                    started = self._try_start_tyolo(now, name)
+                else:
+                    started = False
+                if started:
+                    self._dev_last[name] = kind
+                    any_started = True
+                    break
+        return any_started
+
+    def _start_all(self, now: float) -> None:
+        """Keep admitting, draining, and starting until a fixed point."""
+        progress = True
+        while progress:
+            progress = False
+            progress |= self._top_up_arrivals(now)
+            progress |= self._drain_out_buffers()
+            progress |= self._try_start_sdd(now)
+            progress |= self._try_start_ref(now)
+            progress |= self._try_start_filters(now)
+
+    # ------------------------------------------------------------------
+    # completion handling
+    # ------------------------------------------------------------------
+    def _complete(self, device_name: str, now: float) -> None:
+        svc = self._in_service.pop(device_name)
+        stage = svc.stage
+        n_in = len(svc.frames)
+        n_pass = int(sum(svc.passes))
+        self.metrics.stages[stage].record(n_in, n_pass)
+        if self.record_events:
+            self.events.append(
+                (svc.start, svc.end, device_name, stage, svc.stream_idx, n_in, n_pass)
+            )
+
+        for (s_idx, f_idx), ok in zip(svc.frames, svc.passes):
+            st = self.streams[s_idx]
+            if stage == "sdd":
+                st.in_flight_sdd -= 1
+                if ok:
+                    if st.snm_q.has_room(1) and not st.sdd_out:
+                        st.snm_q.put(f_idx)
+                    else:
+                        st.sdd_out.append(f_idx)
+                else:
+                    self._drop_frame(st, f_idx, now)
+            elif stage == "snm":
+                st.in_flight_snm -= 1
+                if ok:
+                    if st.tyolo_q.has_room(1) and not st.snm_out:
+                        st.tyolo_q.put(f_idx)
+                    else:
+                        st.snm_out.append(f_idx)
+                else:
+                    self._drop_frame(st, f_idx, now)
+            elif stage == "tyolo":
+                self._tyolo_frames_done += 1
+                if ok:
+                    out = self._tyolo_out[device_name]
+                    if self.ref_q.has_room(1) and not out:
+                        self.ref_q.put((s_idx, f_idx))
+                    else:
+                        out.append((s_idx, f_idx))
+                else:
+                    self._drop_frame(st, f_idx, now)
+            elif stage == "ref":
+                st.ref_done += 1
+                st.finish_time = max(st.finish_time, now)
+                self.metrics.frames_to_ref += 1
+                self._ref_latencies.append(now - self._latency_base(st, f_idx))
+
+    def _latency_base(self, st: _StreamState, f_idx: int) -> float:
+        """Reference point for latency: arrival when online (the user's
+        clock starts when the camera captured the frame), ingest when
+        offline (all frames 'arrive' at t=0, which would make latency grow
+        linearly with the run instead of measuring pipeline residence)."""
+        if self.online:
+            return self._arrival_time(st, f_idx)
+        return float(st.ingest_time[f_idx])
+
+    def _drop_frame(self, st: _StreamState, f_idx: int, now: float) -> None:
+        st.dropped += 1
+        st.finish_time = max(st.finish_time, now)
+        self._drop_latencies.append(now - self._latency_base(st, f_idx))
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, max_virtual_time: float | None = None) -> RunMetrics:
+        """Simulate until all frames are processed (or the horizon ends)."""
+        now = 0.0
+        inf = float("inf")
+        while True:
+            self._start_all(now)
+            if all(st.finished for st in self.streams):
+                break
+            t_heap = self._heap[0][0] if self._heap else inf
+            t_arr = self._next_pending_arrival(now)
+            t_next = min(t_heap, t_arr if t_arr is not None else inf)
+            if t_next == inf:
+                # No pending completions and no future arrivals: remaining
+                # frames are unreachable (should not happen) — stop.
+                break
+            if max_virtual_time is not None and t_next > max_virtual_time:
+                now = max_virtual_time
+                break
+            now = t_next
+            while self._heap and self._heap[0][0] <= now + 1e-15:
+                _, _, dev = heapq.heappop(self._heap)
+                self._complete(dev, now)
+
+        return self._finalize(now, max_virtual_time)
+
+    def _finalize(self, now: float, max_virtual_time: float | None) -> RunMetrics:
+        m = self.metrics
+        m.duration = now
+        m.frames_offered = sum(st.n for st in self.streams)
+        m.frames_ingested = sum(st.admitted for st in self.streams)
+        m.ref_latency = LatencyStats.from_samples(self._ref_latencies)
+        m.frame_latency = LatencyStats.from_samples(
+            self._drop_latencies + self._ref_latencies
+        )
+        m.device_utilization = {
+            name: dev.utilization(m.duration)
+            for name, dev in self.placement.devices.items()
+        }
+        qhw: dict[str, int] = {"ref": self.ref_q.high_water}
+        for i, st in enumerate(self.streams):
+            qhw[f"sdd[{i}]"] = st.sdd_q.high_water
+            qhw[f"snm[{i}]"] = st.snm_q.high_water
+            qhw[f"tyolo[{i}]"] = st.tyolo_q.high_water
+        m.queue_high_water = qhw
+        m.extra["per_stream_ingested"] = [st.admitted for st in self.streams]
+        m.extra["per_stream_done"] = [st.dropped + st.ref_done for st in self.streams]
+        m.extra["per_stream_finish_time"] = [st.finish_time for st in self.streams]
+        m.extra["tyolo_fps"] = (
+            self._tyolo_frames_done / m.duration if m.duration > 0 else 0.0
+        )
+        for stage, events in self._batch_events.items():
+            if events:
+                m.extra[f"mean_{stage}_batch"] = m.stages[stage].entered / events
+        m.extra["truncated"] = (
+            max_virtual_time is not None
+            and not all(st.finished for st in self.streams)
+        )
+        return m
+
+
+def simulate_offline(
+    traces: list[FrameTrace],
+    config: FFSVAConfig | None = None,
+    cost_model: CostModel | None = None,
+    placement: Placement | None = None,
+) -> RunMetrics:
+    """Offline analysis: all frames available immediately, run to drain."""
+    sim = PipelineSimulator(traces, config, cost_model, placement, online=False)
+    return sim.run()
+
+
+def simulate_online(
+    traces: list[FrameTrace],
+    config: FFSVAConfig | None = None,
+    cost_model: CostModel | None = None,
+    placement: Placement | None = None,
+    *,
+    horizon_slack: float = 2.0,
+) -> RunMetrics:
+    """Online analysis: frames arrive at ``stream_fps``, bounded horizon.
+
+    The horizon is the nominal clip duration plus ``horizon_slack`` seconds;
+    a system that keeps up ingests everything well inside it, an overloaded
+    one shows depressed ingest (and fails :meth:`RunMetrics.realtime`).
+    """
+    config = config or FFSVAConfig()
+    sim = PipelineSimulator(traces, config, cost_model, placement, online=True)
+    n_max = max(len(t) for t in traces)
+    horizon = n_max / config.stream_fps + horizon_slack
+    return sim.run(max_virtual_time=horizon)

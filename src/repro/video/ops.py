@@ -1,0 +1,114 @@
+"""Low-level image operations used throughout FFS-VA.
+
+The original system relies on OpenCV for frame resizing before each filter
+stage (the paper reports resize costs of 40/150/400 microseconds for the
+SDD/SNM/T-YOLO input sizes).  This module provides the small set of
+vectorized NumPy equivalents the reproduction needs: bilinear resize, block
+mean-pooling, and normalization helpers.  Everything operates on grayscale
+``float32`` images with values in ``[0, 1]`` shaped ``(H, W)`` or batches
+shaped ``(N, H, W)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "resize_bilinear",
+    "block_reduce_mean",
+    "to_float01",
+    "normalize_unit",
+]
+
+
+def resize_bilinear(img: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
+    """Resize ``img`` to ``out_hw = (H, W)`` with bilinear interpolation.
+
+    Accepts a single image ``(H, W)`` or a batch ``(N, H, W)``; the batch
+    dimension is preserved.  The implementation uses precomputed gather
+    indices and weights so the whole batch is resized with four fancy-indexed
+    reads and a weighted sum (no Python-level loop over pixels).
+    """
+    arr = np.asarray(img, dtype=np.float32)
+    single = arr.ndim == 2
+    if single:
+        arr = arr[None]
+    if arr.ndim != 3:
+        raise ValueError(f"expected (H, W) or (N, H, W) image, got shape {arr.shape}")
+    n, h, w = arr.shape
+    oh, ow = int(out_hw[0]), int(out_hw[1])
+    if oh <= 0 or ow <= 0:
+        raise ValueError(f"output size must be positive, got {out_hw}")
+    if (oh, ow) == (h, w):
+        out = arr.copy()
+        return out[0] if single else out
+
+    # Sample positions follow the "half-pixel centers" convention so that
+    # up- and down-scaling are both well behaved at the borders.
+    ys = (np.arange(oh, dtype=np.float32) + 0.5) * (h / oh) - 0.5
+    xs = (np.arange(ow, dtype=np.float32) + 0.5) * (w / ow) - 0.5
+    ys = np.clip(ys, 0.0, h - 1.0)
+    xs = np.clip(xs, 0.0, w - 1.0)
+    y0 = np.floor(ys).astype(np.intp)
+    x0 = np.floor(xs).astype(np.intp)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0).astype(np.float32)
+    wx = (xs - x0).astype(np.float32)
+
+    # Gather the four neighbours; broadcasting builds (N, oh, ow) directly.
+    ia = arr[:, y0[:, None], x0[None, :]]
+    ib = arr[:, y0[:, None], x1[None, :]]
+    ic = arr[:, y1[:, None], x0[None, :]]
+    id_ = arr[:, y1[:, None], x1[None, :]]
+    wy_ = wy[None, :, None]
+    wx_ = wx[None, None, :]
+    top = ia * (1.0 - wx_) + ib * wx_
+    bot = ic * (1.0 - wx_) + id_ * wx_
+    out = top * (1.0 - wy_) + bot * wy_
+    return out[0] if single else out
+
+
+def block_reduce_mean(img: np.ndarray, factor: int) -> np.ndarray:
+    """Downsample by an integer ``factor`` using non-overlapping block means.
+
+    Trailing rows/columns that do not fill a complete block are dropped,
+    mirroring the behaviour of area-interpolation decimation.
+    """
+    if factor < 1:
+        raise ValueError("factor must be >= 1")
+    arr = np.asarray(img, dtype=np.float32)
+    single = arr.ndim == 2
+    if single:
+        arr = arr[None]
+    n, h, w = arr.shape
+    hh, ww = h // factor, w // factor
+    if hh == 0 or ww == 0:
+        raise ValueError(f"factor {factor} too large for image of shape {(h, w)}")
+    view = arr[:, : hh * factor, : ww * factor]
+    out = view.reshape(n, hh, factor, ww, factor).mean(axis=(2, 4))
+    return out[0] if single else out
+
+
+def to_float01(img: np.ndarray) -> np.ndarray:
+    """Convert an integer image to float32 in [0, 1]; pass floats through."""
+    arr = np.asarray(img)
+    if np.issubdtype(arr.dtype, np.integer):
+        info = np.iinfo(arr.dtype)
+        return arr.astype(np.float32) / float(info.max)
+    return arr.astype(np.float32, copy=False)
+
+
+def normalize_unit(img: np.ndarray) -> np.ndarray:
+    """Shift/scale an image (or batch) to zero mean and unit variance.
+
+    Normalization is computed per image over its spatial axes, which is the
+    standard input conditioning for the SNM classifier.  A constant image
+    maps to all zeros instead of dividing by zero.
+    """
+    arr = np.asarray(img, dtype=np.float32)
+    axes = tuple(range(arr.ndim - 2, arr.ndim))
+    mean = arr.mean(axis=axes, keepdims=True)
+    std = arr.std(axis=axes, keepdims=True)
+    std = np.where(std < 1e-8, 1.0, std)
+    return (arr - mean) / std

@@ -1,0 +1,123 @@
+"""Video stream abstraction over the synthetic renderer.
+
+A :class:`VideoStream` couples a scene script with a renderer and exposes
+the access patterns the pipeline needs:
+
+* sequential iteration (the online prefetch path),
+* random access / batched rendering (trace building, training-set
+  construction),
+* ground truth without rendering (evaluation).
+
+``VideoStream`` is deliberately cheap to construct: pixels are produced on
+demand, so a 10^5-frame stream costs nothing until rendered.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from .frame import Frame
+from .scene import SceneScript, make_script
+from .synth import Renderer, RenderOptions
+
+__all__ = ["VideoStream"]
+
+
+class VideoStream:
+    """A replayable, annotated synthetic video stream."""
+
+    def __init__(
+        self,
+        script: SceneScript,
+        *,
+        stream_id: str = "stream-0",
+        fps: float = 30.0,
+        render_options: RenderOptions | None = None,
+    ):
+        self.script = script
+        self.stream_id = stream_id
+        self.fps = fps
+        self.renderer = Renderer(script, render_options)
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def synthetic(
+        cls,
+        n_frames: int,
+        tor: float,
+        *,
+        kind: str = "car",
+        height: int = 100,
+        width: int = 150,
+        seed: int = 0,
+        stream_id: str | None = None,
+        fps: float = 30.0,
+        **script_kwargs,
+    ) -> "VideoStream":
+        """Create a stream from a freshly synthesized scene script."""
+        script = make_script(
+            n_frames,
+            tor,
+            kind=kind,
+            height=height,
+            width=width,
+            seed=seed,
+            **script_kwargs,
+        )
+        return cls(script, stream_id=stream_id or f"stream-{seed}", fps=fps)
+
+    # -- basic properties ------------------------------------------------------
+    def __len__(self) -> int:
+        return self.script.n_frames
+
+    @property
+    def kind(self) -> str:
+        """Target object class this stream is specialized for."""
+        return self.script.kind
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.script.height, self.script.width)
+
+    # -- frame access ----------------------------------------------------------
+    def frame(self, t: int) -> Frame:
+        """Render frame ``t`` with annotations."""
+        return self.renderer.render(t, stream_id=self.stream_id, fps=self.fps)
+
+    def pixels(self, t: int) -> np.ndarray:
+        """Render only the pixels of frame ``t``."""
+        return self.renderer.render_pixels(t)
+
+    def pixel_batch(self, ts) -> np.ndarray:
+        """Render frames ``ts`` into an ``(N, H, W)`` array."""
+        return self.renderer.render_batch(ts)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return self.frames()
+
+    def frames(self, start: int = 0, stop: int | None = None) -> Iterator[Frame]:
+        """Iterate frames in ``[start, stop)``."""
+        stop = self.script.n_frames if stop is None else min(stop, self.script.n_frames)
+        for t in range(start, stop):
+            yield self.frame(t)
+
+    # -- ground truth ----------------------------------------------------------
+    def gt_counts(self, min_visibility: float | None = None) -> np.ndarray:
+        """Per-frame ground-truth target counts (no rendering)."""
+        if min_visibility is None:
+            return self.script.gt_counts()
+        return self.script.gt_counts(min_visibility)
+
+    def tor(self) -> float:
+        """Empirical target-object ratio of this stream."""
+        return self.script.tor()
+
+    def scenes(self) -> list[tuple[int, int]]:
+        """Ground-truth scene runs as ``(start, stop)`` with stop exclusive."""
+        return self.script.scenes()
+
+    def reference_image(self, n_samples: int = 32) -> np.ndarray:
+        """SDD reference image (average of rendered background frames)."""
+        return self.renderer.reference_image(n_samples)

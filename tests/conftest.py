@@ -1,0 +1,10 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from tests.helpers import make_synth_trace
+
+
+@pytest.fixture
+def synth_trace():
+    return make_synth_trace

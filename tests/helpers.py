@@ -1,0 +1,50 @@
+"""Shared helpers for the test suite."""
+
+import numpy as np
+
+from repro.core.trace import FrameTrace
+
+
+def make_synth_trace(
+    n: int,
+    sdd_pass: float,
+    snm_pass: float,
+    tyolo_pass: float,
+    *,
+    seed: int = 0,
+    stream_id: str = "synth",
+    fps: float = 30.0,
+    with_ref: bool = False,
+) -> FrameTrace:
+    """A synthetic trace with nested stage pass decisions.
+
+    ``sdd_pass``/``snm_pass``/``tyolo_pass`` are *cumulative* fractions of
+    all frames surviving through that stage (so snm_pass <= sdd_pass etc.),
+    mirroring how Figure 5 reports per-filter execution ratios.
+    """
+    if not sdd_pass >= snm_pass >= tyolo_pass >= 0:
+        raise ValueError("pass fractions must be non-increasing")
+    rng = np.random.default_rng(seed)
+    u = rng.random(n)
+    # A single uniform draw per frame makes survival nested by construction.
+    sdd_dist = np.where(u < sdd_pass, 0.9, 0.1)
+    snm_prob = np.where(u < snm_pass, 0.9, 0.1).astype(np.float32)
+    ty_count = np.where(u < tyolo_pass, 1, 0).astype(np.int64)
+    ref = (
+        np.where(rng.random(n) < 0.9, ty_count, 1 - ty_count).astype(np.int64)
+        if with_ref
+        else None
+    )
+    return FrameTrace(
+        stream_id=stream_id,
+        kind="car",
+        fps=fps,
+        sdd_dist=sdd_dist,
+        sdd_threshold=0.5,
+        snm_prob=snm_prob,
+        c_low=0.2,
+        c_high=0.8,
+        tyolo_count=ty_count,
+        gt_count=ty_count.copy(),
+        ref_count=ref,
+    )

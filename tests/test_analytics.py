@@ -1,0 +1,225 @@
+"""Tests for accuracy analytics and TOR utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import (
+    error_rate,
+    error_run_stats,
+    false_negative_mask,
+    oracle_positive,
+    scene_accuracy,
+    sliding_tor,
+    tor_of_counts,
+    tor_of_trace,
+)
+from repro.core.config import FFSVAConfig
+from repro.core.trace import FrameTrace
+
+
+def trace_from_arrays(sdd_pass, snm_pass, tyolo_count, ref_count, gt=None):
+    """Build a trace whose decisions equal the given masks exactly."""
+    n = len(sdd_pass)
+    sdd_dist = np.where(np.asarray(sdd_pass, bool), 0.9, 0.1)
+    snm_prob = np.where(np.asarray(snm_pass, bool), 0.9, 0.1).astype(np.float32)
+    return FrameTrace(
+        stream_id="t",
+        kind="car",
+        fps=30.0,
+        sdd_dist=sdd_dist,
+        sdd_threshold=0.5,
+        snm_prob=snm_prob,
+        c_low=0.2,
+        c_high=0.8,
+        tyolo_count=np.asarray(tyolo_count, dtype=np.int64),
+        gt_count=np.asarray(gt if gt is not None else ref_count, dtype=np.int64),
+        ref_count=np.asarray(ref_count, dtype=np.int64),
+    )
+
+
+CFG = FFSVAConfig(filter_degree=0.5, number_of_objects=1, relax=0)
+
+
+class TestErrorRate:
+    def test_no_errors_when_cascade_keeps_all_positives(self):
+        tr = trace_from_arrays(
+            sdd_pass=[1, 1, 0, 1],
+            snm_pass=[1, 1, 0, 1],
+            tyolo_count=[1, 1, 0, 1],
+            ref_count=[1, 1, 0, 1],
+        )
+        assert error_rate(tr, CFG) == 0.0
+
+    def test_counts_dropped_positives(self):
+        # Frame 1 is oracle-positive but SDD dropped it.
+        tr = trace_from_arrays(
+            sdd_pass=[1, 0, 1, 1],
+            snm_pass=[1, 0, 1, 1],
+            tyolo_count=[1, 1, 0, 1],
+            ref_count=[1, 1, 0, 1],
+        )
+        assert error_rate(tr, CFG) == pytest.approx(0.25)
+        np.testing.assert_array_equal(
+            false_negative_mask(tr, CFG), [False, True, False, False]
+        )
+
+    def test_true_negatives_do_not_count(self):
+        tr = trace_from_arrays(
+            sdd_pass=[0, 0],
+            snm_pass=[0, 0],
+            tyolo_count=[0, 0],
+            ref_count=[0, 0],
+        )
+        assert error_rate(tr, CFG) == 0.0
+
+    def test_requires_ref_counts(self):
+        tr = trace_from_arrays([1], [1], [1], [1])
+        tr = FrameTrace(
+            "t", "car", 30.0, tr.sdd_dist, 0.5, tr.snm_prob, 0.2, 0.8,
+            tr.tyolo_count, tr.gt_count, ref_count=None,
+        )
+        with pytest.raises(ValueError):
+            oracle_positive(tr)
+
+    def test_number_of_objects_changes_oracle(self):
+        tr = trace_from_arrays(
+            sdd_pass=[1, 1],
+            snm_pass=[1, 1],
+            tyolo_count=[1, 1],
+            ref_count=[1, 3],
+        )
+        cfg2 = CFG.with_(number_of_objects=2)
+        np.testing.assert_array_equal(oracle_positive(tr, 2), [False, True])
+        # Frame 1 is oracle-positive at N=2 but T-YOLO counted only 1.
+        assert error_rate(tr, cfg2) == pytest.approx(0.5)
+
+
+class TestSceneAccuracy:
+    def test_scene_detected_by_any_frame(self):
+        # One 4-frame scene; only frame 2 survives -> scene detected.
+        tr = trace_from_arrays(
+            sdd_pass=[0, 0, 1, 0, 0],
+            snm_pass=[0, 0, 1, 0, 0],
+            tyolo_count=[0, 0, 1, 0, 0],
+            ref_count=[0, 1, 1, 1, 0],
+        )
+        acc = scene_accuracy(tr, CFG)
+        assert acc.n_scenes == 1
+        assert acc.n_detected == 1
+        assert acc.scene_loss_rate == 0.0
+
+    def test_fully_dropped_scene_is_lost(self):
+        tr = trace_from_arrays(
+            sdd_pass=[0, 0, 0],
+            snm_pass=[0, 0, 0],
+            tyolo_count=[0, 0, 0],
+            ref_count=[1, 1, 0],
+        )
+        acc = scene_accuracy(tr, CFG)
+        assert acc.n_lost == 1
+        assert acc.lost_frames == 2
+        assert acc.lost_frame_rate == pytest.approx(2 / 3)
+
+    def test_multiple_scenes(self):
+        ref = [1, 1, 0, 0, 1, 0, 1, 1, 1]
+        surv = [1, 0, 0, 0, 0, 0, 0, 1, 0]
+        tr = trace_from_arrays(surv, surv, surv, ref)
+        acc = scene_accuracy(tr, CFG)
+        assert acc.n_scenes == 3
+        assert acc.n_detected == 2
+        assert acc.n_lost == 1  # the singleton scene at index 4
+
+    def test_ground_truth_scenes_option(self):
+        tr = trace_from_arrays(
+            sdd_pass=[1, 0],
+            snm_pass=[1, 0],
+            tyolo_count=[1, 0],
+            ref_count=[1, 0],
+            gt=[1, 1],
+        )
+        acc_gt = scene_accuracy(tr, CFG, use_oracle_scenes=False)
+        assert acc_gt.n_scenes == 1
+
+    def test_empty_trace(self):
+        tr = trace_from_arrays([], [], [], [])
+        acc = scene_accuracy(tr, CFG)
+        assert acc.n_scenes == 0
+        assert acc.detection_rate == 1.0
+
+
+class TestErrorRunStats:
+    def test_table2_categories(self):
+        # FN runs: [1], [2,3], [10..20], [30..70]
+        n = 100
+        ref = np.zeros(n, dtype=int)
+        surv = np.zeros(n, dtype=bool)
+        fn_frames = [1] + [4, 5] + list(range(10, 21)) + list(range(40, 75))
+        ref[fn_frames] = 1
+        tr = trace_from_arrays(surv, surv, np.zeros(n, int), ref)
+        stats = error_run_stats(tr, CFG)
+        assert stats.isolated_single == 1
+        assert stats.isolated_short == 2
+        assert stats.continuous_short == 11
+        assert stats.continuous_long == 35
+        assert stats.total == 49
+
+    def test_rows_in_table_order(self):
+        tr = trace_from_arrays([0], [0], [0], [1])
+        rows = error_run_stats(tr, CFG).as_rows()
+        assert rows[0][0].startswith("An isolated")
+        assert len(rows) == 4
+
+    def test_boundary_run_lengths(self):
+        # Exactly 3 consecutive errors -> isolated_short; exactly 30 -> long.
+        n = 80
+        ref = np.zeros(n, int)
+        ref[0:3] = 1
+        ref[40:70] = 1
+        surv = np.zeros(n, bool)
+        tr = trace_from_arrays(surv, surv, np.zeros(n, int), ref)
+        stats = error_run_stats(tr, CFG)
+        assert stats.isolated_short == 3
+        assert stats.continuous_long == 30
+
+
+class TestTOR:
+    def test_tor_of_counts(self):
+        assert tor_of_counts(np.array([0, 1, 2, 0])) == pytest.approx(0.5)
+        assert tor_of_counts(np.array([0, 1, 2, 0]), 2) == pytest.approx(0.25)
+        assert tor_of_counts(np.array([])) == 0.0
+
+    def test_tor_of_trace_sources(self):
+        tr = trace_from_arrays(
+            [1, 1, 1], [1, 1, 1], tyolo_count=[1, 0, 0], ref_count=[1, 1, 0], gt=[1, 1, 1]
+        )
+        assert tor_of_trace(tr, source="gt") == pytest.approx(1.0)
+        assert tor_of_trace(tr, source="ref") == pytest.approx(2 / 3)
+        assert tor_of_trace(tr, source="tyolo") == pytest.approx(1 / 3)
+        with pytest.raises(ValueError):
+            tor_of_trace(tr, source="nope")
+
+    def test_sliding_tor(self):
+        counts = np.array([1, 1, 0, 0, 1, 1])
+        out = sliding_tor(counts, 2)
+        np.testing.assert_allclose(out, [1.0, 0.5, 0.0, 0.5, 1.0])
+
+    def test_sliding_tor_short_input(self):
+        assert sliding_tor(np.array([1]), 5).size == 0
+
+    def test_sliding_tor_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            sliding_tor(np.array([1, 2]), 0)
+
+    @given(st.lists(st.integers(0, 3), min_size=5, max_size=40), st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_property_sliding_matches_naive(self, counts, window):
+        counts = np.asarray(counts)
+        if counts.size < window:
+            return
+        fast = sliding_tor(counts, window)
+        naive = np.array(
+            [tor_of_counts(counts[i : i + window]) for i in range(counts.size - window + 1)]
+        )
+        np.testing.assert_allclose(fast, naive)

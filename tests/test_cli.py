@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--workload", "timessquare"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.workload == "jackson"
+        assert args.mode == "offline"
+        assert args.streams == 1
+
+    def test_config_args_parsed(self):
+        args = build_parser().parse_args(
+            ["simulate", "--filter-degree", "1.0", "--batch-policy", "static",
+             "--number-of-objects", "3", "--relax", "1"]
+        )
+        assert args.filter_degree == 1.0
+        assert args.batch_policy == "static"
+        assert args.number_of_objects == 3
+        assert args.relax == 1
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "jackson" in out and "coral" in out
+
+    def test_simulate_offline(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        code = main(
+            ["simulate", "--workload", "jackson", "--tor", "0.3",
+             "--frames", "600", "--streams", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "frames to reference model" in out
+
+    def test_simulate_online(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        code = main(
+            ["simulate", "--tor", "0.3", "--frames", "600", "--streams", "2",
+             "--mode", "online"]
+        )
+        assert code == 0
+        assert "real-time" in capsys.readouterr().out
+
+    def test_plan(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        code = main(["plan", "--tor", "0.3", "--frames", "600"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max real-time streams" in out
+        assert "bottleneck" in out
+
+    def test_train_saves_models(self, capsys, tmp_path):
+        out_dir = tmp_path / "models"
+        code = main(
+            ["train", "--tor", "0.3", "--frames", "700",
+             "--train-frames", "150", "--out", str(out_dir)]
+        )
+        assert code == 0
+        saved = list(out_dir.glob("*.npz"))
+        assert len(saved) == 2  # weights + metadata

@@ -1,0 +1,174 @@
+"""Tests for metrics containers, the cost model, and device placement."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import LatencyStats, RunMetrics, StageCounters
+from repro.devices import (
+    CostModel,
+    Device,
+    Placement,
+    baseline_placement,
+    ffs_va_placement,
+    standard_server,
+)
+
+
+class TestStageCounters:
+    def test_record_accumulates(self):
+        c = StageCounters()
+        c.record(10, 7)
+        c.record(5, 5)
+        assert (c.entered, c.passed, c.filtered) == (15, 12, 3)
+        assert c.pass_rate == pytest.approx(0.8)
+
+    def test_rejects_overpass(self):
+        with pytest.raises(ValueError):
+            StageCounters().record(3, 4)
+
+    def test_empty_pass_rate(self):
+        assert StageCounters().pass_rate == 0.0
+
+
+class TestLatencyStats:
+    def test_from_samples(self):
+        s = LatencyStats.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.max == pytest.approx(4.0)
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_empty(self):
+        s = LatencyStats.from_samples([])
+        assert s.count == 0
+        assert s.mean == 0.0
+
+
+class TestRunMetrics:
+    def test_throughput(self):
+        m = RunMetrics(n_streams=2, duration=10.0, frames_ingested=600)
+        assert m.throughput_fps == pytest.approx(60.0)
+        assert m.per_stream_fps == pytest.approx(30.0)
+
+    def test_realtime_criterion(self):
+        m = RunMetrics(frames_offered=1000, frames_ingested=1000)
+        assert m.realtime()
+        m2 = RunMetrics(frames_offered=1000, frames_ingested=900)
+        assert not m2.realtime()
+
+    def test_stage_fraction(self):
+        m = RunMetrics(frames_ingested=100)
+        m.stages["tyolo"].record(25, 10)
+        assert m.stage_fraction("tyolo") == pytest.approx(0.25)
+
+    def test_conservation_detects_violation(self):
+        m = RunMetrics(frames_ingested=10)
+        m.stages["sdd"].record(10, 2)
+        m.stages["snm"].record(5, 5)  # more than sdd passed
+        with pytest.raises(AssertionError):
+            m.check_conservation()
+
+
+class TestCostModel:
+    def test_paper_calibration_sdd(self):
+        # SDD end-to-end ~20K FPS (Figure 5 caption).
+        assert 15_000 < CostModel().effective_fps("sdd") < 25_000
+
+    def test_paper_calibration_snm_batched(self):
+        # SNM ~2K FPS at practical batch sizes.
+        fps = CostModel().effective_fps("snm", batch_size=10)
+        assert 1_200 < fps < 3_000
+
+    def test_paper_calibration_tyolo(self):
+        # T-YOLO ~200 FPS end-to-end.
+        assert 150 < CostModel().effective_fps("tyolo", 2) < 230
+
+    def test_paper_calibration_ref(self):
+        # Reference model ~56 FPS end-to-end.
+        assert 45 < CostModel().effective_fps("ref") < 67
+
+    def test_speed_ordering(self):
+        # "SDD processes 10x faster than SNM and 100x faster than T-YOLO."
+        cm = CostModel()
+        sdd = cm.effective_fps("sdd")
+        snm = cm.effective_fps("snm", 10)
+        ty = cm.effective_fps("tyolo", 2)
+        ref = cm.effective_fps("ref")
+        assert sdd > 5 * snm
+        assert snm > 5 * ty
+        assert ty > 2 * ref
+
+    def test_batching_amortizes_overhead(self):
+        cm = CostModel()
+        assert cm.effective_fps("snm", 30) > 1.5 * cm.effective_fps("snm", 1)
+
+    def test_service_time_linear_in_batch(self):
+        cm = CostModel()
+        t1 = cm.service_time("snm", 1)
+        t10 = cm.service_time("snm", 10)
+        per_frame = (t10 - t1) / 9
+        assert per_frame == pytest.approx(
+            cm.snm_infer + cm.snm_resize + cm.transfer_per_frame
+        )
+
+    def test_rejects_bad_stage_and_batch(self):
+        with pytest.raises(ValueError):
+            CostModel().service_time("warp", 1)
+        with pytest.raises(ValueError):
+            CostModel().service_time("snm", 0)
+
+
+class TestDevice:
+    def test_run_serializes(self):
+        d = Device("gpu", "gpu")
+        end1 = d.run(0.0, 1.0)
+        end2 = d.run(0.5, 1.0)  # arrives while busy
+        assert end1 == pytest.approx(1.0)
+        assert end2 == pytest.approx(2.0)
+
+    def test_utilization(self):
+        d = Device("gpu", "gpu")
+        d.run(0.0, 2.0)
+        assert d.utilization(4.0) == pytest.approx(0.5)
+        assert d.utilization(0.0) == 0.0
+
+    def test_reset(self):
+        d = Device("gpu", "gpu")
+        d.run(0.0, 2.0)
+        d.reset()
+        assert d.busy_until == 0.0
+        assert d.busy_time == 0.0
+
+    def test_rejects_negative_service(self):
+        with pytest.raises(ValueError):
+            Device("gpu", "gpu").run(0.0, -1.0)
+
+
+class TestPlacement:
+    def test_ffs_va_placement_matches_paper(self):
+        p = ffs_va_placement()
+        assert p.device_for("sdd").kind == "cpu"
+        assert p.device_for("snm").name == p.device_for("tyolo").name  # share GPU 0
+        assert p.device_for("ref").name != p.device_for("snm").name  # ref alone
+
+    def test_baseline_uses_both_gpus(self):
+        p = baseline_placement()
+        assert len(p.devices_for("ref")) == 2
+
+    def test_rejects_unknown_stage(self):
+        with pytest.raises(ValueError):
+            Placement(standard_server(), {"warp": ["gpu0"]})
+
+    def test_rejects_unknown_device(self):
+        with pytest.raises(ValueError):
+            Placement(standard_server(), {"ref": ["gpu7"]})
+
+    def test_rejects_empty_device_list(self):
+        with pytest.raises(ValueError):
+            Placement(standard_server(), {"ref": []})
+
+    def test_reset_clears_devices(self):
+        p = ffs_va_placement()
+        p.devices["gpu0"].run(0.0, 5.0)
+        p.reset()
+        assert p.devices["gpu0"].busy_time == 0.0

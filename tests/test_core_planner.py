@@ -1,0 +1,100 @@
+"""Tests for the analytic capacity planner, cross-validated with the sim."""
+
+import pytest
+
+from repro.core.admission import max_realtime_streams
+from repro.core.config import FFSVAConfig
+from repro.core.planner import offline_throughput_bound, plan_capacity
+from repro.devices.placement import baseline_placement
+from repro.sim import simulate_offline, simulate_online
+
+from tests.helpers import make_synth_trace
+
+
+def low_tor_trace(n=2000, seed=0):
+    return make_synth_trace(n, 0.7, 0.18, 0.10, seed=seed)
+
+
+class TestPlanCapacity:
+    def test_basic_plan_fields(self):
+        plan = plan_capacity(low_tor_trace())
+        assert plan.max_streams > 0
+        assert plan.bottleneck_device in ("cpu0", "gpu0", "gpu1")
+        assert set(plan.device_demand) == {"cpu0", "gpu0", "gpu1"}
+
+    def test_gpu0_is_bottleneck_with_overflow(self):
+        # With the reference stage overflowing to storage, the shared
+        # filter GPU binds at low TOR.
+        plan = plan_capacity(low_tor_trace(), FFSVAConfig())
+        assert plan.bottleneck_device == "gpu0"
+        assert not plan.include_reference
+
+    def test_strict_mode_counts_reference(self):
+        cfg = FFSVAConfig(ref_overflow_to_storage=False)
+        plan = plan_capacity(low_tor_trace(), cfg)
+        assert plan.include_reference
+        # The 56 FPS reference GPU binds before the filters at 10% pass.
+        assert plan.bottleneck_device == "gpu1"
+        assert plan.max_streams < plan_capacity(low_tor_trace()).max_streams
+
+    def test_capacity_decreases_with_tor(self):
+        lo = plan_capacity(make_synth_trace(2000, 0.6, 0.15, 0.08, seed=1))
+        hi = plan_capacity(make_synth_trace(2000, 1.0, 0.95, 0.9, seed=1))
+        assert lo.max_streams > hi.max_streams
+
+    def test_utilization_at_scales_linearly(self):
+        plan = plan_capacity(low_tor_trace())
+        u1 = plan.utilization_at(1)
+        u10 = plan.utilization_at(10)
+        for dev in u1:
+            assert u10[dev] == pytest.approx(10 * u1[dev])
+
+    def test_agrees_with_simulator(self):
+        """The analytic capacity must match the simulated capacity closely."""
+        trace = low_tor_trace(900)
+        cfg = FFSVAConfig(batch_policy="feedback", batch_size=10)
+        plan = plan_capacity(trace, cfg)
+
+        def run(n):
+            traces = [trace.rotated(311 * i).renamed(f"s{i}") for i in range(n)]
+            return simulate_online(traces, cfg)
+
+        simulated, _ = max_realtime_streams(run, n_max=64)
+        assert abs(simulated - plan.max_streams) <= max(2, 0.2 * simulated)
+
+    def test_utilization_cap(self):
+        trace = low_tor_trace()
+        relaxed = plan_capacity(trace, utilization_cap=1.0)
+        tight = plan_capacity(trace, utilization_cap=0.5)
+        assert tight.max_streams <= relaxed.max_streams // 2 + 1
+
+
+class TestOfflineThroughputBound:
+    def test_bound_respected_and_tight(self):
+        trace = low_tor_trace(2500)
+        cfg = FFSVAConfig(batch_policy="feedback", batch_size=10)
+        bound = offline_throughput_bound(trace, cfg)
+        m = simulate_offline([trace], cfg)
+        assert m.throughput_fps <= bound * 1.02
+        assert m.throughput_fps >= bound * 0.75  # the sim gets close
+
+    def test_reference_counts_offline_even_with_overflow(self):
+        # Offline, the run is not done until the reference drains.
+        trace = make_synth_trace(2000, 1.0, 1.0, 1.0, seed=2)
+        bound = offline_throughput_bound(trace, FFSVAConfig())
+        # Every frame hits the 56 FPS reference model: bound ~ 54-56 FPS.
+        assert 40 < bound < 60
+
+    def test_baseline_placement_bound(self):
+        trace = make_synth_trace(1000, 1.0, 1.0, 1.0, seed=3)
+        cfg = FFSVAConfig()
+        placement = baseline_placement()
+        # Only the ref stage exists in the baseline placement.
+        bound = offline_throughput_bound(trace, cfg, placement=placement)
+        assert 90 < bound < 120  # two GPUs at ~55 FPS each
+
+    def test_more_filtering_raises_bound(self):
+        heavy = make_synth_trace(2000, 0.9, 0.8, 0.5, seed=4)
+        light = make_synth_trace(2000, 0.6, 0.2, 0.05, seed=4)
+        cfg = FFSVAConfig()
+        assert offline_throughput_bound(light, cfg) > offline_throughput_bound(heavy, cfg)

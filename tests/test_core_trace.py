@@ -1,0 +1,166 @@
+"""Tests for FrameTrace decisions, transforms, and trace building."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trace import FrameTrace, build_trace
+from repro.core.tracecache import cached_trace
+from repro.models import ModelZoo
+from repro.video import jackson, make_stream
+
+from tests.helpers import make_synth_trace
+
+
+@pytest.fixture(scope="module")
+def real_trace():
+    stream = make_stream(jackson(), 900, tor=0.3, seed=51)
+    return build_trace(stream, ModelZoo(), with_ref=True, n_train_frames=200)
+
+
+class TestFrameTraceDecisions:
+    def test_length(self):
+        tr = make_synth_trace(100, 0.7, 0.3, 0.1)
+        assert len(tr) == 100
+
+    def test_nested_survival(self):
+        tr = make_synth_trace(2000, 0.7, 0.3, 0.1, seed=1)
+        sdd = tr.sdd_pass()
+        snm = tr.snm_pass(0.5)
+        ty = tr.tyolo_pass()
+        assert np.all(snm <= sdd | snm)  # snm survivors are sdd survivors
+        assert (sdd & snm & ty).sum() == tr.cascade_pass(0.5).sum()
+
+    def test_t_pre_equation(self):
+        tr = make_synth_trace(10, 0.5, 0.3, 0.1)
+        assert tr.t_pre(0.0) == pytest.approx(tr.c_low)
+        assert tr.t_pre(1.0) == pytest.approx(tr.c_high)
+        assert tr.t_pre(0.5) == pytest.approx((tr.c_low + tr.c_high) / 2)
+
+    def test_t_pre_rejects_out_of_range(self):
+        tr = make_synth_trace(10, 0.5, 0.3, 0.1)
+        with pytest.raises(ValueError):
+            tr.t_pre(-0.1)
+
+    @given(fd=st.floats(0.0, 1.0), fd2=st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_property_filter_degree_monotone(self, fd, fd2):
+        tr = make_synth_trace(500, 0.8, 0.4, 0.2, seed=3)
+        lo, hi = sorted([fd, fd2])
+        assert tr.snm_pass(hi).sum() <= tr.snm_pass(lo).sum()
+
+    @given(n1=st.integers(1, 5), n2=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_property_number_of_objects_monotone(self, n1, n2):
+        tr = make_synth_trace(500, 0.8, 0.4, 0.2, seed=4)
+        lo, hi = sorted([n1, n2])
+        assert tr.tyolo_pass(hi).sum() <= tr.tyolo_pass(lo).sum()
+
+    def test_relax_monotone(self):
+        tr = make_synth_trace(500, 0.8, 0.4, 0.2, seed=5)
+        base = tr.tyolo_pass(3, relax=0).sum()
+        relaxed = tr.tyolo_pass(3, relax=1).sum()
+        assert relaxed >= base
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            FrameTrace(
+                "s", "car", 30.0,
+                sdd_dist=np.zeros(5),
+                sdd_threshold=0.5,
+                snm_prob=np.zeros(4, dtype=np.float32),
+                c_low=0.2, c_high=0.8,
+                tyolo_count=np.zeros(5, dtype=np.int64),
+                gt_count=np.zeros(5, dtype=np.int64),
+            )
+
+
+class TestTraceTransforms:
+    def test_rotation_preserves_statistics(self):
+        tr = make_synth_trace(300, 0.7, 0.3, 0.1, seed=6)
+        rot = tr.rotated(100)
+        assert len(rot) == len(tr)
+        assert rot.sdd_pass().sum() == tr.sdd_pass().sum()
+        assert rot.tor() == pytest.approx(tr.tor())
+
+    def test_rotation_shifts_content(self):
+        tr = make_synth_trace(300, 0.7, 0.3, 0.1, seed=7)
+        rot = tr.rotated(13)
+        np.testing.assert_array_equal(rot.sdd_dist, np.roll(tr.sdd_dist, -13))
+
+    def test_slice(self):
+        tr = make_synth_trace(300, 0.7, 0.3, 0.1, seed=8)
+        part = tr.sliced(50, 120)
+        assert len(part) == 70
+        np.testing.assert_array_equal(part.snm_prob, tr.snm_prob[50:120])
+
+    def test_slice_rejects_bad_bounds(self):
+        tr = make_synth_trace(10, 0.5, 0.3, 0.1)
+        with pytest.raises(ValueError):
+            tr.sliced(5, 20)
+
+    def test_renamed(self):
+        tr = make_synth_trace(10, 0.5, 0.3, 0.1)
+        assert tr.renamed("other").stream_id == "other"
+
+
+class TestBuildTrace:
+    def test_trace_fields_populated(self, real_trace):
+        tr = real_trace
+        assert len(tr) == 900
+        assert tr.ref_count is not None
+        assert tr.sdd_threshold > 0
+        assert 0 <= tr.c_low < tr.c_high <= 1
+
+    def test_decisions_consistent_with_models(self, real_trace):
+        # SDD pass fraction should be strictly between nothing and everything
+        # for a 0.3 TOR clip, and the cascade should shrink monotonically.
+        tr = real_trace
+        n = len(tr)
+        n_sdd = tr.sdd_pass().sum()
+        n_casc = tr.cascade_pass(0.5).sum()
+        assert 0 < n_casc <= n_sdd < n
+
+    def test_tor_close_to_target(self, real_trace):
+        assert abs(real_trace.tor() - 0.3) < 0.1
+
+    def test_cache_roundtrip(self, tmp_path, monkeypatch, real_trace):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        calls = {"n": 0}
+
+        def builder():
+            calls["n"] += 1
+            return real_trace
+
+        params = {"test": "roundtrip"}
+        t1 = cached_trace(params, builder)
+        t2 = cached_trace(params, builder)
+        assert calls["n"] == 1
+        np.testing.assert_array_equal(t1.snm_prob, t2.snm_prob)
+        np.testing.assert_array_equal(t1.ref_count, t2.ref_count)
+        assert t2.c_low == pytest.approx(real_trace.c_low)
+
+    def test_cache_off(self, monkeypatch, real_trace):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        calls = {"n": 0}
+
+        def builder():
+            calls["n"] += 1
+            return real_trace
+
+        cached_trace({"k": 1}, builder)
+        cached_trace({"k": 1}, builder)
+        assert calls["n"] == 2
+
+    def test_distinct_params_distinct_entries(self, tmp_path, monkeypatch, real_trace):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        calls = {"n": 0}
+
+        def builder():
+            calls["n"] += 1
+            return real_trace
+
+        cached_trace({"k": 1}, builder)
+        cached_trace({"k": 2}, builder)
+        assert calls["n"] == 2

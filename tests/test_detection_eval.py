@@ -1,0 +1,113 @@
+"""Tests for IoU matching, PR curves, AP, and the mAP harness."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import (
+    average_precision,
+    evaluate_map,
+    iou,
+    match_detections,
+    precision_recall,
+)
+from repro.analytics.detection_eval import PRPoint
+from repro.models import ReferenceModel, TYolo
+from repro.models.griddet import Detection
+from repro.video import GroundTruthObject, jackson, make_stream
+
+
+def det(x0, y0, x1, y1, conf=0.9, kind="car"):
+    return Detection(x0, y0, x1, y1, conf, kind)
+
+
+def gt(cx, cy, w, h, kind="car"):
+    return GroundTruthObject(kind, cx, cy, w, h, visibility=1.0)
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        assert iou((0, 0, 10, 10), (0, 0, 10, 10)) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou((0, 0, 5, 5), (6, 6, 10, 10)) == 0.0
+
+    def test_half_overlap(self):
+        assert iou((0, 0, 10, 10), (5, 0, 15, 10)) == pytest.approx(1 / 3)
+
+    def test_degenerate_box(self):
+        assert iou((0, 0, 0, 0), (0, 0, 10, 10)) == 0.0
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        tp, n = match_detections([det(10, 10, 30, 30)], [gt(20, 20, 20, 20)])
+        assert tp == [True]
+        assert n == 1
+
+    def test_no_double_matching(self):
+        detections = [det(10, 10, 30, 30, conf=0.9), det(11, 11, 31, 31, conf=0.8)]
+        tp, n = match_detections(detections, [gt(20, 20, 20, 20)])
+        assert tp == [True, False]  # highest confidence wins the only truth
+        assert n == 1
+
+    def test_low_iou_not_matched(self):
+        tp, _ = match_detections(
+            [det(100, 100, 120, 120)], [gt(20, 20, 20, 20)]
+        )
+        assert tp == [False]
+
+    def test_clipping_to_frame(self):
+        # Truth centered off-frame; its clipped box is what the detector saw.
+        truth = GroundTruthObject("car", cx=-5, cy=20, w=30, h=20)
+        detection = det(0, 10, 10, 30)
+        tp, _ = match_detections([detection], [truth], frame_hw=(60, 80), iou_threshold=0.3)
+        assert tp == [True]
+
+
+class TestPRandAP:
+    def test_perfect_detector(self):
+        scored = [(0.9, True), (0.8, True)]
+        points = precision_recall(scored, n_truth=2)
+        assert points[-1].precision == 1.0
+        assert points[-1].recall == 1.0
+        assert average_precision(points) == pytest.approx(1.0)
+
+    def test_useless_detector(self):
+        scored = [(0.9, False), (0.8, False)]
+        points = precision_recall(scored, n_truth=5)
+        assert average_precision(points) == 0.0
+
+    def test_precision_drops_with_false_positives(self):
+        scored = [(0.9, True), (0.8, False), (0.7, True)]
+        points = precision_recall(scored, n_truth=2)
+        assert points[0].precision == 1.0
+        assert points[1].precision == pytest.approx(0.5)
+        assert points[2].recall == 1.0
+
+    def test_empty_truth(self):
+        assert precision_recall([(0.9, True)], 0) == []
+        assert average_precision([]) == 0.0
+
+    def test_ap_monotone_in_quality(self):
+        good = precision_recall([(0.9, True), (0.8, True), (0.7, False)], 2)
+        bad = precision_recall([(0.9, False), (0.8, True), (0.7, True)], 2)
+        assert average_precision(good) > average_precision(bad)
+
+
+class TestEvaluateMap:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return make_stream(jackson(), 600, tor=0.4, seed=111)
+
+    def test_reference_model_scores_reasonably(self, stream):
+        result = evaluate_map(
+            ReferenceModel(), stream, np.arange(0, 600, 10)
+        )
+        assert 0.3 < result["map"] <= 1.0
+        assert result["n_truth"]["car"] > 0
+
+    def test_reference_beats_tyolo(self, stream):
+        """The model-tier ordering the paper's Section 2.2 table encodes."""
+        ref = evaluate_map(ReferenceModel(), stream, np.arange(0, 600, 10))
+        ty = evaluate_map(TYolo(), stream, np.arange(0, 600, 10))
+        assert ref["map"] >= ty["map"] - 0.05

@@ -1,0 +1,78 @@
+"""Property-based tests for the grid-detector backbone."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.griddet import GridDetector
+
+
+def frame_with_blobs(positions, h=80, w=120, size=8, delta=0.4, bg_level=0.45):
+    bg = np.full((h, w), bg_level, dtype=np.float32)
+    frame = bg.copy()
+    for cy, cx in positions:
+        frame[
+            max(0, cy - size) : min(h, cy + size),
+            max(0, cx - size) : min(w, cx + size),
+        ] += delta
+    return frame, bg
+
+
+class TestDetectorProperties:
+    @given(
+        cy=st.integers(15, 65),
+        cx=st.integers(15, 105),
+        delta=st.floats(0.25, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_single_blob_always_found(self, cy, cx, delta):
+        frame, bg = frame_with_blobs([(cy, cx)], delta=delta)
+        det = GridDetector()
+        assert det.count(frame, bg) >= 1
+
+    @given(gain=st.floats(0.85, 1.15))
+    @settings(max_examples=30, deadline=None)
+    def test_global_gain_invariance(self, gain):
+        frame, bg = frame_with_blobs([(40, 60)])
+        det = GridDetector()
+        scaled = np.clip(frame * gain, 0.0, 1.0).astype(np.float32)
+        assert det.count(scaled, bg) == det.count(frame, bg)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_noise_alone_never_detects(self, seed):
+        rng = np.random.default_rng(seed)
+        bg = np.full((60, 80), 0.5, dtype=np.float32)
+        noisy = bg + rng.normal(0, 0.012, size=bg.shape).astype(np.float32)
+        assert GridDetector().count(noisy, bg) == 0
+
+    @given(
+        n_blobs=st.integers(1, 3),
+        seed=st.integers(0, 500),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_count_bounded_by_blobs(self, n_blobs, seed):
+        # Detections can merge (undercount) but never exceed the number of
+        # well-separated blobs placed plus zero false positives on a flat bg.
+        rng = np.random.default_rng(seed)
+        xs = rng.choice(np.arange(20, 340, 40), size=n_blobs, replace=False)
+        positions = [(40, int(x)) for x in xs]
+        frame, bg = frame_with_blobs(positions, w=360)
+        count = GridDetector().count(frame, bg)
+        assert 1 <= count <= n_blobs
+
+    @given(conf=st.floats(0.05, 0.9))
+    @settings(max_examples=20, deadline=None)
+    def test_confidence_threshold_monotone(self, conf):
+        frame, bg = frame_with_blobs([(40, 30), (40, 90)], delta=0.3)
+        strict = GridDetector(conf_threshold=min(conf + 0.09, 0.95))
+        loose = GridDetector(conf_threshold=conf)
+        assert strict.count(frame, bg) <= loose.count(frame, bg)
+
+    def test_detections_sit_inside_frame(self):
+        frame, bg = frame_with_blobs([(10, 10), (70, 110)])
+        for d in GridDetector().detect(frame, bg):
+            assert 0 <= d.x0 < d.x1 <= 120
+            assert 0 <= d.y0 < d.y1 <= 80
+            assert 0 < d.confidence <= 1.0

@@ -1,0 +1,103 @@
+"""Whole-system integration tests tying every subsystem together."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FFSVA,
+    FFSVAConfig,
+    baseline_offline,
+    build_trace,
+    error_rate,
+    jackson,
+    make_stream,
+    scene_accuracy,
+    simulate_offline,
+    simulate_online,
+)
+from repro.analytics import error_run_stats
+from repro.models import ModelZoo
+from repro.nn import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    """One stream, trained zoo, and full trace shared across the module."""
+    stream = make_stream(jackson(), 1600, tor=0.25, seed=101)
+    zoo = ModelZoo()
+    zoo.train_for_stream(
+        stream,
+        n_train_frames=250,
+        stride=2,
+        train_config=TrainConfig(epochs=10, batch_size=32, seed=7),
+    )
+    trace = build_trace(stream, zoo, with_ref=True)
+    return stream, zoo, trace
+
+
+class TestPaperClaimsEndToEnd:
+    def test_cascade_saves_most_reference_work(self, world):
+        _, _, trace = world
+        cfg = FFSVAConfig(filter_degree=0.5)
+        survivors = trace.cascade_pass(cfg.filter_degree)
+        # At TOR 0.25, well over half the frames never reach the reference
+        # model — the premise of the whole system.
+        assert survivors.mean() < 0.5
+
+    def test_accuracy_loss_under_two_percent_scenes(self, world):
+        _, _, trace = world
+        cfg = FFSVAConfig(filter_degree=0.5)
+        acc = scene_accuracy(trace, cfg)
+        assert acc.lost_frame_rate < 0.02
+        assert acc.detection_rate > 0.9
+
+    def test_offline_speedup_over_baseline(self, world):
+        _, _, trace = world
+        m_ffs = simulate_offline([trace], FFSVAConfig(filter_degree=1.0))
+        m_base = baseline_offline([trace])
+        assert m_ffs.throughput_fps > 1.5 * m_base.throughput_fps
+
+    def test_error_rate_consistent_with_run_stats(self, world):
+        _, _, trace = world
+        cfg = FFSVAConfig(filter_degree=0.5)
+        stats = error_run_stats(trace, cfg)
+        assert stats.total == pytest.approx(error_rate(trace, cfg) * len(trace))
+
+    def test_online_capacity_exceeds_naive_bound(self, world):
+        # Four low-TOR streams must be trivially real-time for FFS-VA.
+        _, _, trace = world
+        traces = [trace.rotated(400 * i).renamed(f"s{i}") for i in range(4)]
+        m = simulate_online(traces, FFSVAConfig(filter_degree=1.0))
+        assert m.realtime()
+
+
+class TestFacadeAgainstSimulator:
+    def test_trace_then_simulate_matches_direct(self, world):
+        stream, zoo, trace = world
+        system = FFSVA(FFSVAConfig(filter_degree=0.5), zoo=zoo)
+        t2 = system.trace(stream, n_frames=400)
+        m1 = system.simulate_offline([t2])
+        m2 = simulate_offline([trace.sliced(0, 400)], system.config)
+        # Same decisions, same cost model => identical simulated runs.
+        assert m1.frames_to_ref == m2.frames_to_ref
+        assert m1.duration == pytest.approx(m2.duration, rel=1e-9)
+
+    def test_real_run_and_simulation_agree_on_survivors(self, world):
+        stream, zoo, trace = world
+        cfg = FFSVAConfig(filter_degree=0.5, batch_size=8)
+        system = FFSVA(cfg, zoo=zoo)
+        report = system.analyze_offline(stream, n_frames=300)
+        real_refs = sum(1 for o in report.outcomes if o.stage == "ref")
+        sim_refs = simulate_offline([trace.sliced(0, 300)], cfg).frames_to_ref
+        assert real_refs == sim_refs
+
+    def test_per_stage_counters_match_trace_masks(self, world):
+        _, _, trace = world
+        cfg = FFSVAConfig(filter_degree=0.5)
+        m = simulate_offline([trace], cfg)
+        sdd_pass = trace.sdd_pass()
+        assert m.stages["sdd"].passed == int(sdd_pass.sum())
+        snm_seen = m.stages["snm"].entered
+        assert snm_seen == int(sdd_pass.sum())
+        tyolo_seen = m.stages["tyolo"].entered
+        assert tyolo_seen == int((sdd_pass & trace.snm_pass(0.5)).sum())

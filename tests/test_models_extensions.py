@@ -1,0 +1,120 @@
+"""Tests for the Section 5.5 extensions: model persistence and scene-change
+detection."""
+
+import numpy as np
+import pytest
+
+from repro.models import ModelZoo
+from repro.models.drift import SceneChangeMonitor
+from repro.nn import TrainConfig
+from repro.video import jackson, make_stream
+
+
+@pytest.fixture(scope="module")
+def trained_zoo():
+    stream = make_stream(jackson(), 1200, tor=0.3, seed=81)
+    zoo = ModelZoo()
+    zoo.train_for_stream(
+        stream,
+        n_train_frames=200,
+        stride=2,
+        train_config=TrainConfig(epochs=8, batch_size=32, seed=3),
+    )
+    return stream, zoo
+
+
+class TestModelPersistence:
+    def test_roundtrip_preserves_decisions(self, trained_zoo, tmp_path):
+        stream, zoo = trained_zoo
+        sid = stream.stream_id
+        zoo.save_stream(sid, tmp_path)
+
+        fresh = ModelZoo()
+        bundle = fresh.load_stream(sid, tmp_path)
+        assert sid in fresh
+        assert bundle.kind == "car"
+
+        px = stream.pixel_batch(np.arange(600, 900, 5))
+        orig = zoo[sid]
+        np.testing.assert_array_equal(
+            orig.sdd.passes(px), bundle.sdd.passes(px)
+        )
+        np.testing.assert_allclose(
+            orig.snm.predict_proba(px), bundle.snm.predict_proba(px), atol=1e-6
+        )
+        assert bundle.snm.c_low == pytest.approx(orig.snm.c_low)
+        assert bundle.snm.c_high == pytest.approx(orig.snm.c_high)
+
+    def test_save_unknown_stream_raises(self, trained_zoo, tmp_path):
+        _, zoo = trained_zoo
+        with pytest.raises(KeyError):
+            zoo.save_stream("no-such-stream", tmp_path)
+
+    def test_load_missing_files_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelZoo().load_stream("ghost", tmp_path)
+
+    def test_restored_bundle_marked(self, trained_zoo, tmp_path):
+        stream, zoo = trained_zoo
+        zoo.save_stream(stream.stream_id, tmp_path)
+        bundle = ModelZoo().load_stream(stream.stream_id, tmp_path)
+        assert "restored_from" in bundle.train_info
+
+
+class TestSceneChangeMonitor:
+    def test_quiet_scene_never_trips(self):
+        mon = SceneChangeMonitor(sdd_threshold=0.001, window=50, patience=2)
+        rng = np.random.default_rng(0)
+        # Background distances around half the threshold.
+        mon.observe(rng.uniform(0.0002, 0.0008, size=500))
+        assert not mon.scene_changed
+
+    def test_foreground_bursts_do_not_trip(self):
+        # Activity inflates the mean distance but background frames keep
+        # the rolling minimum low.
+        mon = SceneChangeMonitor(sdd_threshold=0.001, window=50, patience=2)
+        rng = np.random.default_rng(1)
+        distances = rng.uniform(0.0002, 0.0008, size=500)
+        distances[::3] = 0.02  # every third frame has a passing object
+        mon.observe(distances)
+        assert not mon.scene_changed
+
+    def test_camera_move_trips(self):
+        mon = SceneChangeMonitor(sdd_threshold=0.001, window=50, patience=2)
+        rng = np.random.default_rng(2)
+        mon.observe(rng.uniform(0.0002, 0.0008, size=100))
+        # Camera repositioned: every frame now far from the old reference.
+        mon.observe(rng.uniform(0.01, 0.02, size=200))
+        assert mon.scene_changed
+
+    def test_patience_requires_persistence(self):
+        mon = SceneChangeMonitor(sdd_threshold=0.001, window=50, patience=3)
+        rng = np.random.default_rng(3)
+        # One inflated window, then back to normal.
+        mon.observe(rng.uniform(0.01, 0.02, size=50))
+        mon.observe(rng.uniform(0.0002, 0.0008, size=200))
+        assert not mon.scene_changed
+
+    def test_reset_clears_state(self):
+        mon = SceneChangeMonitor(sdd_threshold=0.001, window=50, patience=1)
+        mon.observe(np.full(100, 0.02))
+        assert mon.scene_changed
+        mon.reset()
+        assert not mon.scene_changed
+        assert mon.background_floor == 0.0
+
+    def test_end_to_end_with_real_sdd(self, trained_zoo):
+        """A genuinely different scene trips the monitor through real SDD."""
+        stream, zoo = trained_zoo
+        bundle = zoo[stream.stream_id]
+        mon = SceneChangeMonitor(
+            sdd_threshold=bundle.sdd.threshold, window=40, patience=2
+        )
+        # Same scene: no trip.
+        px = stream.pixel_batch(np.arange(0, 200))
+        mon.observe(bundle.sdd.distances(px))
+        assert not mon.scene_changed
+        # New viewpoint (different seed => different background).
+        other = make_stream(jackson(), 300, tor=0.0, seed=999)
+        mon.observe(bundle.sdd.distances(other.pixel_batch(np.arange(0, 200))))
+        assert mon.scene_changed

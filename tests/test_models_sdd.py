@@ -1,0 +1,138 @@
+"""Tests for the SDD difference-detector filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.sdd import SDD, calibrate_sdd, mse, nrmse, sad
+from repro.video import make_stream, jackson
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    stream = make_stream(jackson(), 1500, tor=0.3, seed=21)
+    bg = stream.reference_image()
+    ts = np.arange(0, 1000, 2)
+    frames = stream.pixel_batch(ts)
+    labels = (stream.gt_counts()[ts] > 0).astype(np.int64)
+    return stream, bg, frames, labels
+
+
+class TestDistanceMetrics:
+    def test_mse_zero_for_identical(self):
+        img = np.random.default_rng(0).random((20, 20)).astype(np.float32)
+        assert mse(img, img)[0] == pytest.approx(0.0)
+
+    def test_mse_known_value(self):
+        a = np.zeros((4, 4), dtype=np.float32)
+        b = np.full((4, 4), 0.5, dtype=np.float32)
+        assert mse(a, b)[0] == pytest.approx(0.25)
+
+    def test_sad_known_value(self):
+        a = np.zeros((4, 4), dtype=np.float32)
+        b = np.full((4, 4), 0.5, dtype=np.float32)
+        assert sad(a, b)[0] == pytest.approx(0.5)
+
+    def test_nrmse_normalizes_by_range(self):
+        ref = np.linspace(0, 1, 16, dtype=np.float32).reshape(4, 4)
+        frame = ref + 0.1
+        assert nrmse(frame, ref)[0] == pytest.approx(0.1, rel=1e-5)
+
+    def test_batch_shapes(self):
+        frames = np.random.default_rng(1).random((5, 8, 8)).astype(np.float32)
+        ref = frames[0]
+        assert mse(frames, ref).shape == (5,)
+        assert sad(frames, ref).shape == (5,)
+
+    @given(st.floats(0.01, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_mse_monotone_in_offset(self, offset):
+        ref = np.full((10, 10), 0.4, dtype=np.float32)
+        small = mse(ref + offset / 2, ref)[0]
+        large = mse(ref + offset, ref)[0]
+        assert large > small
+
+
+class TestSDD:
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(ValueError):
+            SDD(np.zeros((10, 10)), 0.1, metric="cosine")
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            SDD(np.zeros((10, 10)), -1.0)
+
+    def test_reference_resized_to_sdd_input(self):
+        sdd = SDD(np.zeros((37, 53)), 0.1)
+        assert sdd.reference.shape == (100, 100)
+
+    def test_identical_frame_filtered(self):
+        ref = np.random.default_rng(2).random((50, 50)).astype(np.float32)
+        sdd = SDD(ref, threshold=1e-6)
+        assert not sdd.passes(ref)[0]
+        assert sdd.filter_out(ref)[0]
+
+    def test_changed_frame_passes(self):
+        ref = np.full((50, 50), 0.4, dtype=np.float32)
+        frame = ref.copy()
+        frame[10:30, 10:30] += 0.4
+        sdd = SDD(ref, threshold=1e-4)
+        assert sdd.passes(frame)[0]
+
+    def test_passes_complements_filter_out(self):
+        rng = np.random.default_rng(3)
+        ref = rng.random((40, 40)).astype(np.float32)
+        frames = rng.random((8, 40, 40)).astype(np.float32)
+        sdd = SDD(ref, threshold=0.01)
+        np.testing.assert_array_equal(sdd.passes(frames), ~sdd.filter_out(frames))
+
+    def test_higher_threshold_filters_more(self):
+        rng = np.random.default_rng(4)
+        ref = rng.random((40, 40)).astype(np.float32)
+        frames = ref + rng.normal(0, 0.05, size=(50, 40, 40)).astype(np.float32)
+        low = SDD(ref, threshold=0.001).passes(frames).sum()
+        high = SDD(ref, threshold=0.01).passes(frames).sum()
+        assert high <= low
+
+
+class TestCalibration:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            calibrate_sdd(np.zeros((10, 10)), np.zeros((3, 10, 10)), np.zeros(2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            calibrate_sdd(np.zeros((10, 10)), np.zeros((0, 10, 10)), np.zeros(0))
+
+    def test_low_false_negative_rate(self, trained_setup):
+        stream, bg, frames, labels = trained_setup
+        sdd = calibrate_sdd(bg, frames, labels, fn_budget=0.01)
+        # Evaluate on a held-out slice of the same stream.
+        ts = np.arange(1000, 1500, 2)
+        test_frames = stream.pixel_batch(ts)
+        test_labels = stream.gt_counts()[ts] > 0
+        passes = sdd.passes(test_frames)
+        fn_rate = float((test_labels & ~passes).sum()) / max(int(test_labels.sum()), 1)
+        assert fn_rate < 0.05
+
+    def test_filters_some_background(self, trained_setup):
+        stream, bg, frames, labels = trained_setup
+        sdd = calibrate_sdd(bg, frames, labels)
+        filtered = sdd.filter_out(frames)
+        background = ~labels.astype(bool)
+        # A meaningful share of pure-background frames must be dropped.
+        assert filtered[background].mean() > 0.3
+
+    def test_relax_margin_lowers_threshold(self, trained_setup):
+        _, bg, frames, labels = trained_setup
+        strict = calibrate_sdd(bg, frames, labels, relax_margin=1.0)
+        relaxed = calibrate_sdd(bg, frames, labels, relax_margin=0.8)
+        assert relaxed.threshold < strict.threshold
+
+    def test_no_positive_labels_fallback(self):
+        rng = np.random.default_rng(5)
+        bg = rng.random((40, 40)).astype(np.float32)
+        frames = bg + rng.normal(0, 0.01, size=(30, 40, 40)).astype(np.float32)
+        sdd = calibrate_sdd(bg, frames, np.zeros(30))
+        assert sdd.threshold > 0.0

@@ -1,0 +1,160 @@
+"""Tests for the SNM classifier, threshold calibration, and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.models import ModelZoo, SNMConfig
+from repro.models.snm import SNM, build_snm_network, train_snm
+from repro.nn import TrainConfig
+from repro.video import jackson, make_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_stream(jackson(), 2400, tor=0.3, seed=41)
+
+
+@pytest.fixture(scope="module")
+def zoo_and_bundle(stream):
+    zoo = ModelZoo()
+    bundle = zoo.train_for_stream(
+        stream,
+        n_train_frames=350,
+        stride=2,
+        train_config=TrainConfig(epochs=12, batch_size=32, lr=0.05, seed=2),
+    )
+    return zoo, bundle
+
+
+class TestSNMArchitecture:
+    def test_three_layer_structure(self):
+        net = build_snm_network(SNMConfig())
+        from repro.nn import Conv2D, Dense
+
+        convs = [l for l in net.layers if isinstance(l, Conv2D)]
+        denses = [l for l in net.layers if isinstance(l, Dense)]
+        assert len(convs) == 2  # CONV, CONV
+        assert len(denses) == 1  # FC
+
+    def test_memory_footprint_small(self):
+        # The paper quotes ~200 KB; our float32 parameters must fit in that.
+        net = build_snm_network(SNMConfig())
+        assert net.n_parameters() * 4 < 200 * 1024
+
+    def test_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            build_snm_network(SNMConfig(input_size=8))
+
+    def test_forward_shape(self):
+        cfg = SNMConfig()
+        net = build_snm_network(cfg)
+        x = np.zeros((3, 1, cfg.input_size, cfg.input_size), dtype=np.float32)
+        assert net.forward(x).shape == (3, 2)
+
+
+class TestSNMBehaviour:
+    def test_requires_background(self):
+        snm = SNM(build_snm_network(SNMConfig()))
+        with pytest.raises(RuntimeError):
+            snm.preprocess(np.zeros((2, 30, 30), dtype=np.float32))
+
+    def test_preprocess_shape(self):
+        cfg = SNMConfig()
+        snm = SNM(build_snm_network(cfg), cfg, background=np.full((40, 60), 0.5))
+        out = snm.preprocess(np.zeros((4, 40, 60), dtype=np.float32))
+        assert out.shape == (4, 1, cfg.input_size, cfg.input_size)
+
+    def test_preprocess_background_frame_is_near_zero(self):
+        bg = np.random.default_rng(0).random((40, 60)).astype(np.float32) * 0.3 + 0.3
+        snm = SNM(build_snm_network(SNMConfig()), background=bg)
+        out = snm.preprocess(bg)
+        assert np.abs(out).mean() < 0.05
+
+    def test_t_pre_interpolates(self):
+        snm = SNM(build_snm_network(SNMConfig()))
+        snm.c_low, snm.c_high = 0.2, 0.8
+        assert snm.t_pre(0.0) == pytest.approx(0.2)
+        assert snm.t_pre(1.0) == pytest.approx(0.8)
+        assert snm.t_pre(0.5) == pytest.approx(0.5)
+
+    def test_t_pre_rejects_out_of_range(self):
+        snm = SNM(build_snm_network(SNMConfig()))
+        with pytest.raises(ValueError):
+            snm.t_pre(1.2)
+        with pytest.raises(ValueError):
+            snm.t_pre(-0.1)
+
+    def test_passes_monotone_in_filter_degree(self):
+        snm = SNM(build_snm_network(SNMConfig()))
+        snm.c_low, snm.c_high = 0.1, 0.9
+        probs = np.linspace(0, 1, 101)
+        prev = snm.passes(probs, 0.0).sum()
+        for fd in (0.25, 0.5, 0.75, 1.0):
+            cur = snm.passes(probs, fd).sum()
+            assert cur <= prev
+            prev = cur
+
+    def test_calibrate_rejects_mismatch(self):
+        snm = SNM(build_snm_network(SNMConfig()), background=np.full((30, 30), 0.5))
+        with pytest.raises(ValueError):
+            snm.calibrate_thresholds(np.zeros((3, 30, 30)), np.zeros(2))
+
+    def test_train_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            train_snm(np.zeros((3, 30, 30)), np.zeros(2), np.zeros((30, 30)))
+
+
+class TestTrainedSNM(object):
+    def test_accuracy_versus_reference_labels(self, stream, zoo_and_bundle):
+        zoo, bundle = zoo_and_bundle
+        ts = np.arange(1400, 2400, 4)
+        px = stream.pixel_batch(ts)
+        labels = zoo.reference.label_frames(px, bundle.background)
+        probs = bundle.snm.predict_proba(px)
+        acc = ((probs > bundle.snm.t_pre(0.5)).astype(int) == labels).mean()
+        assert acc > 0.85
+
+    def test_thresholds_ordered(self, zoo_and_bundle):
+        _, bundle = zoo_and_bundle
+        assert 0.0 <= bundle.snm.c_low < bundle.snm.c_high <= 1.0
+
+    def test_probs_in_unit_interval(self, stream, zoo_and_bundle):
+        _, bundle = zoo_and_bundle
+        probs = bundle.snm.predict_proba(stream.pixel_batch(np.arange(0, 100, 10)))
+        assert probs.min() >= 0.0 and probs.max() <= 1.0
+
+    def test_keep_fraction_decreases_with_filter_degree(self, stream, zoo_and_bundle):
+        _, bundle = zoo_and_bundle
+        probs = bundle.snm.predict_proba(stream.pixel_batch(np.arange(1200, 2200, 5)))
+        keeps = [bundle.snm.passes(probs, fd).mean() for fd in (0.0, 0.5, 1.0)]
+        assert keeps[0] >= keeps[1] >= keeps[2]
+
+
+class TestModelZoo:
+    def test_bundle_registered(self, stream, zoo_and_bundle):
+        zoo, bundle = zoo_and_bundle
+        assert stream.stream_id in zoo
+        assert zoo[stream.stream_id] is bundle
+
+    def test_train_info_populated(self, zoo_and_bundle):
+        _, bundle = zoo_and_bundle
+        info = bundle.train_info
+        assert info["n_labelled"] > 0
+        assert 0.0 <= info["positive_rate"] <= 1.0
+        assert info["sdd_threshold"] > 0.0
+
+    def test_memory_footprint(self, zoo_and_bundle):
+        zoo, _ = zoo_and_bundle
+        fp = zoo.memory_footprint()
+        assert fp["tyolo"] == int(1.2 * 2**30)
+        assert fp["snm_total"] >= 200 * 1024
+
+    def test_rejects_too_short_stream(self):
+        zoo = ModelZoo()
+        short = make_stream(jackson(), 10, tor=0.5, seed=1)
+        with pytest.raises(ValueError):
+            zoo.train_for_stream(short)
+
+    def test_sdd_threshold_positive(self, zoo_and_bundle):
+        _, bundle = zoo_and_bundle
+        assert bundle.sdd.threshold > 0

@@ -1,0 +1,170 @@
+"""Tests for BatchNorm2D, Adam, and data augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    ReLU,
+    Sequential,
+    SoftmaxCrossEntropy,
+    augment_flips_shifts,
+)
+
+
+class TestBatchNorm2D:
+    def test_normalizes_in_training(self):
+        rng = np.random.default_rng(0)
+        bn = BatchNorm2D(3)
+        x = (rng.standard_normal((8, 3, 5, 5)) * 4 + 7).astype(np.float32)
+        out = bn.forward(x)
+        assert abs(out.mean()) < 1e-4
+        assert abs(out.std() - 1.0) < 1e-2
+
+    def test_inference_uses_running_stats(self):
+        rng = np.random.default_rng(1)
+        bn = BatchNorm2D(2, momentum=0.0)  # running stats = last batch
+        x = (rng.standard_normal((16, 2, 4, 4)) * 2 + 3).astype(np.float32)
+        bn.forward(x)
+        bn.training = False
+        out = bn.forward(x)
+        assert abs(out.mean()) < 0.1
+
+    def test_gamma_beta_applied(self):
+        bn = BatchNorm2D(1)
+        bn.params["W"][...] = 2.0
+        bn.params["b"][...] = 5.0
+        x = np.random.default_rng(2).standard_normal((4, 1, 3, 3)).astype(np.float32)
+        out = bn.forward(x)
+        assert abs(out.mean() - 5.0) < 1e-3
+        assert abs(out.std() - 2.0) < 2e-2
+
+    def test_gradient_numerical(self):
+        rng = np.random.default_rng(3)
+        bn = BatchNorm2D(2)
+        bn.params = {k: v.astype(np.float64) for k, v in bn.params.items()}
+        bn.grads = {k: np.zeros_like(v) for k, v in bn.params.items()}
+        x = rng.standard_normal((3, 2, 4, 4))
+
+        def loss():
+            return float((bn.forward(x) ** 2).sum() / 2)
+
+        out = bn.forward(x)
+        dx = bn.backward(out)
+        eps = 1e-5
+        num = np.zeros_like(x)
+        it = np.nditer(x, flags=["multi_index"])
+        while not it.finished:
+            idx = it.multi_index
+            orig = x[idx]
+            x[idx] = orig + eps
+            fp = loss()
+            x[idx] = orig - eps
+            fm = loss()
+            x[idx] = orig
+            num[idx] = (fp - fm) / (2 * eps)
+            it.iternext()
+        np.testing.assert_allclose(dx, num, rtol=1e-3, atol=1e-5)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            BatchNorm2D(2).forward(np.zeros((2, 3, 4, 4), dtype=np.float32))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BatchNorm2D(0)
+        with pytest.raises(ValueError):
+            BatchNorm2D(1, momentum=1.0)
+
+    def test_in_network_trains(self):
+        rng = np.random.default_rng(4)
+        net = Sequential(
+            [
+                Conv2D(1, 4, 3, rng=rng),
+                BatchNorm2D(4),
+                ReLU(),
+                Flatten(),
+                Dense(4 * 6 * 6, 2, rng=rng),
+            ]
+        )
+        x = rng.standard_normal((64, 1, 8, 8)).astype(np.float32)
+        y = (x.mean(axis=(1, 2, 3)) > 0).astype(np.int64)
+        loss_fn = SoftmaxCrossEntropy()
+        opt = Adam(net, lr=5e-3)
+        first = None
+        for _ in range(30):
+            opt.zero_grad()
+            loss = loss_fn(net.forward(x), y)
+            if first is None:
+                first = loss
+            net.backward(loss_fn.backward())
+            opt.step()
+        assert loss < first
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        net = Sequential([Dense(1, 1, rng=np.random.default_rng(0))])
+        net.layers[0].params["W"][...] = 5.0
+        net.layers[0].params["b"][...] = 0.0
+        opt = Adam(net, lr=0.2)
+        x = np.ones((1, 1), dtype=np.float32)
+        for _ in range(200):
+            opt.zero_grad()
+            out = net.forward(x)
+            net.backward(out)
+            opt.step()
+        assert abs(float(net.forward(x)[0, 0])) < 1e-2
+
+    def test_handles_illconditioned_directions(self):
+        # Ill-conditioned quadratic: one steep, one shallow input direction.
+        # Adam's per-parameter scaling must shrink BOTH weights despite the
+        # 100x gradient-magnitude gap between them.
+        rng = np.random.default_rng(1)
+        net = Sequential([Dense(2, 1, rng=rng)])
+        net.layers[0].params["W"][...] = np.array([[1.0], [1.0]], dtype=np.float32)
+        opt = Adam(net, lr=0.05)
+        x = np.array([[10.0, 0.1]], dtype=np.float32)
+        for _ in range(300):
+            opt.zero_grad()
+            out = net.forward(x)
+            net.backward(out)
+            opt.step()
+        assert abs(float(net.forward(x)[0, 0])) < 0.05
+
+    def test_rejects_bad_hyperparams(self):
+        net = Sequential([])
+        with pytest.raises(ValueError):
+            Adam(net, lr=0.0)
+        with pytest.raises(ValueError):
+            Adam(net, beta1=1.0)
+
+
+class TestAugmentation:
+    def test_doubles_dataset(self):
+        x = np.random.default_rng(0).random((10, 1, 8, 8)).astype(np.float32)
+        y = np.arange(10)
+        xa, ya = augment_flips_shifts(x, y, rng=np.random.default_rng(1))
+        assert xa.shape == (20, 1, 8, 8)
+        np.testing.assert_array_equal(ya[:10], ya[10:])
+
+    def test_originals_preserved(self):
+        x = np.random.default_rng(2).random((5, 1, 6, 6)).astype(np.float32)
+        xa, _ = augment_flips_shifts(x, np.zeros(5), rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(xa[:5], x)
+
+    def test_flip_actually_flips(self):
+        x = np.zeros((1, 1, 4, 4), dtype=np.float32)
+        x[0, 0, :, 0] = 1.0  # left column lit
+        xa, _ = augment_flips_shifts(
+            x, np.zeros(1), rng=np.random.default_rng(0), flip_prob=1.0, max_shift=0
+        )
+        np.testing.assert_array_equal(xa[1][0, :, -1], 1.0)
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ValueError):
+            augment_flips_shifts(np.zeros((3, 4, 4)), np.zeros(3))

@@ -1,0 +1,232 @@
+"""Tests for losses, optimizer, training loop, and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Dense,
+    ReLU,
+    Sequential,
+    SigmoidBCE,
+    SoftmaxCrossEntropy,
+    TrainConfig,
+    accuracy,
+    load_weights,
+    save_weights,
+    softmax,
+    train_classifier,
+)
+
+
+def make_blobs(n=200, seed=0):
+    """Two well-separated 2-D Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=(-1.5, -1.5), scale=0.5, size=(n // 2, 2))
+    x1 = rng.normal(loc=(1.5, 1.5), scale=0.5, size=(n // 2, 2))
+    x = np.concatenate([x0, x1]).astype(np.float32)
+    y = np.concatenate([np.zeros(n // 2), np.ones(n // 2)]).astype(np.int64)
+    return x, y
+
+
+def small_net(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential([Dense(2, 16, rng=rng), ReLU(), Dense(16, 2, rng=rng)])
+
+
+class TestSoftmaxCE:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.random.default_rng(0).standard_normal((5, 7))
+        p = softmax(logits)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, rtol=1e-6)
+
+    def test_softmax_stability(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(p, [[0.5, 0.5]])
+
+    def test_loss_of_perfect_prediction(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        assert loss_fn(logits, labels) == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_loss_is_log_c(self):
+        loss_fn = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 3))
+        labels = np.array([0, 1, 2, 0])
+        assert loss_fn(logits, labels) == pytest.approx(np.log(3), rel=1e-6)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((6, 4))
+        labels = rng.integers(0, 4, size=6)
+        loss_fn = SoftmaxCrossEntropy()
+        loss_fn(logits, labels)
+        grad = loss_fn.backward()
+        eps = 1e-5
+        num = np.zeros_like(logits)
+        for i in range(6):
+            for j in range(4):
+                lp = logits.copy()
+                lp[i, j] += eps
+                lm = logits.copy()
+                lm[i, j] -= eps
+                num[i, j] = (
+                    SoftmaxCrossEntropy()(lp, labels) - SoftmaxCrossEntropy()(lm, labels)
+                ) / (2 * eps)
+        np.testing.assert_allclose(grad, num, rtol=1e-4, atol=1e-6)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy()(np.zeros(4), np.zeros(4, dtype=np.int64))
+
+
+class TestSigmoidBCE:
+    def test_perfect_prediction(self):
+        loss_fn = SigmoidBCE()
+        assert loss_fn(np.array([100.0, -100.0]), np.array([1.0, 0.0])) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_stability_large_logits(self):
+        loss_fn = SigmoidBCE()
+        val = loss_fn(np.array([1e4, -1e4]), np.array([0.0, 1.0]))
+        assert np.isfinite(val)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        z = rng.standard_normal(8)
+        y = rng.integers(0, 2, size=8).astype(np.float64)
+        loss_fn = SigmoidBCE()
+        loss_fn(z, y)
+        grad = loss_fn.backward()
+        eps = 1e-6
+        num = np.zeros_like(z)
+        for i in range(8):
+            zp, zm = z.copy(), z.copy()
+            zp[i] += eps
+            zm[i] -= eps
+            num[i] = (SigmoidBCE()(zp, y) - SigmoidBCE()(zm, y)) / (2 * eps)
+        np.testing.assert_allclose(grad, num, rtol=1e-4, atol=1e-7)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            SigmoidBCE()(np.zeros(3), np.zeros(4))
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        net = Sequential([Dense(1, 1, rng=np.random.default_rng(0))])
+        net.layers[0].params["W"][...] = 5.0
+        net.layers[0].params["b"][...] = 0.0
+        opt = SGD(net, lr=0.1, momentum=0.0)
+        x = np.ones((1, 1), dtype=np.float32)
+        for _ in range(100):
+            opt.zero_grad()
+            out = net.forward(x)
+            net.backward(out)  # d/dout of 0.5*out^2
+            opt.step()
+        assert abs(float(net.forward(x)[0, 0])) < 1e-3
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            net = Sequential([Dense(1, 1, rng=np.random.default_rng(0))])
+            net.layers[0].params["W"][...] = 5.0
+            opt = SGD(net, lr=0.01, momentum=momentum)
+            x = np.ones((1, 1), dtype=np.float32)
+            for _ in range(50):
+                opt.zero_grad()
+                out = net.forward(x)
+                net.backward(out)
+                opt.step()
+            return abs(float(net.forward(x)[0, 0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        net = Sequential([Dense(2, 2, rng=np.random.default_rng(1))])
+        w0 = np.abs(net.layers[0].params["W"]).sum()
+        opt = SGD(net, lr=0.1, momentum=0.0, weight_decay=0.5)
+        for _ in range(20):
+            opt.zero_grad()
+            opt.step()
+        assert np.abs(net.layers[0].params["W"]).sum() < w0
+
+    def test_rejects_bad_hyperparams(self):
+        net = Sequential([])
+        with pytest.raises(ValueError):
+            SGD(net, lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(net, momentum=1.0)
+
+
+class TestTrainClassifier:
+    def test_learns_separable_blobs(self):
+        x, y = make_blobs(300, seed=3)
+        net = small_net(seed=3)
+        result = train_classifier(net, x, y, TrainConfig(epochs=30, batch_size=32, seed=3))
+        assert accuracy(net, x, y) > 0.95
+        assert result.best_epoch >= 0
+
+    def test_loss_decreases(self):
+        x, y = make_blobs(200, seed=4)
+        net = small_net(seed=4)
+        result = train_classifier(net, x, y, TrainConfig(epochs=10, seed=4))
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_restores_best_weights(self):
+        x, y = make_blobs(200, seed=5)
+        net = small_net(seed=5)
+        result = train_classifier(net, x, y, TrainConfig(epochs=15, seed=5))
+        # After restore, net must be in inference mode with best-epoch weights.
+        assert not net.layers[0].training
+        # best_val_loss tracks improvements above the 1e-5 update threshold.
+        assert result.best_val_loss == pytest.approx(min(result.val_losses), abs=2e-5)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            train_classifier(small_net(), np.zeros((5, 2), dtype=np.float32), np.zeros(4, dtype=np.int64))
+
+    def test_rejects_tiny_dataset(self):
+        with pytest.raises(ValueError):
+            train_classifier(small_net(), np.zeros((2, 2), dtype=np.float32), np.zeros(2, dtype=np.int64))
+
+    def test_deterministic_given_seed(self):
+        x, y = make_blobs(150, seed=6)
+        n1, n2 = small_net(seed=6), small_net(seed=6)
+        train_classifier(n1, x, y, TrainConfig(epochs=5, seed=6))
+        train_classifier(n2, x, y, TrainConfig(epochs=5, seed=6))
+        np.testing.assert_array_equal(n1.layers[0].params["W"], n2.layers[0].params["W"])
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        net = small_net(seed=7)
+        path = tmp_path / "model.npz"
+        save_weights(net, path)
+        net2 = small_net(seed=8)
+        assert not np.array_equal(net.layers[0].params["W"], net2.layers[0].params["W"])
+        load_weights(net2, path)
+        np.testing.assert_array_equal(net.layers[0].params["W"], net2.layers[0].params["W"])
+        np.testing.assert_array_equal(net.layers[2].params["b"], net2.layers[2].params["b"])
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_weights(small_net(), path)
+
+    def test_rejects_architecture_mismatch(self, tmp_path):
+        net = small_net(seed=9)
+        path = tmp_path / "model.npz"
+        save_weights(net, path)
+        other = Sequential([Dense(3, 3, rng=np.random.default_rng(0))])
+        with pytest.raises(KeyError):
+            load_weights(other, path)
+
+    def test_state_dict_is_copy(self):
+        net = small_net(seed=10)
+        state = net.state_dict()
+        key = next(iter(state))
+        state[key][...] = 99.0
+        assert not np.any(net.layers[0].params["W"] == 99.0)

@@ -1,0 +1,123 @@
+"""Integration tests: threaded runtime, API facade, and runtime-vs-sim parity."""
+
+import numpy as np
+import pytest
+
+from repro.api import FFSVA
+from repro.core import FFSVAConfig, build_trace
+from repro.models import ModelZoo
+from repro.runtime import ThreadedPipeline
+from repro.video import jackson, make_stream, make_streams
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """Two small trained streams shared by the expensive integration tests."""
+    streams = make_streams(jackson(), 2, 700, tor=0.3, seed=61)
+    zoo = ModelZoo()
+    for s in streams:
+        zoo.train_for_stream(s, n_train_frames=200, stride=2)
+    return streams, zoo
+
+
+class TestThreadedPipeline:
+    def test_requires_trained_models(self):
+        stream = make_stream(jackson(), 100, tor=0.3, seed=1)
+        with pytest.raises(ValueError):
+            ThreadedPipeline([stream], ModelZoo())
+
+    def test_rejects_empty_streams(self):
+        with pytest.raises(ValueError):
+            ThreadedPipeline([], ModelZoo())
+
+    def test_processes_every_frame_exactly_once(self, trained):
+        streams, zoo = trained
+        pipe = ThreadedPipeline(streams, zoo, FFSVAConfig(batch_size=8))
+        m = pipe.run(n_frames=250)
+        assert len(pipe.outcomes) == 2 * 250
+        seen = {(o.stream_id, o.index) for o in pipe.outcomes}
+        assert len(seen) == 2 * 250
+        m.check_conservation()
+
+    def test_outcome_stages_valid(self, trained):
+        streams, zoo = trained
+        pipe = ThreadedPipeline(streams, zoo, FFSVAConfig(batch_size=8))
+        pipe.run(n_frames=150)
+        for o in pipe.outcomes:
+            assert o.stage in ("sdd", "snm", "tyolo", "ref")
+            assert o.latency >= 0
+            assert (o.ref_count is not None) == (o.stage == "ref")
+
+    def test_queue_bounds_respected(self, trained):
+        streams, zoo = trained
+        cfg = FFSVAConfig(batch_policy="dynamic")
+        pipe = ThreadedPipeline(streams, zoo, cfg)
+        m = pipe.run(n_frames=200)
+        for name, hw in m.queue_high_water.items():
+            stage = name.split("[")[0]
+            if stage == "ref":
+                continue  # ref overflows to storage by default (Section 5.5)
+            assert hw <= cfg.queue_depth(stage)
+
+    def test_matches_trace_decisions(self, trained):
+        """The threaded runtime and the trace builder agree frame by frame."""
+        streams, zoo = trained
+        cfg = FFSVAConfig(filter_degree=0.5, number_of_objects=1)
+        stream = streams[0]
+        trace = build_trace(stream, zoo, n_frames=200)
+        pipe = ThreadedPipeline([stream], zoo, cfg)
+        pipe.run(n_frames=200)
+        survived_rt = {
+            o.index for o in pipe.outcomes if o.stage == "ref"
+        }
+        survived_tr = set(np.flatnonzero(trace.cascade_pass(0.5, 1, 0)))
+        assert survived_rt == survived_tr
+
+    def test_filter_degree_one_filters_more(self, trained):
+        streams, zoo = trained
+        loose = ThreadedPipeline(streams, zoo, FFSVAConfig(filter_degree=0.0))
+        loose.run(n_frames=200)
+        strict = ThreadedPipeline(streams, zoo, FFSVAConfig(filter_degree=1.0))
+        strict.run(n_frames=200)
+        n_ref_loose = sum(1 for o in loose.outcomes if o.stage == "ref")
+        n_ref_strict = sum(1 for o in strict.outcomes if o.stage == "ref")
+        assert n_ref_strict <= n_ref_loose
+
+
+class TestFFSVAFacade:
+    def test_train_and_analyze(self, trained):
+        streams, zoo = trained
+        system = FFSVA(FFSVAConfig(batch_size=8), zoo=zoo)
+        report = system.analyze_offline(streams[0], n_frames=200)
+        assert report.metrics.frames_ingested == 200
+        assert len(report.outcomes) == 200
+        for ev in report.events:
+            assert ev.stage == "ref"
+            assert ev.ref_count >= system.config.number_of_objects
+
+    def test_auto_trains_unknown_stream(self):
+        system = FFSVA(FFSVAConfig(batch_size=4))
+        stream = make_stream(jackson(), 450, tor=0.4, seed=71)
+        report = system.analyze_offline(stream, n_frames=80)
+        assert system.is_trained(stream)
+        assert len(report.outcomes) == 80
+
+    def test_simulation_entry_points(self, trained):
+        streams, zoo = trained
+        system = FFSVA(zoo=zoo)
+        trace = system.trace(streams[0], n_frames=300)
+        m_off = system.simulate_offline([trace])
+        m_on = system.simulate_online([trace])
+        m_base = system.simulate_baseline_offline([trace])
+        assert m_off.frames_ingested == 300
+        assert m_on.n_streams == 1
+        assert m_base.frames_to_ref == 300
+        # FFS-VA offline must beat the baseline on this low-TOR clip.
+        assert m_off.throughput_fps > m_base.throughput_fps
+
+    def test_events_match_oracle_threshold(self, trained):
+        streams, zoo = trained
+        system = FFSVA(FFSVAConfig(number_of_objects=2, batch_size=8), zoo=zoo)
+        report = system.analyze_offline(streams[0], n_frames=150)
+        for ev in report.events:
+            assert ev.ref_count >= 2

@@ -1,0 +1,73 @@
+"""Failure-injection tests: the threaded runtime must fail loudly, not hang."""
+
+import numpy as np
+import pytest
+
+from repro.core import FFSVAConfig
+from repro.models import ModelZoo
+from repro.nn import TrainConfig
+from repro.runtime import ThreadedPipeline
+from repro.video import jackson, make_stream
+
+
+@pytest.fixture(scope="module")
+def trained():
+    stream = make_stream(jackson(), 500, tor=0.3, seed=131)
+    zoo = ModelZoo()
+    zoo.train_for_stream(
+        stream,
+        n_train_frames=150,
+        stride=2,
+        train_config=TrainConfig(epochs=6, batch_size=32, seed=9),
+    )
+    return stream, zoo
+
+
+class _ExplodingSDD:
+    """SDD stand-in that fails after a few batches."""
+
+    def __init__(self, real, fail_after=3):
+        self._real = real
+        self._calls = 0
+        self.fail_after = fail_after
+
+    def passes(self, frames):
+        self._calls += 1
+        if self._calls > self.fail_after:
+            raise RuntimeError("injected SDD fault")
+        return self._real.passes(frames)
+
+
+class TestFailurePropagation:
+    def test_sdd_fault_surfaces(self, trained):
+        stream, zoo = trained
+        pipe = ThreadedPipeline([stream], zoo, FFSVAConfig(batch_size=4))
+        bundle = pipe.ctxs[0].bundle
+        bundle.sdd = _ExplodingSDD(bundle.sdd)
+        try:
+            with pytest.raises(RuntimeError, match="injected SDD fault"):
+                pipe.run(n_frames=200)
+        finally:
+            # Restore the shared fixture's bundle for other tests.
+            bundle.sdd = bundle.sdd._real
+
+    def test_partial_outcomes_before_fault(self, trained):
+        stream, zoo = trained
+        pipe = ThreadedPipeline([stream], zoo, FFSVAConfig(batch_size=4))
+        bundle = pipe.ctxs[0].bundle
+        bundle.sdd = _ExplodingSDD(bundle.sdd, fail_after=2)
+        try:
+            with pytest.raises(RuntimeError):
+                pipe.run(n_frames=200)
+        finally:
+            bundle.sdd = bundle.sdd._real
+        # Work done before the fault is still observable, and the pipeline
+        # terminated rather than hanging (pytest.raises returning proves it).
+        assert len(pipe.outcomes) < 200
+
+    def test_run_without_fault_after_restore(self, trained):
+        stream, zoo = trained
+        pipe = ThreadedPipeline([stream], zoo, FFSVAConfig(batch_size=4))
+        m = pipe.run(n_frames=100)
+        assert len(pipe.outcomes) == 100
+        m.check_conservation()

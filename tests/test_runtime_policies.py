@@ -1,0 +1,81 @@
+"""Threaded-runtime tests for batch policies, online pacing, and flushing."""
+
+import numpy as np
+import pytest
+
+from repro.core import FFSVAConfig
+from repro.models import ModelZoo
+from repro.nn import TrainConfig
+from repro.runtime import ThreadedPipeline
+from repro.video import jackson, make_streams
+
+
+@pytest.fixture(scope="module")
+def trained():
+    streams = make_streams(jackson(), 2, 800, tor=0.35, seed=91)
+    zoo = ModelZoo()
+    for s in streams:
+        zoo.train_for_stream(
+            s,
+            n_train_frames=200,
+            stride=2,
+            train_config=TrainConfig(epochs=8, batch_size=32, seed=5),
+        )
+    return streams, zoo
+
+
+def run_policy(streams, zoo, policy, batch_size=6, n_frames=150, **kw):
+    cfg = FFSVAConfig(batch_policy=policy, batch_size=batch_size, **kw)
+    pipe = ThreadedPipeline(streams, zoo, cfg)
+    metrics = pipe.run(n_frames=n_frames)
+    return pipe, metrics
+
+
+class TestBatchPoliciesThreaded:
+    @pytest.mark.parametrize("policy", ["static", "feedback", "dynamic"])
+    def test_all_policies_complete(self, trained, policy):
+        streams, zoo = trained
+        pipe, m = run_policy(streams, zoo, policy)
+        assert len(pipe.outcomes) == 2 * 150
+        m.check_conservation()
+
+    def test_partial_tail_batch_flushes(self, trained):
+        # 151 frames with batch 20: the last partial batch must still flush.
+        streams, zoo = trained
+        pipe, _ = run_policy(streams[:1], zoo, "static", batch_size=20, n_frames=151)
+        assert len(pipe.outcomes) == 151
+
+    def test_policies_agree_on_decisions(self, trained):
+        """Batching changes scheduling, never filtering decisions."""
+        streams, zoo = trained
+        results = {}
+        for policy in ("static", "feedback", "dynamic"):
+            pipe, _ = run_policy(streams[:1], zoo, policy, n_frames=120)
+            results[policy] = {
+                (o.index, o.stage) for o in pipe.outcomes
+            }
+        assert results["static"] == results["feedback"] == results["dynamic"]
+
+
+class TestOnlineThreaded:
+    def test_paced_run_completes(self, trained):
+        streams, zoo = trained
+        cfg = FFSVAConfig(batch_policy="dynamic", batch_size=6)
+        pipe = ThreadedPipeline(streams, zoo, cfg)
+        # Pace far above real time so the test stays fast but the paced
+        # code path (sleep-until-arrival) is exercised.
+        m = pipe.run(n_frames=90, online=True, paced_fps=600.0)
+        assert len(pipe.outcomes) == 2 * 90
+        assert m.duration >= 90 / 600.0
+
+    def test_relax_recovers_frames(self, trained):
+        streams, zoo = trained
+        strict_pipe, _ = run_policy(
+            streams[:1], zoo, "dynamic", n_frames=150, number_of_objects=2, relax=0
+        )
+        relaxed_pipe, _ = run_policy(
+            streams[:1], zoo, "dynamic", n_frames=150, number_of_objects=2, relax=1
+        )
+        strict_ref = sum(1 for o in strict_pipe.outcomes if o.stage == "ref")
+        relaxed_ref = sum(1 for o in relaxed_pipe.outcomes if o.stage == "ref")
+        assert relaxed_ref >= strict_ref

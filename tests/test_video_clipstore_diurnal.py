@@ -1,0 +1,102 @@
+"""Tests for the memory-bounded ClipStore and the diurnal day workload."""
+
+import numpy as np
+import pytest
+
+from repro.analytics import sliding_tor
+from repro.video import ClipStore, VideoStream, day_stream, make_day_script
+from repro.video.diurnal import DEFAULT_PROFILE
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return VideoStream.synthetic(800, 0.3, seed=121)
+
+
+class TestClipStore:
+    def test_pixels_match_direct_rendering(self, stream):
+        store = ClipStore(stream, chunk_frames=32)
+        for t in (0, 31, 32, 500, 799):
+            np.testing.assert_array_equal(store.pixels(t), stream.pixels(t))
+
+    def test_batch_matches(self, stream):
+        store = ClipStore(stream, chunk_frames=32)
+        ts = np.array([5, 100, 600])
+        np.testing.assert_array_equal(store.pixel_batch(ts), stream.pixel_batch(ts))
+
+    def test_memory_budget_respected(self, stream):
+        h, w = stream.shape
+        budget = 3 * 32 * h * w * 4  # room for three chunks
+        store = ClipStore(stream, chunk_frames=32, memory_budget_bytes=budget)
+        store.pixel_batch(np.arange(0, 800, 5))  # scan the whole clip
+        assert store.peak_bytes <= budget
+        assert store.total_video_bytes > budget  # the clip would not fit whole
+
+    def test_sequential_scan_uses_each_chunk_once(self, stream):
+        store = ClipStore(stream, chunk_frames=64)
+        seen = 0
+        for start, chunk in store.iter_chunks():
+            seen += len(chunk)
+        assert seen == len(stream)
+        assert store.decode_count == (800 + 63) // 64
+
+    def test_cache_hits_on_locality(self, stream):
+        store = ClipStore(stream, chunk_frames=64)
+        store.pixels(10)
+        store.pixels(11)
+        store.pixels(12)
+        assert store.hit_count == 2
+        assert store.miss_count == 1
+
+    def test_rejects_impossible_budget(self, stream):
+        with pytest.raises(ValueError):
+            ClipStore(stream, chunk_frames=64, memory_budget_bytes=1024)
+
+    def test_rejects_bad_chunk(self, stream):
+        with pytest.raises(ValueError):
+            ClipStore(stream, chunk_frames=0)
+
+    def test_out_of_range(self, stream):
+        store = ClipStore(stream)
+        with pytest.raises(IndexError):
+            store.pixels(800)
+
+
+class TestDiurnalWorkload:
+    @pytest.fixture(scope="class")
+    def day(self):
+        return day_stream(frames_per_hour=200, seed=7)
+
+    def test_day_length(self, day):
+        assert len(day) == 24 * 200
+
+    def test_average_tor_near_base(self, day):
+        assert abs(day.tor() - 0.08) < 0.04
+
+    def test_night_quieter_than_rush_hour(self, day):
+        counts = day.gt_counts()
+        night = (counts[2 * 200 : 4 * 200] > 0).mean()
+        rush = (counts[8 * 200 : 9 * 200] > 0).mean()
+        assert rush > night + 0.1
+
+    def test_sliding_tor_shows_fluctuation(self, day):
+        tor_series = sliding_tor(day.gt_counts(), window=200)
+        assert tor_series.max() > 3 * max(tor_series.min(), 0.01)
+
+    def test_rejects_bad_profile(self):
+        with pytest.raises(ValueError):
+            make_day_script(profile=np.ones(10))
+
+    def test_rejects_tiny_hours(self):
+        with pytest.raises(ValueError):
+            make_day_script(frames_per_hour=10)
+
+    def test_profile_shape(self):
+        assert len(DEFAULT_PROFILE) == 24
+        # Rush hours dominate the small hours.
+        assert DEFAULT_PROFILE[8] > 10 * DEFAULT_PROFILE[3]
+
+    def test_deterministic(self):
+        a = make_day_script(frames_per_hour=100, seed=3)
+        b = make_day_script(frames_per_hour=100, seed=3)
+        assert a.tracks == b.tracks

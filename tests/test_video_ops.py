@@ -1,0 +1,151 @@
+"""Unit tests for low-level image operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.ops import (
+    block_reduce_mean,
+    normalize_unit,
+    resize_bilinear,
+    to_float01,
+)
+
+
+class TestResizeBilinear:
+    def test_identity_when_same_size(self):
+        img = np.random.default_rng(0).random((10, 12)).astype(np.float32)
+        out = resize_bilinear(img, (10, 12))
+        np.testing.assert_allclose(out, img)
+
+    def test_output_shape_single(self):
+        img = np.zeros((40, 60), dtype=np.float32)
+        assert resize_bilinear(img, (13, 13)).shape == (13, 13)
+
+    def test_output_shape_batch(self):
+        img = np.zeros((5, 40, 60), dtype=np.float32)
+        assert resize_bilinear(img, (20, 30)).shape == (5, 20, 30)
+
+    def test_constant_image_preserved(self):
+        img = np.full((17, 23), 0.37, dtype=np.float32)
+        out = resize_bilinear(img, (50, 50))
+        np.testing.assert_allclose(out, 0.37, atol=1e-6)
+
+    def test_upscale_then_mean_close(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((8, 8)).astype(np.float32)
+        up = resize_bilinear(img, (32, 32))
+        assert abs(up.mean() - img.mean()) < 0.02
+
+    def test_values_within_input_range(self):
+        rng = np.random.default_rng(2)
+        img = rng.random((20, 20)).astype(np.float32)
+        out = resize_bilinear(img, (7, 9))
+        assert out.min() >= img.min() - 1e-6
+        assert out.max() <= img.max() + 1e-6
+
+    def test_gradient_preserved(self):
+        # A linear ramp resampled bilinearly stays a linear ramp.
+        img = np.tile(np.linspace(0, 1, 64, dtype=np.float32), (16, 1))
+        out = resize_bilinear(img, (16, 32))
+        diffs = np.diff(out, axis=1)
+        assert np.all(diffs > 0)
+        assert diffs.std() < 1e-3
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros((4, 4)), (0, 5))
+
+    def test_rejects_bad_ndim(self):
+        with pytest.raises(ValueError):
+            resize_bilinear(np.zeros((2, 2, 2, 2)), (4, 4))
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(3)
+        batch = rng.random((4, 30, 40)).astype(np.float32)
+        joint = resize_bilinear(batch, (15, 20))
+        for i in range(4):
+            np.testing.assert_allclose(joint[i], resize_bilinear(batch[i], (15, 20)))
+
+    @given(
+        h=st.integers(2, 40),
+        w=st.integers(2, 40),
+        oh=st.integers(1, 40),
+        ow=st.integers(1, 40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_shape_and_bounds(self, h, w, oh, ow):
+        rng = np.random.default_rng(h * 1000 + w * 100 + oh * 10 + ow)
+        img = rng.random((h, w)).astype(np.float32)
+        out = resize_bilinear(img, (oh, ow))
+        assert out.shape == (oh, ow)
+        assert out.min() >= img.min() - 1e-5
+        assert out.max() <= img.max() + 1e-5
+
+
+class TestBlockReduce:
+    def test_exact_blocks(self):
+        img = np.arange(16, dtype=np.float32).reshape(4, 4)
+        out = block_reduce_mean(img, 2)
+        expected = np.array([[2.5, 4.5], [10.5, 12.5]], dtype=np.float32)
+        np.testing.assert_allclose(out, expected)
+
+    def test_factor_one_is_identity(self):
+        img = np.random.default_rng(0).random((6, 7)).astype(np.float32)
+        np.testing.assert_allclose(block_reduce_mean(img, 1), img)
+
+    def test_trailing_pixels_dropped(self):
+        img = np.ones((5, 7), dtype=np.float32)
+        assert block_reduce_mean(img, 2).shape == (2, 3)
+
+    def test_batch(self):
+        img = np.ones((3, 8, 8), dtype=np.float32)
+        assert block_reduce_mean(img, 4).shape == (3, 2, 2)
+
+    def test_rejects_too_large_factor(self):
+        with pytest.raises(ValueError):
+            block_reduce_mean(np.ones((4, 4)), 5)
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            block_reduce_mean(np.ones((4, 4)), 0)
+
+    def test_mean_preserved(self):
+        rng = np.random.default_rng(4)
+        img = rng.random((16, 16)).astype(np.float32)
+        out = block_reduce_mean(img, 4)
+        assert abs(out.mean() - img.mean()) < 1e-6
+
+
+class TestConversions:
+    def test_uint8_to_float(self):
+        img = np.array([[0, 255], [127, 64]], dtype=np.uint8)
+        out = to_float01(img)
+        assert out.dtype == np.float32
+        np.testing.assert_allclose(out[0, 0], 0.0)
+        np.testing.assert_allclose(out[0, 1], 1.0)
+
+    def test_float_passthrough(self):
+        img = np.array([[0.25]], dtype=np.float32)
+        assert to_float01(img)[0, 0] == pytest.approx(0.25)
+
+    def test_normalize_unit_stats(self):
+        rng = np.random.default_rng(5)
+        img = rng.random((30, 30)).astype(np.float32) * 3 + 1
+        out = normalize_unit(img)
+        assert abs(out.mean()) < 1e-5
+        assert abs(out.std() - 1.0) < 1e-4
+
+    def test_normalize_constant_image(self):
+        img = np.full((8, 8), 0.5, dtype=np.float32)
+        out = normalize_unit(img)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_normalize_batch_per_image(self):
+        rng = np.random.default_rng(6)
+        batch = np.stack([rng.random((10, 10)) * 5, rng.random((10, 10))]).astype(np.float32)
+        out = normalize_unit(batch)
+        for i in range(2):
+            assert abs(out[i].mean()) < 1e-4
+            assert abs(out[i].std() - 1.0) < 1e-3

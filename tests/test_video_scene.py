@@ -1,0 +1,190 @@
+"""Tests for scene scripting, TOR targeting, and ground-truth analytics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.frame import GroundTruthObject
+from repro.video.scene import (
+    ObjectTrack,
+    SceneScript,
+    make_script,
+    scenes_from_counts,
+)
+
+
+def _track(**kw):
+    defaults = dict(
+        kind="car",
+        t_enter=10,
+        duration=50,
+        x0=-20.0,
+        y0=50.0,
+        x1=170.0,
+        y1=50.0,
+        w=30.0,
+        h=20.0,
+        intensity=0.35,
+    )
+    defaults.update(kw)
+    return ObjectTrack(**defaults)
+
+
+class TestObjectTrack:
+    def test_inactive_before_enter(self):
+        assert _track().position(9) is None
+
+    def test_inactive_after_exit(self):
+        assert _track().position(61) is None
+
+    def test_position_endpoints(self):
+        tr = _track()
+        assert tr.position(10) == pytest.approx((-20.0, 50.0))
+        assert tr.position(60) == pytest.approx((170.0, 50.0))
+
+    def test_position_midpoint(self):
+        tr = _track(wobble=0.0)
+        cx, cy = tr.position(35)
+        assert cx == pytest.approx(75.0)
+        assert cy == pytest.approx(50.0)
+
+    def test_annotation_visibility_partial_at_entry(self):
+        tr = _track()
+        ann = tr.annotation(10, height=100, width=150)
+        # Object centered at x=-20 with w=30 is fully off-screen.
+        assert ann is None
+
+    def test_annotation_full_visibility_in_middle(self):
+        tr = _track(wobble=0.0)
+        ann = tr.annotation(35, height=100, width=150)
+        assert ann is not None
+        assert ann.visibility == pytest.approx(1.0)
+
+    def test_annotation_kind_propagates(self):
+        ann = _track(kind="person", wobble=0.0).annotation(35, 100, 150)
+        assert ann.kind == "person"
+
+    def test_zero_duration_track(self):
+        tr = _track(duration=0, x0=75.0, x1=75.0)
+        assert tr.position(10) == pytest.approx((75.0, 50.0))
+
+
+class TestSceneScript:
+    def test_annotations_match_gt_counts(self):
+        script = make_script(500, 0.3, seed=3)
+        counts = script.gt_counts()
+        for t in range(0, 500, 37):
+            visible = [
+                a for a in script.annotations(t) if a.visibility >= 0.25
+            ]
+            assert len(visible) == counts[t]
+
+    def test_empty_script_tor_zero(self):
+        script = SceneScript(n_frames=100, height=50, width=50, kind="car")
+        assert script.tor() == 0.0
+        assert script.scenes() == []
+
+    def test_gt_counts_length(self):
+        script = make_script(321, 0.2, seed=1)
+        assert len(script.gt_counts()) == 321
+
+    def test_scenes_partition_target_frames(self):
+        script = make_script(2000, 0.25, seed=5)
+        counts = script.gt_counts()
+        scenes = script.scenes()
+        covered = np.zeros(2000, dtype=bool)
+        for start, stop in scenes:
+            assert stop > start
+            assert np.all(counts[start:stop] > 0)
+            covered[start:stop] = True
+        assert np.array_equal(covered, counts > 0)
+
+    def test_scenes_are_maximal(self):
+        script = make_script(2000, 0.25, seed=6)
+        counts = script.gt_counts()
+        for start, stop in script.scenes():
+            if start > 0:
+                assert counts[start - 1] == 0
+            if stop < len(counts):
+                assert counts[stop] == 0
+
+
+class TestScenesFromCounts:
+    def test_empty(self):
+        assert scenes_from_counts(np.array([])) == []
+
+    def test_all_zero(self):
+        assert scenes_from_counts(np.zeros(10)) == []
+
+    def test_all_positive(self):
+        assert scenes_from_counts(np.ones(5)) == [(0, 5)]
+
+    def test_two_runs(self):
+        counts = np.array([0, 1, 2, 0, 0, 3, 0])
+        assert scenes_from_counts(counts) == [(1, 3), (5, 6)]
+
+    def test_run_at_edges(self):
+        counts = np.array([1, 0, 1])
+        assert scenes_from_counts(counts) == [(0, 1), (2, 3)]
+
+    @given(st.lists(st.integers(0, 3), min_size=0, max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_property_reconstruction(self, counts):
+        counts = np.asarray(counts, dtype=np.int64)
+        mask = np.zeros(len(counts), dtype=bool)
+        for start, stop in scenes_from_counts(counts):
+            assert 0 <= start < stop <= len(counts)
+            mask[start:stop] = True
+        assert np.array_equal(mask, counts > 0)
+
+
+class TestMakeScript:
+    def test_rejects_bad_tor(self):
+        with pytest.raises(ValueError):
+            make_script(100, 1.5)
+        with pytest.raises(ValueError):
+            make_script(100, -0.1)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            make_script(0, 0.5)
+
+    def test_deterministic_in_seed(self):
+        a = make_script(800, 0.3, seed=42)
+        b = make_script(800, 0.3, seed=42)
+        assert a.tracks == b.tracks
+
+    def test_different_seeds_differ(self):
+        a = make_script(800, 0.3, seed=1)
+        b = make_script(800, 0.3, seed=2)
+        assert a.tracks != b.tracks
+
+    def test_zero_tor_has_no_tracks(self):
+        assert make_script(500, 0.0, seed=0).tracks == ()
+
+    @pytest.mark.parametrize("tor", [0.05, 0.1, 0.25, 0.5, 0.8, 1.0])
+    def test_tor_targeting(self, tor):
+        script = make_script(4000, tor, seed=9)
+        assert abs(script.tor() - tor) < 0.06
+
+    def test_person_kind(self):
+        script = make_script(1000, 0.4, kind="person", seed=4, max_objects=6)
+        assert script.kind == "person"
+        assert all(tr.kind == "person" for tr in script.tracks)
+
+    def test_counts_can_exceed_one(self):
+        script = make_script(3000, 0.6, seed=10, max_objects=4)
+        assert script.gt_counts().max() >= 2
+
+
+class TestGroundTruthObject:
+    def test_bbox(self):
+        obj = GroundTruthObject("car", 50, 40, 20, 10)
+        assert obj.bbox() == (40, 35, 60, 45)
+
+    def test_clipped_bbox(self):
+        obj = GroundTruthObject("car", 5, 5, 20, 20)
+        x0, y0, x1, y1 = obj.clipped_bbox(100, 100)
+        assert (x0, y0) == (0, 0)
+        assert (x1, y1) == (15, 15)

@@ -1,0 +1,138 @@
+"""Tests for the renderer, VideoStream, and workload presets."""
+
+import numpy as np
+import pytest
+
+from repro.video import (
+    Renderer,
+    RenderOptions,
+    VideoStream,
+    coral,
+    jackson,
+    make_script,
+    make_stream,
+    make_streams,
+)
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return VideoStream.synthetic(600, 0.3, seed=13)
+
+
+class TestRenderer:
+    def test_deterministic(self, stream):
+        a = stream.pixels(42)
+        b = stream.pixels(42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_frames_differ(self, stream):
+        # Sensor noise alone guarantees consecutive frames differ.
+        assert not np.array_equal(stream.pixels(10), stream.pixels(11))
+
+    def test_pixel_range(self, stream):
+        px = stream.pixels(100)
+        assert px.dtype == np.float32
+        assert px.min() >= 0.0 and px.max() <= 1.0
+
+    def test_background_static_without_objects(self):
+        script = make_script(200, 0.0, seed=3)
+        r = Renderer(script, RenderOptions(noise_sigma=0.0, lighting_amplitude=0.0))
+        np.testing.assert_allclose(r.render_pixels(0), r.render_pixels(150), atol=1e-6)
+
+    def test_objects_change_pixels(self):
+        script = make_script(400, 1.0, seed=5)
+        r = Renderer(script, RenderOptions(noise_sigma=0.0, lighting_amplitude=0.0))
+        counts = script.gt_counts()
+        busy = int(np.argmax(counts > 0))
+        bg = r.background
+        diff = np.abs(r.render_pixels(busy) - bg).max()
+        assert diff > 0.1
+
+    def test_lighting_drift(self):
+        script = make_script(4000, 0.0, seed=6)
+        r = Renderer(script, RenderOptions(noise_sigma=0.0, lighting_amplitude=0.1, lighting_period=2000))
+        m0 = r.render_pixels(0).mean()
+        m1 = r.render_pixels(500).mean()  # quarter period: peak lighting
+        assert m1 > m0 * 1.05
+
+    def test_reference_image_close_to_background(self):
+        script = make_script(200, 0.0, seed=7)
+        r = Renderer(script)
+        ref = r.reference_image(16)
+        assert np.abs(ref - r.background).mean() < 0.05
+
+    def test_render_batch_matches_single(self, stream):
+        batch = stream.pixel_batch([3, 9])
+        np.testing.assert_array_equal(batch[0], stream.pixels(3))
+        np.testing.assert_array_equal(batch[1], stream.pixels(9))
+
+    def test_out_of_range_raises(self, stream):
+        with pytest.raises(IndexError):
+            stream.pixels(len(stream))
+        with pytest.raises(IndexError):
+            stream.frame(-1)
+
+
+class TestVideoStream:
+    def test_len(self, stream):
+        assert len(stream) == 600
+
+    def test_frame_carries_annotations(self, stream):
+        counts = stream.gt_counts()
+        t = int(np.argmax(counts > 0))
+        frame = stream.frame(t)
+        assert frame.count(stream.kind, 0.25) == counts[t]
+
+    def test_frame_metadata(self, stream):
+        f = stream.frame(90)
+        assert f.index == 90
+        assert f.stream_id == stream.stream_id
+        assert f.timestamp == pytest.approx(3.0)
+
+    def test_iteration_order(self):
+        s = VideoStream.synthetic(25, 0.2, seed=3)
+        indices = [f.index for f in s]
+        assert indices == list(range(25))
+
+    def test_frames_slice(self, stream):
+        out = list(stream.frames(10, 14))
+        assert [f.index for f in out] == [10, 11, 12, 13]
+
+    def test_scenes_nonempty_for_positive_tor(self, stream):
+        assert len(stream.scenes()) >= 1
+
+
+class TestWorkloads:
+    def test_jackson_spec(self):
+        spec = jackson()
+        assert spec.kind == "car"
+        assert spec.paper_resolution == (600, 400)
+        assert spec.base_tor == pytest.approx(0.08)
+
+    def test_coral_spec(self):
+        spec = coral()
+        assert spec.kind == "person"
+        assert spec.base_tor == pytest.approx(0.50)
+
+    def test_with_tor(self):
+        spec = jackson().with_tor(0.5)
+        assert spec.base_tor == 0.5
+        assert spec.kind == "car"
+
+    def test_make_stream_uses_spec(self):
+        s = make_stream(jackson(), 400, seed=2)
+        assert s.kind == "car"
+        assert s.shape == (jackson().render_height, jackson().render_width)
+
+    def test_make_streams_distinct(self):
+        streams = make_streams(jackson(), 3, 300, tor=0.2, seed=1)
+        assert len(streams) == 3
+        ids = {s.stream_id for s in streams}
+        assert len(ids) == 3
+        # Distinct seeds -> distinct scripts.
+        assert streams[0].script.tracks != streams[1].script.tracks
+
+    def test_tor_override(self):
+        s = make_stream(jackson(), 3000, tor=0.5, seed=8)
+        assert abs(s.tor() - 0.5) < 0.08
