@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.pipeline import REF, TYOLO
 from ..core.trace import FrameTrace
 
 __all__ = ["tor_of_counts", "tor_of_trace", "sliding_tor"]
@@ -33,11 +34,11 @@ def tor_of_trace(
     (``"ref"``), or T-YOLO (``"tyolo"``) counts."""
     if source == "gt":
         counts = trace.gt_count
-    elif source == "ref":
+    elif source == REF:
         if trace.ref_count is None:
             raise ValueError("trace has no reference counts")
         counts = trace.ref_count
-    elif source == "tyolo":
+    elif source == TYOLO:
         counts = trace.tyolo_count
     else:
         raise ValueError(f"unknown source {source!r}")

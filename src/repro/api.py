@@ -98,10 +98,11 @@ class FFSVA:
         self._ensure_trained(streams)
         pipeline = ThreadedPipeline(streams, self.zoo, self.config)
         metrics = pipeline.run(n_frames, online=online, paced_fps=paced_fps)
+        terminal = pipeline.graph.terminal.name
         events = [
             o
             for o in pipeline.outcomes
-            if o.stage == "ref"
+            if o.stage == terminal
             and o.ref_count is not None
             and o.ref_count >= self.config.number_of_objects
         ]

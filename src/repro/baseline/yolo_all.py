@@ -19,6 +19,7 @@ import itertools
 
 from ..core.config import FFSVAConfig
 from ..core.metrics import LatencyStats, RunMetrics
+from ..core.pipeline import REF
 from ..core.queues import SimQueue
 from ..core.trace import FrameTrace
 from ..devices.costs import CostModel
@@ -51,7 +52,7 @@ class BaselineSimulator:
         self.n_per_stream = [len(t) for t in traces]
         self.admitted = [0] * len(traces)
         self.done = [0] * len(traces)
-        self.ref_q = SimQueue(queue_depth, "ref")
+        self.ref_q = SimQueue(queue_depth, REF)
         self._heap: list = []
         self._seq = itertools.count()
         self._busy: set[str] = set()
@@ -84,11 +85,11 @@ class BaselineSimulator:
         while progress:
             progress = False
             self._top_up(now)
-            for name in self.placement.stage_devices["ref"]:
+            for name in self.placement.stage_devices[REF]:
                 if name in self._busy or len(self.ref_q) == 0:
                     continue
                 s, i = self.ref_q.pop()
-                dt = self.costs.service_time("ref", 1)
+                dt = self.costs.service_time(REF, 1)
                 end = now + dt
                 self.placement.devices[name].busy_time += dt
                 heapq.heappush(self._heap, (end, next(self._seq), name, s, i))
@@ -124,7 +125,7 @@ class BaselineSimulator:
         m.frames_offered = sum(self.n_per_stream)
         m.frames_ingested = sum(self.admitted)
         m.frames_to_ref = sum(self.done)
-        m.stages["ref"].record(sum(self.done), sum(self.done))
+        m.stages[REF].record(sum(self.done), sum(self.done))
         m.ref_latency = LatencyStats.from_samples(self._latencies)
         m.frame_latency = m.ref_latency
         m.device_utilization = {

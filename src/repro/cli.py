@@ -20,6 +20,7 @@ import sys
 
 from . import __version__
 from .core.config import FFSVAConfig
+from .core.pipeline import CASCADES
 from .core.planner import offline_throughput_bound, plan_capacity
 from .core.tracecache import workload_trace
 from .models import ModelZoo
@@ -46,6 +47,12 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
         "--batch-policy", choices=["static", "feedback", "dynamic"], default="dynamic"
     )
     p.add_argument("--batch-size", type=int, default=10)
+    p.add_argument(
+        "--cascade",
+        choices=sorted(CASCADES),
+        default="ffs-va",
+        help="which registered stage-graph composition to execute",
+    )
 
 
 def _config_from(args) -> FFSVAConfig:
@@ -55,6 +62,7 @@ def _config_from(args) -> FFSVAConfig:
         relax=args.relax,
         batch_policy=args.batch_policy,
         batch_size=args.batch_size,
+        cascade=args.cascade,
     )
 
 
@@ -127,9 +135,9 @@ def _cmd_analyze(args) -> int:
     m = report.metrics
     print(f"processed {m.frames_ingested} frames in {m.duration:.1f}s "
           f"({m.throughput_fps:.0f} FPS real compute)")
-    for stage in ("sdd", "snm", "tyolo", "ref"):
-        c = m.stages[stage]
-        print(f"  {stage:>6}: executed {c.entered:5d}  filtered {c.filtered:5d}")
+    for spec in _config_from(args).graph():
+        c = m.stages[spec.name]
+        print(f"  {spec.name:>6}: executed {c.entered:5d}  filtered {c.filtered:5d}")
     print(f"{len(report.events)} event frames confirmed by the reference model")
     return 0
 
@@ -151,8 +159,9 @@ def _cmd_simulate(args) -> int:
         print(f"  real-time: {'yes' if m.realtime() else 'NO'} "
               f"(ingest ratio {m.ingest_ratio:.3f})")
     print(f"  latency: mean {m.frame_latency.mean:.3f}s  p95 {m.frame_latency.p95:.3f}s")
+    terminal = config.graph().terminal.name
     print(f"  frames to reference model: {m.frames_to_ref} "
-          f"({m.stage_fraction('ref'):.1%} of input)")
+          f"({m.stage_fraction(terminal):.1%} of input)")
     for dev, util in sorted(m.device_utilization.items()):
         print(f"  {dev} utilization: {util:.0%}")
     return 0

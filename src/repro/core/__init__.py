@@ -1,8 +1,24 @@
-"""FFS-VA core: configuration, queues, batching, traces, and metrics."""
+"""FFS-VA core: the stage-graph control plane, configuration, queues,
+batching, traces, and metrics."""
 
 from .batching import batch_wait_bound, decide_batch
 from .config import FFSVAConfig
-from .metrics import LatencyStats, RunMetrics, StageCounters
+from .metrics import (
+    LatencyStats,
+    RunMetrics,
+    StageCounters,
+    assert_stage_counts_equal,
+)
+from .pipeline import (
+    CASCADES,
+    STAGES,
+    BatchRule,
+    StageGraph,
+    StageLogic,
+    StageSpec,
+    cascade,
+    ffs_va_graph,
+)
 from .planner import CapacityPlan, offline_throughput_bound, plan_capacity
 from .queues import FeedbackQueue, QueueClosed, SimQueue
 from .trace import FrameTrace, build_trace
@@ -10,6 +26,14 @@ from .tracecache import cached_trace, workload_trace
 
 __all__ = [
     "FFSVAConfig",
+    "StageGraph",
+    "StageSpec",
+    "StageLogic",
+    "BatchRule",
+    "CASCADES",
+    "STAGES",
+    "cascade",
+    "ffs_va_graph",
     "decide_batch",
     "batch_wait_bound",
     "FeedbackQueue",
@@ -22,6 +46,7 @@ __all__ = [
     "RunMetrics",
     "StageCounters",
     "LatencyStats",
+    "assert_stage_counts_equal",
     "CapacityPlan",
     "plan_capacity",
     "offline_throughput_bound",

@@ -59,11 +59,24 @@ class AdmissionController:
         return all(fps < self.config.admission_tyolo_fps for _, fps in self._samples)
 
     def overloaded(self, queue_depths: dict[str, int]) -> bool:
-        """Any SNM/T-YOLO queue beyond its threshold means overload."""
+        """Any mid-cascade queue beyond its threshold means overload.
+
+        The paper watches "any queue of T-YOLO or SNM": the queues *between*
+        filters, whose growth signals internal imbalance.  Generalized to
+        the configured cascade, that is every stage except the first (its
+        queue only back-pressures the prefetcher) and the terminal stage
+        (whose overflow policy is handled separately).  Queue names are the
+        runtimes' ``stage[i]`` / ``stage`` forms.
+        """
+        graph = self.config.graph()
+        monitored = {
+            spec.name: self.config.queue_depth(spec.depth_key)
+            for spec in graph
+            if spec.name != graph.first.name and not spec.terminal
+        }
         for name, depth in queue_depths.items():
-            if name.startswith("snm") and depth > self.config.queue_depth("snm"):
-                return True
-            if name.startswith("tyolo") and depth > self.config.queue_depth("tyolo"):
+            threshold = monitored.get(name.split("[")[0])
+            if threshold is not None and depth > threshold:
                 return True
         return False
 

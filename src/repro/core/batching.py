@@ -68,12 +68,16 @@ def decide_batch(
     raise ValueError(f"unknown batch policy {policy!r}")
 
 
-def batch_wait_bound(config: FFSVAConfig, input_fps: float) -> float:
+def batch_wait_bound(
+    config: FFSVAConfig, input_fps: float, stage: str | None = None
+) -> float:
     """Worst-case batch-formation wait (seconds) under the given config.
 
     For static/feedback policies a frame may wait for the rest of its batch
     to arrive; dynamic batching never waits once a frame is queued.  Used by
-    capacity planning and asserted by the latency benchmarks.
+    capacity planning and asserted by the latency benchmarks.  ``stage``
+    names the config-batched stage whose queue threshold caps feedback
+    batches; it defaults to the paper's SNM.
     """
     if input_fps <= 0:
         raise ValueError("input_fps must be positive")
@@ -81,5 +85,7 @@ def batch_wait_bound(config: FFSVAConfig, input_fps: float) -> float:
         return 0.0
     target = config.batch_size
     if config.batch_policy == "feedback":
-        target = min(target, config.queue_depth("snm"))
+        if stage is None:
+            from .pipeline import SNM as stage  # noqa: N811 - default stage
+        target = min(target, config.queue_depth(stage))
     return (target - 1) / input_fps

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from .pipeline import CASCADES, STAGES, StageGraph
+
 __all__ = ["FFSVAConfig", "BatchPolicyName"]
 
 BatchPolicyName = str  # "static" | "feedback" | "dynamic"
@@ -45,8 +47,13 @@ class FFSVAConfig:
     # An absent "ref" bound in the paper is interpreted as a small multiple
     # of the reference batch.
     queue_depths: dict = field(
-        default_factory=lambda: {"sdd": 2, "snm": 10, "tyolo": 2, "ref": 4}
+        default_factory=lambda: {s: d for s, d in zip(STAGES, (2, 10, 2, 4))}
     )
+
+    # Which registered cascade composition to execute (see
+    # repro.core.pipeline.CASCADES).  The default is the paper's full
+    # SDD -> SNM -> T-YOLO -> reference chain.
+    cascade: str = "ffs-va"
 
     # T-YOLO round-robin extraction cap per stream per cycle.
     num_t_yolo: int = 2
@@ -82,11 +89,19 @@ class FFSVAConfig:
             raise ValueError("batch_size must be >= 1")
         if self.num_t_yolo < 1:
             raise ValueError("num_t_yolo must be >= 1")
-        for stage in ("sdd", "snm", "tyolo", "ref"):
-            if stage not in self.queue_depths:
-                raise ValueError(f"queue_depths missing stage {stage!r}")
-            if self.queue_depths[stage] < 1:
-                raise ValueError(f"queue depth for {stage!r} must be >= 1")
+        if self.cascade not in CASCADES:
+            raise ValueError(
+                f"cascade must be one of {sorted(CASCADES)}, got {self.cascade!r}"
+            )
+        for key in STAGES:
+            if key not in self.queue_depths:
+                raise ValueError(f"queue_depths missing stage {key!r}")
+        for spec in CASCADES[self.cascade]:
+            if spec.depth_key not in self.queue_depths:
+                raise ValueError(f"queue_depths missing stage {spec.depth_key!r}")
+        for key, depth in self.queue_depths.items():
+            if depth < 1:
+                raise ValueError(f"queue depth for {key!r} must be >= 1")
         if self.stream_fps <= 0:
             raise ValueError("stream_fps must be positive")
 
@@ -97,6 +112,10 @@ class FFSVAConfig:
     def queue_depth(self, stage: str) -> int:
         """Depth threshold of the queue feeding ``stage``."""
         return int(self.queue_depths[stage])
+
+    def graph(self) -> StageGraph:
+        """The stage graph this configuration selects."""
+        return CASCADES[self.cascade]
 
     @property
     def bounded_queues(self) -> bool:

@@ -12,9 +12,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..devices.costs import STAGES
+from .pipeline import STAGES
 
-__all__ = ["StageCounters", "LatencyStats", "RunMetrics"]
+__all__ = [
+    "StageCounters",
+    "LatencyStats",
+    "RunMetrics",
+    "assert_stage_counts_equal",
+]
 
 
 @dataclass
@@ -132,18 +137,42 @@ class RunMetrics:
         Every frame entering a stage is either filtered there or passed to
         the next stage; the next stage cannot see more frames than its
         predecessor passed (it may see fewer while frames are still in
-        flight at run end).
+        flight at run end).  Stage order is the insertion order of
+        ``stages``, which both runtimes emit in graph order.
         """
-        order = [s for s in STAGES if self.stages[s].entered > 0 or s == "sdd"]
+        order = list(self.stages)
         for stage in order:
             c = self.stages[stage]
             if c.entered != c.passed + c.filtered:
                 raise AssertionError(
                     f"{stage}: entered {c.entered} != passed {c.passed} + filtered {c.filtered}"
                 )
-        for up, down in zip(STAGES, STAGES[1:]):
+        for up, down in zip(order, order[1:]):
             if self.stages[down].entered > self.stages[up].passed:
                 raise AssertionError(
                     f"{down} entered {self.stages[down].entered} exceeds "
                     f"{up} passed {self.stages[up].passed}"
                 )
+
+
+def assert_stage_counts_equal(a: RunMetrics, b: RunMetrics) -> None:
+    """Assert two runs saw identical per-stage frame flow.
+
+    This is the runtime-vs-simulator cross-validation: the threaded runtime
+    and the discrete-event simulator execute the same :class:`StageGraph`
+    and emit the same structured counters, so a trace-faithful pair of runs
+    must agree on (entered, passed, filtered) at every stage regardless of
+    scheduling.
+    """
+    if set(a.stages) != set(b.stages):
+        raise AssertionError(
+            f"stage sets differ: {sorted(a.stages)} vs {sorted(b.stages)}"
+        )
+    for name in a.stages:
+        ca, cb = a.stages[name], b.stages[name]
+        if (ca.entered, ca.passed, ca.filtered) != (cb.entered, cb.passed, cb.filtered):
+            raise AssertionError(
+                f"stage {name!r} counters differ: "
+                f"(entered={ca.entered}, passed={ca.passed}, filtered={ca.filtered}) vs "
+                f"(entered={cb.entered}, passed={cb.passed}, filtered={cb.filtered})"
+            )

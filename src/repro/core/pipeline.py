@@ -1,0 +1,440 @@
+"""The stage-graph control plane shared by both runtimes.
+
+DESIGN.md's key decision #1 is "two runtimes, one control plane".  This
+module is that control plane made first-class: a :class:`StageGraph` is a
+declarative description of a filter cascade — one :class:`StageSpec` per
+stage carrying its name, default device, fan-in mode, batch-formation rule,
+and a pure :class:`StageLogic` that produces pass/drop verdicts — and both
+executors (:class:`~repro.runtime.engine.ThreadedPipeline` and
+:class:`~repro.sim.simulator.PipelineSimulator`) construct their queues,
+workers, and event tables from it.  The graph is the single source of truth
+for stage names and topology; nothing outside this module hard-codes the
+SDD → SNM → T-YOLO → ref chain.
+
+A stage declares *what* it computes in two interchangeable forms:
+
+* ``logic.evaluate(pixels, bundles, zoo, config)`` runs real inference on a
+  batch of frames (threaded runtime);
+* ``logic.trace_mask(trace, config)`` replays the same decision from a
+  precomputed :class:`~repro.core.trace.FrameTrace` (simulator).
+
+Keeping both on one object is what makes runtime-vs-simulator
+cross-validation a single assertion (see
+:func:`repro.core.metrics.assert_stage_counts_equal`).
+
+Registering a custom stage::
+
+    from repro.core.pipeline import (
+        PER_STREAM, BatchRule, StageGraph, StageLogic, StageSpec,
+        sdd_spec, tyolo_spec, ref_spec,
+    )
+
+    blur = StageSpec(
+        name="blur",
+        device="cpu0",
+        fan_in=PER_STREAM,
+        batch=BatchRule("fixed", 8),
+        logic=StageLogic(
+            evaluate=lambda pixels, bundles, zoo, cfg: (laplacian_ok(pixels), None),
+            trace_mask=lambda trace, cfg: np.ones(len(trace), dtype=bool),
+        ),
+        queue_key="sdd",  # reuse an existing queue-depth threshold
+        cost=(0.0, 1e-4),  # (per-batch overhead s, per-frame s) for the DES
+    )
+    graph = StageGraph([sdd_spec(), blur, tyolo_spec(), ref_spec()], name="blur-cascade")
+    ThreadedPipeline(streams, zoo, config, graph=graph).run()
+
+The calibrated :class:`~repro.devices.costs.CostModel` only knows the
+paper's four stages, so a custom stage must carry its own ``cost`` pair to
+run in the simulator; :func:`stage_service_time` dispatches between the
+two.  The threaded runtime measures real compute and ignores ``cost``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..models.tyolo import count_filter_mask
+
+__all__ = [
+    "SDD",
+    "SNM",
+    "TYOLO",
+    "REF",
+    "STAGES",
+    "ABORTED",
+    "PER_STREAM",
+    "SHARED_RR",
+    "MERGED",
+    "BatchRule",
+    "StageLogic",
+    "StageSpec",
+    "StageGraph",
+    "CASCADES",
+    "cascade",
+    "sdd_spec",
+    "snm_spec",
+    "tyolo_spec",
+    "ref_spec",
+    "ffs_va_graph",
+    "effective_batch",
+    "arbitration_batch",
+    "stage_service_time",
+    "stage_per_frame_time",
+]
+
+# ----------------------------------------------------------------------
+# Canonical stage names.  This is the only module where they exist as
+# string literals; everything else imports them (or reads them off a graph).
+# ----------------------------------------------------------------------
+SDD = "sdd"
+SNM = "snm"
+TYOLO = "tyolo"
+REF = "ref"
+
+#: The paper's stages in pipeline order (the default cascade).
+STAGES = (SDD, SNM, TYOLO, REF)
+
+#: Terminal disposition of a frame abandoned mid-flight when the pipeline
+#: aborts (a worker failed); distinct from every stage name.
+ABORTED = "aborted"
+
+# Fan-in modes: how a stage's input queue(s) relate to the streams.
+PER_STREAM = "per_stream"  # one queue and one worker per stream
+SHARED_RR = "shared_rr"  # one queue per stream, one worker round-robins
+MERGED = "merged"  # a single queue merging all streams
+_FAN_INS = (PER_STREAM, SHARED_RR, MERGED)
+
+_BATCH_KINDS = ("fixed", "config", "rr_cap")
+
+
+@dataclass(frozen=True)
+class BatchRule:
+    """How a stage forms batches from its input queue(s).
+
+    * ``fixed`` — always take up to ``size`` frames (SDD event batching,
+      the one-frame reference batches).
+    * ``config`` — apply the configured static/feedback/dynamic policy via
+      :func:`repro.core.batching.decide_batch` with ``config.batch_size``
+      (the SNM batch mechanism of Section 4.3.2).
+    * ``rr_cap`` — take up to ``config.num_t_yolo`` frames per stream per
+      round-robin visit (the T-YOLO extraction cap of Section 3.2.3).
+    """
+
+    kind: str
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _BATCH_KINDS:
+            raise ValueError(f"batch rule kind must be one of {_BATCH_KINDS}")
+        if self.size < 1:
+            raise ValueError("batch rule size must be >= 1")
+
+
+@dataclass(frozen=True)
+class StageLogic:
+    """The pure decision function of a stage, in both executable forms.
+
+    ``evaluate(pixels, bundles, zoo, config)`` receives a stacked pixel
+    batch plus the per-frame :class:`~repro.models.zoo.StreamModels`
+    bundles (all from one stream except at ``merged`` stages) and returns
+    ``(passes, info)``: a boolean pass mask and an optional per-frame info
+    array (terminal stages report it as the frame's ``ref_count``).
+
+    ``trace_mask(trace, config)`` returns the same verdict for every frame
+    of a precomputed trace at once.
+    """
+
+    evaluate: Callable
+    trace_mask: Callable
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """Declaration of one pipeline stage."""
+
+    name: str
+    device: str  # default device hint (placements may override)
+    fan_in: str
+    batch: BatchRule
+    logic: StageLogic
+    #: Queue-depth key into ``FFSVAConfig.queue_depths`` (defaults to name).
+    queue_key: str | None = None
+    #: Terminal stages consume every frame (no pass/drop routing).
+    terminal: bool = False
+    #: Optional ``(per_batch_overhead_s, per_frame_s)`` service-time pair
+    #: for the simulator.  ``None`` means the stage is one of the paper's
+    #: calibrated stages and the cost model resolves it by name.
+    cost: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name == ABORTED:
+            raise ValueError(f"invalid stage name {self.name!r}")
+        if self.fan_in not in _FAN_INS:
+            raise ValueError(f"fan_in must be one of {_FAN_INS}")
+        if self.cost is not None and (len(self.cost) != 2 or min(self.cost) < 0):
+            raise ValueError("cost must be a (overhead >= 0, per_frame >= 0) pair")
+
+    @property
+    def depth_key(self) -> str:
+        return self.queue_key or self.name
+
+
+class StageGraph:
+    """An ordered chain of stages — the pipeline definition.
+
+    Both runtimes execute a graph front to back: frames enter the first
+    stage, survivors of stage *i* flow to stage *i+1*, and the (single,
+    last) terminal stage disposes of every frame that reaches it.
+    """
+
+    def __init__(self, specs: Sequence[StageSpec], name: str = "custom"):
+        specs = tuple(specs)
+        if not specs:
+            raise ValueError("a stage graph needs at least one stage")
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names in {names}")
+        for s in specs[:-1]:
+            if s.terminal:
+                raise ValueError(f"terminal stage {s.name!r} must come last")
+        if not specs[-1].terminal:
+            raise ValueError("the last stage must be terminal")
+        self.specs = specs
+        self.name = name
+        self._index = {s.name: i for i, s in enumerate(specs)}
+
+    # -- container protocol -------------------------------------------
+    def __iter__(self) -> Iterator[StageSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, key: str | int) -> StageSpec:
+        if isinstance(key, int):
+            return self.specs[key]
+        return self.specs[self._index[key]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        chain = " -> ".join(s.name for s in self.specs)
+        return f"StageGraph({self.name!r}: {chain})"
+
+    # -- topology ------------------------------------------------------
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.specs)
+
+    @property
+    def first(self) -> StageSpec:
+        return self.specs[0]
+
+    @property
+    def terminal(self) -> StageSpec:
+        return self.specs[-1]
+
+    def next(self, name: str) -> StageSpec | None:
+        """The stage downstream of ``name`` (None for the terminal)."""
+        i = self._index[name]
+        return self.specs[i + 1] if i + 1 < len(self.specs) else None
+
+    def upstream(self, name: str) -> tuple[StageSpec, ...]:
+        """All stages strictly before ``name``, in order."""
+        return self.specs[: self._index[name]]
+
+    def default_placement_map(self) -> dict[str, list[str]]:
+        """Stage → device-name lists from each spec's device hint."""
+        return {s.name: [s.device] for s in self.specs}
+
+    # -- trace-side decisions ------------------------------------------
+    def trace_masks(self, trace, config) -> dict[str, np.ndarray]:
+        """Each stage's pass verdict over a full trace."""
+        return {
+            s.name: np.asarray(s.logic.trace_mask(trace, config), dtype=bool)
+            for s in self.specs
+        }
+
+    def cascade_mask(self, trace, config) -> np.ndarray:
+        """Frames surviving every stage of the graph."""
+        alive = np.ones(len(trace), dtype=bool)
+        for s in self.specs:
+            alive &= np.asarray(s.logic.trace_mask(trace, config), dtype=bool)
+        return alive
+
+    def stage_fractions(self, trace, config) -> dict[str, float]:
+        """Fraction of source frames that *reach* each stage (Figure 5)."""
+        n = max(len(trace), 1)
+        alive = np.ones(len(trace), dtype=bool)
+        fractions: dict[str, float] = {}
+        for s in self.specs:
+            fractions[s.name] = float(alive.sum()) / n
+            alive = alive & np.asarray(s.logic.trace_mask(trace, config), dtype=bool)
+        return fractions
+
+
+# ----------------------------------------------------------------------
+# Batch-size helpers shared by the planner and the simulator.
+# ----------------------------------------------------------------------
+def effective_batch(spec: StageSpec, config) -> int:
+    """Steady-state batch size the cost model should amortize over."""
+    rule = spec.batch
+    if rule.kind == "config":
+        if config.batch_policy == "static":
+            return config.batch_size
+        return min(config.batch_size, config.queue_depth(spec.depth_key))
+    if rule.kind == "rr_cap":
+        return config.num_t_yolo
+    return max(1, rule.size)
+
+
+def arbitration_batch(spec: StageSpec, config) -> int:
+    """Batch size for estimating a stage's pending work when several
+    stages share one device (the simulator's GPU arbitration)."""
+    rule = spec.batch
+    if rule.kind == "config":
+        return max(config.batch_size, 1)
+    if rule.kind == "rr_cap":
+        return config.num_t_yolo
+    return max(1, rule.size)
+
+
+def stage_service_time(spec: StageSpec, costs, batch_size: int) -> float:
+    """Device busy time for one batch at ``spec``.
+
+    The spec's own ``cost`` pair wins (custom stages); otherwise the
+    calibrated cost model resolves the stage by name.
+    """
+    if spec.cost is not None:
+        overhead, per_frame = spec.cost
+        return overhead + batch_size * per_frame
+    return costs.service_time(spec.name, batch_size)
+
+
+def stage_per_frame_time(spec: StageSpec, costs, batch_size: int) -> float:
+    """Amortized per-frame service time at the given batch size."""
+    return stage_service_time(spec, costs, batch_size) / batch_size
+
+
+# ----------------------------------------------------------------------
+# The paper's stage logic.
+# ----------------------------------------------------------------------
+def _sdd_evaluate(pixels, bundles, zoo, config):
+    return bundles[0].sdd.passes(pixels), None
+
+
+def _sdd_mask(trace, config):
+    return trace.sdd_pass()
+
+
+def _snm_evaluate(pixels, bundles, zoo, config):
+    snm = bundles[0].snm
+    probs = snm.predict_proba(pixels)
+    return snm.passes(probs, config.filter_degree), None
+
+
+def _snm_mask(trace, config):
+    return trace.snm_pass(config.filter_degree)
+
+
+def _tyolo_evaluate(pixels, bundles, zoo, config):
+    counts = zoo.tyolo.count_batch(pixels, bundles[0].background)
+    return count_filter_mask(counts, config.number_of_objects, config.relax), counts
+
+
+def _tyolo_mask(trace, config):
+    return trace.tyolo_pass(config.number_of_objects, config.relax)
+
+
+def _ref_evaluate(pixels, bundles, zoo, config):
+    counts = np.array(
+        [zoo.reference.count(px, b.background) for px, b in zip(pixels, bundles)],
+        dtype=np.int64,
+    )
+    return np.ones(len(pixels), dtype=bool), counts
+
+
+def _all_pass_mask(trace, config):
+    return np.ones(len(trace), dtype=bool)
+
+
+def sdd_spec() -> StageSpec:
+    """Stream-specialized difference detector on the CPU (Section 3.2.1)."""
+    return StageSpec(
+        name=SDD,
+        device="cpu0",
+        fan_in=PER_STREAM,
+        batch=BatchRule("fixed", 16),
+        logic=StageLogic(_sdd_evaluate, _sdd_mask),
+    )
+
+
+def snm_spec() -> StageSpec:
+    """Stream-specialized tiny CNN on the filter GPU (Section 3.2.2)."""
+    return StageSpec(
+        name=SNM,
+        device="gpu0",
+        fan_in=PER_STREAM,
+        batch=BatchRule("config"),
+        logic=StageLogic(_snm_evaluate, _snm_mask),
+    )
+
+
+def tyolo_spec() -> StageSpec:
+    """Shared T-YOLO, round-robin over streams (Section 3.2.3)."""
+    return StageSpec(
+        name=TYOLO,
+        device="gpu0",
+        fan_in=SHARED_RR,
+        batch=BatchRule("rr_cap"),
+        logic=StageLogic(_tyolo_evaluate, _tyolo_mask),
+    )
+
+
+def ref_spec() -> StageSpec:
+    """The full-feature reference model, merged onto its own GPU."""
+    return StageSpec(
+        name=REF,
+        device="gpu1",
+        fan_in=MERGED,
+        batch=BatchRule("fixed", 1),
+        logic=StageLogic(_ref_evaluate, _all_pass_mask),
+        terminal=True,
+    )
+
+
+def ffs_va_graph() -> StageGraph:
+    """The paper's full cascade: SDD → SNM → T-YOLO → reference."""
+    return StageGraph([sdd_spec(), snm_spec(), tyolo_spec(), ref_spec()], name="ffs-va")
+
+
+#: Named cascade compositions selectable via ``FFSVAConfig.cascade``.
+#: The alternatives power the X2 composition ablation: each drops one or
+#: more prepositive filters while keeping the same execution machinery.
+CASCADES: dict[str, StageGraph] = {
+    "ffs-va": ffs_va_graph(),
+    "no-sdd": StageGraph([snm_spec(), tyolo_spec(), ref_spec()], name="no-sdd"),
+    "no-snm": StageGraph([sdd_spec(), tyolo_spec(), ref_spec()], name="no-snm"),
+    "snm-only": StageGraph([snm_spec(), ref_spec()], name="snm-only"),
+    "tyolo-only": StageGraph([tyolo_spec(), ref_spec()], name="tyolo-only"),
+    "ref-only": StageGraph([ref_spec()], name="ref-only"),
+}
+
+
+def cascade(which: str | StageGraph | None) -> StageGraph:
+    """Resolve a cascade name (or pass a graph through; None → default)."""
+    if which is None:
+        return CASCADES["ffs-va"]
+    if isinstance(which, StageGraph):
+        return which
+    try:
+        return CASCADES[which]
+    except KeyError:
+        raise ValueError(
+            f"unknown cascade {which!r}; known: {sorted(CASCADES)}"
+        ) from None

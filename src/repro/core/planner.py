@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from ..devices.costs import CostModel
 from ..devices.placement import Placement, ffs_va_placement
 from .config import FFSVAConfig
+from .pipeline import effective_batch, stage_per_frame_time
 from .trace import FrameTrace
 
 __all__ = ["StageLoad", "CapacityPlan", "plan_capacity", "offline_throughput_bound"]
@@ -55,31 +56,6 @@ class CapacityPlan:
         return {d: v * n_streams for d, v in self.device_demand.items()}
 
 
-def _stage_fractions(trace: FrameTrace, config: FFSVAConfig) -> dict[str, float]:
-    """Fraction of source frames executed by each stage under ``config``."""
-    sdd = trace.sdd_pass()
-    snm = sdd & trace.snm_pass(config.filter_degree)
-    tyolo = snm & trace.tyolo_pass(config.number_of_objects, config.relax)
-    n = max(len(trace), 1)
-    return {
-        "sdd": 1.0,
-        "snm": float(sdd.sum()) / n,
-        "tyolo": float(snm.sum()) / n,
-        "ref": float(tyolo.sum()) / n,
-    }
-
-
-def _effective_batch(config: FFSVAConfig, stage: str) -> int:
-    """Steady-state batch size the cost model should amortize over."""
-    if stage == "snm":
-        if config.batch_policy == "static":
-            return config.batch_size
-        return min(config.batch_size, config.queue_depth("snm"))
-    if stage == "tyolo":
-        return config.num_t_yolo
-    return 1
-
-
 def plan_capacity(
     trace: FrameTrace,
     config: FFSVAConfig | None = None,
@@ -102,29 +78,30 @@ def plan_capacity(
     config = config or FFSVAConfig()
     costs = cost_model or CostModel()
     placement = placement or ffs_va_placement()
-    fractions = _stage_fractions(trace, config)
+    graph = config.graph()
+    fractions = graph.stage_fractions(trace, config)
     fps = config.stream_fps
 
     loads: list[StageLoad] = []
     demand: dict[str, float] = {name: 0.0 for name in placement.devices}
-    for stage in ("sdd", "snm", "tyolo", "ref"):
-        devices = placement.stage_devices.get(stage)
+    for spec in graph:
+        devices = placement.stage_devices.get(spec.name)
         if not devices:
             continue
-        batch = _effective_batch(config, stage)
-        per_frame = costs.per_frame_time(stage, batch)
-        frac = fractions[stage]
+        per_frame = stage_per_frame_time(spec, costs, effective_batch(spec, config))
+        frac = fractions[spec.name]
         per_stream = frac * per_frame * fps
         share = per_stream / len(devices)
         for dev in devices:
             demand[dev] += share
-            loads.append(StageLoad(stage, dev, frac, per_frame, share))
+            loads.append(StageLoad(spec.name, dev, frac, per_frame, share))
 
     include_ref = not config.ref_overflow_to_storage
     filter_devices = {
         name
-        for stage in ("sdd", "snm", "tyolo")
-        for name in placement.stage_devices.get(stage, [])
+        for spec in graph
+        if not spec.terminal
+        for name in placement.stage_devices.get(spec.name, [])
     }
     counted = {
         name: load
@@ -161,14 +138,15 @@ def offline_throughput_bound(
     config = config or FFSVAConfig()
     costs = cost_model or CostModel()
     placement = placement or ffs_va_placement()
-    fractions = _stage_fractions(trace, config)
+    graph = config.graph()
+    fractions = graph.stage_fractions(trace, config)
     per_device: dict[str, float] = {}
-    for stage in ("sdd", "snm", "tyolo", "ref"):
-        devices = placement.stage_devices.get(stage)
+    for spec in graph:
+        devices = placement.stage_devices.get(spec.name)
         if not devices:
             continue
-        batch = _effective_batch(config, stage)
-        cost = fractions[stage] * costs.per_frame_time(stage, batch) / len(devices)
+        per_frame = stage_per_frame_time(spec, costs, effective_batch(spec, config))
+        cost = fractions[spec.name] * per_frame / len(devices)
         for dev in devices:
             per_device[dev] = per_device.get(dev, 0.0) + cost
     worst = max(per_device.values())

@@ -53,6 +53,10 @@ class SimQueue:
     def __len__(self) -> int:
         return len(self._items)
 
+    def __iter__(self):
+        """Iterate queued items front to back without removing them."""
+        return iter(self._items)
+
     def has_room(self, n: int = 1) -> bool:
         """True if ``n`` more items fit under the depth threshold."""
         return self.depth is None or len(self._items) + self.reserved + n <= self.depth

@@ -1,6 +1,6 @@
 """Simulated heterogeneous server: devices, cost model, placements."""
 
-from .costs import STAGES, CostModel
+from .costs import CostModel
 from .device import Device, standard_server
 from .placement import Placement, baseline_placement, ffs_va_placement
 
@@ -13,3 +13,12 @@ __all__ = [
     "ffs_va_placement",
     "baseline_placement",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy back-compat re-export; the canonical names live in core.pipeline.
+    if name == "STAGES":
+        from ..core.pipeline import STAGES
+
+        return STAGES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -32,13 +32,22 @@ reduced by 30x").  With the defaults below the effective SNM rate crosses
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 __all__ = ["CostModel", "Stage", "STAGES"]
 
-#: Canonical stage names, in pipeline order.
-STAGES = ("sdd", "snm", "tyolo", "ref")
-
 Stage = str
+
+
+def __getattr__(name: str):
+    # Backwards-compatible re-export: the canonical stage names now live in
+    # the stage-graph control plane.  Resolved lazily because the devices
+    # layer is imported *by* repro.core at module-load time.
+    if name == "STAGES":
+        from ..core.pipeline import STAGES
+
+        return STAGES
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -71,26 +80,40 @@ class CostModel:
     # chosen so SDD lands at the ~20K FPS end-to-end figure.
     sdd_overhead: float = 0.0
 
+    @lru_cache(maxsize=None)
+    def _stage_params(self) -> dict:
+        """Stage -> (per-batch overhead, per-frame time).
+
+        Deferred import: the devices layer loads before the core package
+        that owns the canonical stage names.
+        """
+        from ..core.pipeline import REF, SDD, SNM, TYOLO
+
+        return {
+            SDD: (0.0, self.sdd_infer + self.sdd_resize + self.sdd_overhead),
+            SNM: (
+                self.snm_batch_overhead,
+                self.snm_infer + self.snm_resize + self.transfer_per_frame,
+            ),
+            TYOLO: (
+                self.tyolo_batch_overhead,
+                self.tyolo_infer + self.tyolo_resize + self.transfer_per_frame,
+            ),
+            REF: (
+                self.ref_batch_overhead,
+                self.ref_infer + self.ref_resize + self.transfer_per_frame,
+            ),
+        }
+
     def service_time(self, stage: Stage, batch_size: int = 1) -> float:
         """Busy time a device spends on one batch at ``stage``."""
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        n = batch_size
-        if stage == "sdd":
-            return n * (self.sdd_infer + self.sdd_resize + self.sdd_overhead)
-        if stage == "snm":
-            return self.snm_batch_overhead + n * (
-                self.snm_infer + self.snm_resize + self.transfer_per_frame
-            )
-        if stage == "tyolo":
-            return self.tyolo_batch_overhead + n * (
-                self.tyolo_infer + self.tyolo_resize + self.transfer_per_frame
-            )
-        if stage == "ref":
-            return self.ref_batch_overhead + n * (
-                self.ref_infer + self.ref_resize + self.transfer_per_frame
-            )
-        raise ValueError(f"unknown stage {stage!r}")
+        try:
+            overhead, per_frame = self._stage_params()[stage]
+        except KeyError:
+            raise ValueError(f"unknown stage {stage!r}") from None
+        return overhead + batch_size * per_frame
 
     def per_frame_time(self, stage: Stage, batch_size: int = 1) -> float:
         """Amortized per-frame service time at the given batch size."""

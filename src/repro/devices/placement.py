@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .costs import STAGES
 from .device import Device, standard_server
 
 __all__ = ["Placement", "ffs_va_placement", "baseline_placement"]
@@ -22,10 +21,19 @@ class Placement:
 
     devices: dict[str, Device]
     stage_devices: dict[str, list[str]] = field(default_factory=dict)
+    #: Stage names considered valid; None accepts the canonical set plus
+    #: any custom stage a :class:`~repro.core.pipeline.StageGraph` declares.
+    known_stages: tuple | None = None
 
     def __post_init__(self) -> None:
+        if self.known_stages is None:
+            # Deferred import: the devices layer loads before the core
+            # package that owns the canonical stage names.
+            from ..core.pipeline import STAGES
+
+            self.known_stages = STAGES
         for stage, names in self.stage_devices.items():
-            if stage not in STAGES:
+            if stage not in self.known_stages:
                 raise ValueError(f"unknown stage {stage!r}")
             for name in names:
                 if name not in self.devices:
@@ -47,23 +55,26 @@ class Placement:
 
 
 def ffs_va_placement(devices: dict[str, Device] | None = None) -> Placement:
-    """The paper's FFS-VA placement on the standard two-GPU server."""
+    """The paper's FFS-VA placement on the standard two-GPU server.
+
+    Built from the default stage graph's device hints, so the placement and
+    the cascade definition cannot drift apart.
+    """
+    from ..core.pipeline import ffs_va_graph
+
     devices = devices or standard_server()
     return Placement(
         devices=devices,
-        stage_devices={
-            "sdd": ["cpu0"],
-            "snm": ["gpu0"],
-            "tyolo": ["gpu0"],
-            "ref": ["gpu1"],
-        },
+        stage_devices=ffs_va_graph().default_placement_map(),
     )
 
 
 def baseline_placement(devices: dict[str, Device] | None = None) -> Placement:
     """The YOLOv2 baseline: the full-feature model on both GPUs."""
+    from ..core.pipeline import REF
+
     devices = devices or standard_server()
     return Placement(
         devices=devices,
-        stage_devices={"ref": ["gpu0", "gpu1"]},
+        stage_devices={REF: ["gpu0", "gpu1"]},
     )

@@ -4,30 +4,48 @@ This is the functional counterpart of the discrete-event simulator: every
 stage is an independent thread (Section 3.1.2's "through the parallel and
 pipelined structure of multiple threads"), connected by the bounded
 :class:`~repro.core.queues.FeedbackQueue` instances that implement the
-global feedback mechanism.  Per stream there is a prefetcher, an SDD worker,
-and an SNM worker; one shared T-YOLO worker round-robins over all streams
-and one shared reference worker drains the final queue.
+global feedback mechanism.
 
-Device placement is honoured with locks: SNM and T-YOLO inference both
-acquire the ``gpu0`` lock (they share a GPU in the paper), the reference
-model acquires ``gpu1``.  On a CPU-only host this costs nothing but keeps
-the execution structure faithful.
+The cascade topology is not hard-coded here: workers and queues are
+constructed from a :class:`~repro.core.pipeline.StageGraph` (the shared
+control plane, by default the config's cascade).  Per stream there is a
+prefetcher plus one worker per ``per_stream`` stage; each ``shared_rr``
+stage gets a single worker that round-robins over the per-stream queues,
+and each ``merged`` stage a single worker draining one merged queue.
+
+Device placement is honoured with locks: stages hosted on a GPU acquire
+that device's lock around inference (SNM and T-YOLO share ``gpu0`` in the
+paper, the reference model owns ``gpu1``); CPU stages run lock-free.  On a
+CPU-only host this costs nothing but keeps the execution structure
+faithful.
 
 The runtime is meant for functional validation and moderate scales; the
-paper-scale experiments use :mod:`repro.sim` with the calibrated cost model.
+paper-scale experiments use :mod:`repro.sim` with the calibrated cost model
+— both execute the same graph and emit the same per-stage counters, so the
+two can be cross-checked with
+:func:`repro.core.metrics.assert_stage_counts_equal`.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.batching import decide_batch
 from ..core.config import FFSVAConfig
-from ..core.metrics import LatencyStats, RunMetrics
+from ..core.metrics import LatencyStats, RunMetrics, StageCounters
+from ..core.pipeline import (
+    ABORTED,
+    MERGED,
+    PER_STREAM,
+    SHARED_RR,
+    StageGraph,
+    StageSpec,
+    cascade,
+)
 from ..core.queues import FeedbackQueue
 from ..devices.placement import Placement, ffs_va_placement
 from ..models.zoo import ModelZoo
@@ -42,8 +60,11 @@ class FrameOutcome:
 
     stream_id: str
     index: int
-    stage: str  # "sdd" | "snm" | "tyolo" = dropped there; "ref" = analyzed
-    ref_count: int | None  # reference-model object count (ref frames only)
+    #: The stage that dropped the frame; the terminal stage's name means the
+    #: frame was fully analyzed; ``"aborted"`` means the pipeline shut down
+    #: while the frame was still in flight.
+    stage: str
+    ref_count: int | None  # terminal-stage object count (analyzed frames only)
     latency: float  # seconds from prefetch to final disposition
 
 
@@ -61,13 +82,10 @@ class _Work:
 class _StreamCtx:
     stream: VideoStream
     bundle: object
-    sdd_q: FeedbackQueue = field(default=None)  # type: ignore[assignment]
-    snm_q: FeedbackQueue = field(default=None)  # type: ignore[assignment]
-    tyolo_q: FeedbackQueue = field(default=None)  # type: ignore[assignment]
 
 
 class ThreadedPipeline:
-    """Run FFS-VA end-to-end with real inference on a set of streams."""
+    """Run a stage graph end-to-end with real inference on a set of streams."""
 
     def __init__(
         self,
@@ -75,6 +93,7 @@ class ThreadedPipeline:
         zoo: ModelZoo,
         config: FFSVAConfig | None = None,
         placement: Placement | None = None,
+        graph: StageGraph | str | None = None,
     ):
         if not streams:
             raise ValueError("need at least one stream")
@@ -84,38 +103,113 @@ class ThreadedPipeline:
                     f"stream {s.stream_id} has no trained models; call "
                     "zoo.train_for_stream() first"
                 )
-        self.config = config or FFSVAConfig()
+        self.config = cfg = config or FFSVAConfig()
+        self.graph = cascade(graph) if graph is not None else cfg.graph()
         self.zoo = zoo
         self.placement = placement or ffs_va_placement()
-        cfg = self.config
-        depth = (
-            (lambda s: cfg.queue_depth(s)) if cfg.bounded_queues else (lambda s: None)
-        )
-        self.ctxs = [
-            _StreamCtx(
-                stream=s,
-                bundle=zoo[s.stream_id],
-                sdd_q=FeedbackQueue(depth("sdd"), f"sdd[{i}]"),
-                snm_q=FeedbackQueue(depth("snm"), f"snm[{i}]"),
-                tyolo_q=FeedbackQueue(depth("tyolo"), f"tyolo[{i}]"),
-            )
-            for i, s in enumerate(streams)
-        ]
-        ref_depth = None if cfg.ref_overflow_to_storage else depth("ref")
-        self.ref_q = FeedbackQueue(ref_depth, "ref")
+        self.ctxs = [_StreamCtx(stream=s, bundle=zoo[s.stream_id]) for s in streams]
+        n = len(streams)
+
+        #: Per-stage input queues: one per stream for per_stream/shared_rr
+        #: stages, a single merged queue otherwise.
+        self.stage_queues: dict[str, list[FeedbackQueue]] = {}
+        self.merged_queues: dict[str, FeedbackQueue] = {}
+        for spec in self.graph:
+            depth = self._depth_for(spec)
+            if spec.fan_in == MERGED:
+                self.merged_queues[spec.name] = FeedbackQueue(depth, spec.name)
+            else:
+                self.stage_queues[spec.name] = [
+                    FeedbackQueue(depth, f"{spec.name}[{i}]") for i in range(n)
+                ]
+
+        # Idle shared workers park on these instead of spin-polling;
+        # producers set the event on every put into (or close of) one of
+        # the stage's per-stream queues.
+        self._wake = {
+            spec.name: threading.Event()
+            for spec in self.graph
+            if spec.fan_in == SHARED_RR
+        }
+        # A merged queue is closed by the *last* of its producers.
+        self._producers_left = {
+            spec.name: self._producer_count(spec)
+            for spec in self.graph
+            if spec.fan_in == MERGED
+        }
+        self._producers_lock = threading.Lock()
+
+        self._locks = {spec.name: self._device_lock(spec) for spec in self.graph}
         self.outcomes: list[FrameOutcome] = []
         self._outcome_lock = threading.Lock()
-        self.metrics = RunMetrics(n_streams=len(streams))
+        self.metrics = RunMetrics(
+            n_streams=n,
+            stages={spec.name: StageCounters() for spec in self.graph},
+        )
         self._stage_lock = threading.Lock()
-        self._gpu0 = self.placement.devices["gpu0"].lock
-        self._gpu1 = self.placement.devices["gpu1"].lock
         self._errors: list[BaseException] = []
         self._abort = threading.Event()
 
     # ------------------------------------------------------------------
-    def _record(self, ctx: _StreamCtx, work: _Work, stage: str, ref_count=None):
+    # graph-driven construction helpers
+    # ------------------------------------------------------------------
+    def _depth_for(self, spec: StageSpec) -> int | None:
+        cfg = self.config
+        if not cfg.bounded_queues:
+            return None  # static batching runs without the feedback mechanism
+        if spec.terminal and cfg.ref_overflow_to_storage:
+            return None  # Section 5.5: terminal overflow goes to storage
+        return cfg.queue_depth(spec.depth_key)
+
+    def _producer_count(self, spec: StageSpec) -> int:
+        """How many worker threads feed ``spec``'s merged queue."""
+        upstream = self.graph.upstream(spec.name)
+        if not upstream:
+            return len(self.ctxs)  # fed directly by the prefetchers
+        prev = upstream[-1]
+        return len(self.ctxs) if prev.fan_in == PER_STREAM else 1
+
+    def _device_lock(self, spec: StageSpec):
+        names = self.placement.stage_devices.get(spec.name) or [spec.device]
+        device = self.placement.devices.get(names[0])
+        if device is not None and device.kind == "gpu":
+            return device.lock
+        return nullcontext()
+
+    def _input_queue(self, spec: StageSpec, stream_idx: int) -> FeedbackQueue:
+        if spec.fan_in == MERGED:
+            return self.merged_queues[spec.name]
+        return self.stage_queues[spec.name][stream_idx]
+
+    def _batch_bounds(self, spec: StageSpec) -> tuple[int, int]:
+        """(max_n, min_n) for a per-stream or merged worker's pop_batch."""
+        cfg = self.config
+        rule = spec.batch
+        if rule.kind == "config":
+            min_n = 1
+            if cfg.batch_policy in ("static", "feedback"):
+                min_n = cfg.batch_size
+                if cfg.batch_policy == "feedback":
+                    min_n = min(min_n, cfg.queue_depth(spec.depth_key))
+            return cfg.batch_size, min_n
+        if rule.kind == "rr_cap":
+            return cfg.num_t_yolo, 1
+        return rule.size, 1
+
+    def _shared_cap(self, spec: StageSpec) -> int:
+        """Frames a shared_rr worker takes from one stream per visit."""
+        if spec.batch.kind == "rr_cap":
+            return self.config.num_t_yolo
+        if spec.batch.kind == "config":
+            return self.config.batch_size
+        return spec.batch.size
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def _record(self, work: _Work, stage: str, ref_count=None) -> None:
         outcome = FrameOutcome(
-            stream_id=ctx.stream.stream_id,
+            stream_id=self.ctxs[work.stream_idx].stream.stream_id,
             index=work.index,
             stage=stage,
             ref_count=ref_count,
@@ -128,161 +222,193 @@ class ThreadedPipeline:
         with self._stage_lock:
             self.metrics.stages[stage].record(n_in, n_pass)
 
-    def _put(self, queue: FeedbackQueue, item) -> bool:
-        """Blocking put that gives up when the pipeline is aborting.
+    def _fail(self, exc: BaseException) -> None:
+        self._errors.append(exc)
+        self._abort.set()
+
+    def _put(self, spec: StageSpec, queue: FeedbackQueue, work: _Work) -> bool:
+        """Blocking put into ``spec``'s input, giving up on abort.
 
         Without this, a worker dying downstream would leave its producer
         blocked forever on a full feedback queue.
         """
         while not self._abort.is_set():
-            if queue.put(item, timeout=0.1):
+            if queue.put(work, timeout=0.1):
+                if spec.fan_in == SHARED_RR:
+                    self._wake[spec.name].set()
                 return True
         return False
 
     # ------------------------------------------------------------------
-    # stage workers
+    # close protocol
+    # ------------------------------------------------------------------
+    def _close_input(self, spec: StageSpec, stream_idx: int | None) -> None:
+        """A producer finished feeding ``spec`` (for one stream, or all)."""
+        if spec.fan_in == MERGED:
+            with self._producers_lock:
+                self._producers_left[spec.name] -= 1
+                last = self._producers_left[spec.name] <= 0
+            if last:
+                self.merged_queues[spec.name].close()
+            return
+        queues = self.stage_queues[spec.name]
+        targets = queues if stream_idx is None else [queues[stream_idx]]
+        for q in targets:
+            q.close()
+        if spec.fan_in == SHARED_RR:
+            self._wake[spec.name].set()
+
+    def _downstream_done(self, spec: StageSpec, stream_idx: int | None) -> None:
+        nxt = self.graph.next(spec.name)
+        if nxt is not None:
+            self._close_input(nxt, stream_idx)
+
+    # ------------------------------------------------------------------
+    # stage service
+    # ------------------------------------------------------------------
+    def _serve(self, spec: StageSpec, works: list[_Work]) -> bool:
+        """Evaluate one batch and route each frame; False aborts the worker.
+
+        Every frame of the batch reaches a terminal record or the next
+        stage's queue — on failure or abort the leftovers are recorded as
+        ``"aborted"`` so no outcome is ever silently lost.
+        """
+        done = 0
+        try:
+            pixels = np.stack([w.pixels for w in works])
+            bundles = [self.ctxs[w.stream_idx].bundle for w in works]
+            with self._locks[spec.name]:
+                passes, info = spec.logic.evaluate(
+                    pixels, bundles, self.zoo, self.config
+                )
+            passes = np.asarray(passes, dtype=bool)
+            self._count(spec.name, len(works), int(passes.sum()))
+            nxt = self.graph.next(spec.name)
+            for k, work in enumerate(works):
+                if spec.terminal:
+                    detail = None if info is None else int(info[k])
+                    self._record(work, spec.name, ref_count=detail)
+                elif passes[k]:
+                    target = self._input_queue(nxt, work.stream_idx)
+                    if not self._put(nxt, target, work):
+                        for w in works[k:]:
+                            self._record(w, ABORTED)
+                        return False
+                else:
+                    self._record(work, spec.name)
+                done = k + 1
+            return True
+        except BaseException:
+            for w in works[done:]:
+                self._record(w, ABORTED)
+            raise
+
+    # ------------------------------------------------------------------
+    # workers
     # ------------------------------------------------------------------
     def _prefetch_worker(self, idx: int, n_frames: int, paced_fps: float | None):
         ctx = self.ctxs[idx]
+        first = self.graph.first
+        target = self._input_queue(first, idx)
         t0 = time.monotonic()
         try:
             for i in range(n_frames):
                 if paced_fps is not None:
-                    target = t0 + i / paced_fps
-                    delay = target - time.monotonic()
+                    delay = t0 + i / paced_fps - time.monotonic()
                     if delay > 0:
                         time.sleep(delay)
                 pixels = ctx.stream.pixels(i)
-                if not self._put(ctx.sdd_q, _Work(idx, i, pixels, time.monotonic())):
+                work = _Work(idx, i, pixels, time.monotonic())
+                if not self._put(first, target, work):
+                    # The pipeline is aborting: frames never admitted still
+                    # get a terminal disposition.
+                    now = time.monotonic()
+                    for j in range(i, n_frames):
+                        self._record(_Work(idx, j, pixels, now), ABORTED)
                     return
         except BaseException as exc:  # pragma: no cover - defensive
-            self._errors.append(exc)
-            self._abort.set()
+            self._fail(exc)
         finally:
-            ctx.sdd_q.close()
+            self._close_input(first, idx)
 
-    def _sdd_worker(self, idx: int):
-        ctx = self.ctxs[idx]
-        sdd = ctx.bundle.sdd
+    def _stream_worker(self, spec: StageSpec, idx: int):
+        """Worker for one stream of a ``per_stream`` stage."""
+        q = self.stage_queues[spec.name][idx]
+        max_n, min_n = self._batch_bounds(spec)
         try:
             while True:
-                batch = ctx.sdd_q.pop_batch(16, timeout=0.05)
+                batch = q.pop_batch(max_n, min_n=min_n, timeout=0.05)
                 if not batch:
-                    if self._abort.is_set() or (
-                        ctx.sdd_q.closed and len(ctx.sdd_q) == 0
-                    ):
+                    if self._abort.is_set() or (q.closed and len(q) == 0):
                         break
                     continue
-                pixels = np.stack([w.pixels for w in batch])
-                passes = sdd.passes(pixels)
-                self._count("sdd", len(batch), int(passes.sum()))
-                for work, ok in zip(batch, passes):
-                    if ok:
-                        if not self._put(ctx.snm_q, work):
-                            return
-                    else:
-                        self._record(ctx, work, "sdd")
+                if not self._serve(spec, batch):
+                    return
         except BaseException as exc:
-            self._errors.append(exc)
-            self._abort.set()
+            self._fail(exc)
         finally:
-            ctx.snm_q.close()
+            self._downstream_done(spec, idx)
 
-    def _snm_worker(self, idx: int):
-        ctx = self.ctxs[idx]
-        snm = ctx.bundle.snm
-        cfg = self.config
-        min_n = 1
-        if cfg.batch_policy in ("static", "feedback"):
-            min_n = cfg.batch_size
-            if cfg.batch_policy == "feedback":
-                min_n = min(min_n, cfg.queue_depth("snm"))
-        try:
-            while True:
-                batch = ctx.snm_q.pop_batch(cfg.batch_size, min_n=min_n, timeout=0.05)
-                if not batch:
-                    if self._abort.is_set() or (
-                        ctx.snm_q.closed and len(ctx.snm_q) == 0
-                    ):
-                        break
-                    continue
-                pixels = np.stack([w.pixels for w in batch])
-                with self._gpu0:
-                    probs = snm.predict_proba(pixels)
-                passes = snm.passes(probs, cfg.filter_degree)
-                self._count("snm", len(batch), int(passes.sum()))
-                for work, ok in zip(batch, passes):
-                    if ok:
-                        if not self._put(ctx.tyolo_q, work):
-                            return
-                    else:
-                        self._record(ctx, work, "snm")
-        except BaseException as exc:
-            self._errors.append(exc)
-            self._abort.set()
-        finally:
-            ctx.tyolo_q.close()
-
-    def _tyolo_worker(self):
-        cfg = self.config
-        tyolo = self.zoo.tyolo
+    def _shared_worker(self, spec: StageSpec):
+        """Single worker round-robining over a ``shared_rr`` stage's queues."""
+        queues = self.stage_queues[spec.name]
+        wake = self._wake[spec.name]
+        cap = self._shared_cap(spec)
         try:
             while True:
                 all_done = True
                 any_served = False
-                for ctx in self.ctxs:
-                    if not (ctx.tyolo_q.closed and len(ctx.tyolo_q) == 0):
+                for q in queues:
+                    if not (q.closed and len(q) == 0):
                         all_done = False
-                    batch = ctx.tyolo_q.pop_batch(
-                        cfg.num_t_yolo, min_n=1, timeout=0.0
-                    )
+                    batch = q.pop_batch(cap, min_n=1, timeout=0.0)
                     if not batch:
                         continue
                     any_served = True
-                    pixels = np.stack([w.pixels for w in batch])
-                    with self._gpu0:
-                        counts = tyolo.count_batch(pixels, ctx.bundle.background)
-                    effective = max(1, cfg.number_of_objects - cfg.relax)
-                    passes = counts >= effective
-                    self._count("tyolo", len(batch), int(passes.sum()))
-                    for work, ok in zip(batch, passes):
-                        if ok:
-                            if not self._put(self.ref_q, work):
-                                return
-                        else:
-                            self._record(ctx, work, "tyolo")
+                    if not self._serve(spec, batch):
+                        return
                 if all_done or self._abort.is_set():
                     break
                 if not any_served:
-                    time.sleep(0.002)
+                    # Park until a producer signals new work (or close);
+                    # the timeout is only a safety net, not a poll interval.
+                    wake.wait(timeout=0.05)
+                    wake.clear()
         except BaseException as exc:
-            self._errors.append(exc)
-            self._abort.set()
+            self._fail(exc)
         finally:
-            self.ref_q.close()
+            self._downstream_done(spec, None)
 
-    def _ref_worker(self):
-        ref = self.zoo.reference
+    def _merged_worker(self, spec: StageSpec):
+        """Single worker draining a ``merged`` stage's one queue."""
+        q = self.merged_queues[spec.name]
+        max_n, min_n = self._batch_bounds(spec)
         try:
             while True:
-                batch = self.ref_q.pop_batch(1, timeout=0.05)
+                batch = q.pop_batch(max_n, min_n=min_n, timeout=0.05)
                 if not batch:
-                    if self._abort.is_set() or (
-                        self.ref_q.closed and len(self.ref_q) == 0
-                    ):
+                    if self._abort.is_set() or (q.closed and len(q) == 0):
                         break
                     continue
-                work = batch[0]
-                ctx = self.ctxs[work.stream_idx]
-                with self._gpu1:
-                    count = ref.count(work.pixels, ctx.bundle.background)
-                self._count("ref", 1, 1)
-                self._record(ctx, work, "ref", ref_count=int(count))
+                if not self._serve(spec, batch):
+                    return
         except BaseException as exc:
-            self._errors.append(exc)
-            self._abort.set()
+            self._fail(exc)
+        finally:
+            self._downstream_done(spec, None)
 
     # ------------------------------------------------------------------
+    def _drain_unfinished(self) -> None:
+        """After an abort, give every still-queued frame a terminal record."""
+        leftovers: list[_Work] = []
+        for queues in self.stage_queues.values():
+            for q in queues:
+                leftovers.extend(q.drain())
+        for q in self.merged_queues.values():
+            leftovers.extend(q.drain())
+        for work in leftovers:
+            self._record(work, ABORTED)
+
     def run(
         self,
         n_frames: int | None = None,
@@ -300,17 +426,31 @@ class ThreadedPipeline:
             len(ctx.stream) if n_frames is None else min(n_frames, len(ctx.stream))
             for ctx in self.ctxs
         ]
+        self.metrics.frames_offered = sum(counts)
+
         threads = []
-        for i, ctx in enumerate(self.ctxs):
+        for i in range(len(self.ctxs)):
             threads.append(
                 threading.Thread(
                     target=self._prefetch_worker, args=(i, counts[i], fps), daemon=True
                 )
             )
-            threads.append(threading.Thread(target=self._sdd_worker, args=(i,), daemon=True))
-            threads.append(threading.Thread(target=self._snm_worker, args=(i,), daemon=True))
-        threads.append(threading.Thread(target=self._tyolo_worker, daemon=True))
-        threads.append(threading.Thread(target=self._ref_worker, daemon=True))
+        for spec in self.graph:
+            if spec.fan_in == PER_STREAM:
+                for i in range(len(self.ctxs)):
+                    threads.append(
+                        threading.Thread(
+                            target=self._stream_worker, args=(spec, i), daemon=True
+                        )
+                    )
+            elif spec.fan_in == SHARED_RR:
+                threads.append(
+                    threading.Thread(target=self._shared_worker, args=(spec,), daemon=True)
+                )
+            else:
+                threads.append(
+                    threading.Thread(target=self._merged_worker, args=(spec,), daemon=True)
+                )
 
         t0 = time.monotonic()
         for t in threads:
@@ -318,21 +458,27 @@ class ThreadedPipeline:
         for t in threads:
             t.join()
         duration = time.monotonic() - t0
+        if self._abort.is_set():
+            self._drain_unfinished()
         if self._errors:
-            raise RuntimeError(f"pipeline worker failed: {self._errors[0]!r}") from self._errors[0]
+            raise RuntimeError(
+                f"pipeline worker failed: {self._errors[0]!r}"
+            ) from self._errors[0]
 
+        terminal = self.graph.terminal.name
         m = self.metrics
         m.duration = duration
-        m.frames_offered = sum(counts)
         m.frames_ingested = sum(counts)
-        m.frames_to_ref = sum(1 for o in self.outcomes if o.stage == "ref")
-        ref_lat = [o.latency for o in self.outcomes if o.stage == "ref"]
+        m.frames_to_ref = sum(1 for o in self.outcomes if o.stage == terminal)
+        ref_lat = [o.latency for o in self.outcomes if o.stage == terminal]
         m.ref_latency = LatencyStats.from_samples(ref_lat)
         m.frame_latency = LatencyStats.from_samples([o.latency for o in self.outcomes])
         m.queue_high_water = {
-            **{f"sdd[{i}]": c.sdd_q.high_water for i, c in enumerate(self.ctxs)},
-            **{f"snm[{i}]": c.snm_q.high_water for i, c in enumerate(self.ctxs)},
-            **{f"tyolo[{i}]": c.tyolo_q.high_water for i, c in enumerate(self.ctxs)},
-            "ref": self.ref_q.high_water,
+            **{
+                q.name: q.high_water
+                for queues in self.stage_queues.values()
+                for q in queues
+            },
+            **{q.name: q.high_water for q in self.merged_queues.values()},
         }
         return m

@@ -8,6 +8,13 @@ stage-to-device placement — against the calibrated
 :class:`~repro.core.metrics.RunMetrics` the threaded runtime does, but at
 paper scale (tens of streams, thousands of frames each) on a virtual clock.
 
+Like the threaded runtime, the simulator executes a
+:class:`~repro.core.pipeline.StageGraph`: the event-loop's stage table —
+which queues exist, how batches form, which streams a worker may serve,
+where survivors flow — is derived from the graph, and each stage's verdict
+comes from its spec's ``logic.trace_mask``.  Nothing here hard-codes the
+SDD → SNM → T-YOLO → ref chain.
+
 Semantics reproduced from the paper:
 
 * Each stage is a logically independent worker thread; stages sharing a
@@ -18,9 +25,9 @@ Semantics reproduced from the paper:
   no new batch until they are delivered.  Frames the stage *filters out*
   never need downstream room, so a fully-filtered batch proceeds even while
   the next stage is saturated — the paper's "bypass" (Section 4.3.1).
-* T-YOLO visits the per-stream queues round-robin, taking at most
-  ``num_t_yolo`` frames per stream per visit (Sections 3.2.3, 4.3.1).
-* Batch formation at SNM follows the static / feedback / dynamic policies
+* ``shared_rr`` stages visit the per-stream queues round-robin, taking at
+  most ``num_t_yolo`` frames per stream per visit (Sections 3.2.3, 4.3.1).
+* ``config``-batched stages follow the static / feedback / dynamic policies
   of Section 4.3.2 via :func:`repro.core.batching.decide_batch`; the static
   policy runs with unbounded queues (no feedback mechanism).
 * Online sources deliver frames at ``stream_fps``; a run is real-time when
@@ -32,13 +39,24 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.batching import decide_batch
 from ..core.config import FFSVAConfig
-from ..core.metrics import LatencyStats, RunMetrics
+from ..core.metrics import LatencyStats, RunMetrics, StageCounters
+from ..core.pipeline import (
+    MERGED,
+    PER_STREAM,
+    SHARED_RR,
+    StageGraph,
+    StageSpec,
+    arbitration_batch,
+    cascade,
+    stage_per_frame_time,
+    stage_service_time,
+)
 from ..core.queues import SimQueue
 from ..core.trace import FrameTrace
 from ..devices.costs import CostModel
@@ -46,46 +64,50 @@ from ..devices.placement import Placement, ffs_va_placement
 
 __all__ = ["PipelineSimulator", "simulate_offline", "simulate_online"]
 
-#: SDD frames processed per service event (SDD is ~300x faster than the
-#: bottleneck; batching its events only coarsens simulator bookkeeping).
-_SDD_EVENT_BATCH = 16
-
 
 @dataclass
 class _StreamState:
     """Mutable per-stream simulation state."""
 
     trace: FrameTrace
-    sdd_pass: np.ndarray
-    snm_pass: np.ndarray
-    tyolo_pass: np.ndarray
     n: int
-    admitted: int = 0  # frames pushed into the SDD queue
+    admitted: int = 0  # frames pushed into the first stage's queue
     dropped: int = 0  # frames filtered out at some stage
-    ref_done: int = 0  # frames fully analyzed by the reference model
+    analyzed: int = 0  # frames fully processed by the terminal stage
     finish_time: float = 0.0  # virtual time the last frame was disposed of
-    sdd_q: SimQueue = None  # type: ignore[assignment]
-    snm_q: SimQueue = None  # type: ignore[assignment]
-    tyolo_q: SimQueue = None  # type: ignore[assignment]
-    # Out-buffers: survivors a blocked worker is holding for this stream.
-    sdd_out: deque = None  # type: ignore[assignment]
-    snm_out: deque = None  # type: ignore[assignment]
     ingest_time: np.ndarray = None  # type: ignore[assignment]
-    in_flight_sdd: int = 0
-    in_flight_snm: int = 0
 
     @property
     def finished(self) -> bool:
-        return self.dropped + self.ref_done == self.n
+        return self.dropped + self.analyzed == self.n
 
-    def source_drained(self) -> bool:
-        """All frames admitted and none left before the SNM stage."""
-        return (
-            self.admitted == self.n
-            and len(self.sdd_q) == 0
-            and self.in_flight_sdd == 0
-            and not self.sdd_out
-        )
+
+@dataclass
+class _SimStage:
+    """Event-loop state of one graph stage.
+
+    Frames are identified as ``(stream_idx, frame_idx)`` everywhere; the
+    pass verdict for every frame of every stream is precomputed from the
+    spec's ``trace_mask``.
+    """
+
+    spec: StageSpec
+    passes: list  # ndarray[bool] per stream
+    queues: list = field(default_factory=list)  # per-stream (empty if merged)
+    merged_q: SimQueue | None = None
+    #: Survivors a blocked worker holds: keyed by stream index for
+    #: ``per_stream`` stages (each stream has its own worker), by device
+    #: name otherwise (one worker per hosting device).
+    out: dict = field(default_factory=dict)
+    in_flight: list = field(default_factory=list)  # per-stream counts
+    rr: int = 0  # round-robin cursor over streams
+    frames_done: int = 0
+    batch_events: int = 0
+
+    def queued(self) -> int:
+        if self.merged_q is not None:
+            return len(self.merged_q)
+        return sum(len(q) for q in self.queues)
 
 
 @dataclass
@@ -110,59 +132,79 @@ class PipelineSimulator:
         *,
         online: bool = True,
         record_events: bool = False,
+        graph: StageGraph | str | None = None,
     ):
         if not traces:
             raise ValueError("need at least one stream trace")
-        self.config = config or FFSVAConfig()
+        self.config = cfg = config or FFSVAConfig()
+        self.graph = cascade(graph) if graph is not None else cfg.graph()
         self.costs = cost_model or CostModel()
         self.placement = placement or ffs_va_placement()
         self.placement.reset()
         self.online = online
-        cfg = self.config
 
-        bounded = cfg.bounded_queues
-        depth = (lambda s: cfg.queue_depth(s)) if bounded else (lambda s: None)
         self.streams: list[_StreamState] = []
-        for idx, trace in enumerate(traces):
-            st = _StreamState(
-                trace=trace,
-                sdd_pass=trace.sdd_pass(),
-                snm_pass=trace.snm_pass(cfg.filter_degree),
-                tyolo_pass=trace.tyolo_pass(cfg.number_of_objects, cfg.relax),
-                n=len(trace),
-            )
-            st.sdd_q = SimQueue(depth("sdd"), f"sdd[{idx}]")
-            st.snm_q = SimQueue(depth("snm"), f"snm[{idx}]")
-            st.tyolo_q = SimQueue(depth("tyolo"), f"tyolo[{idx}]")
-            st.sdd_out = deque()
-            st.snm_out = deque()
+        for trace in traces:
+            st = _StreamState(trace=trace, n=len(trace))
             st.ingest_time = np.full(st.n, np.nan)
             self.streams.append(st)
-        ref_depth = None if cfg.ref_overflow_to_storage else depth("ref")
-        self.ref_q = SimQueue(ref_depth, "ref")
-        # Each device hosting T-YOLO has its own worker, hence its own
-        # out-buffer of survivors held while the reference queue is full.
-        self._tyolo_out: dict[str, deque] = {
-            name: deque() for name in self.placement.stage_devices.get("tyolo", [])
-        }
+        n_streams = len(traces)
+
+        self._stages: dict[str, _SimStage] = {}
+        for spec in self.graph:
+            stg = _SimStage(
+                spec=spec,
+                passes=[
+                    np.asarray(spec.logic.trace_mask(t, cfg), dtype=bool)
+                    for t in traces
+                ],
+                in_flight=[0] * n_streams,
+            )
+            depth = self._depth_for(spec)
+            if spec.fan_in == MERGED:
+                stg.merged_q = SimQueue(depth, spec.name)
+            else:
+                stg.queues = [
+                    SimQueue(depth, f"{spec.name}[{i}]") for i in range(n_streams)
+                ]
+            self._stages[spec.name] = stg
+
+        # Device -> stages hosted there (graph order), honouring placement
+        # overrides; a stage absent from the placement runs on its spec's
+        # default device.
+        self._dev_stages: dict[str, list[StageSpec]] = {}
+        for spec in self.graph:
+            for name in self._devices_for(spec):
+                self._dev_stages.setdefault(name, []).append(spec)
 
         self._heap: list = []
         self._seq = itertools.count()
         self._in_service: dict[str, _Service] = {}
-        self._rr_tyolo = 0
-        self._rr_snm = 0
-        self._rr_sdd = 0
-        self._rr_ref_dev = 0
         self._dev_last: dict[str, str] = {}
-        self._batch_events = {"sdd": 0, "snm": 0, "tyolo": 0, "ref": 0}
-        self.metrics = RunMetrics(n_streams=len(traces))
+        self.metrics = RunMetrics(
+            n_streams=n_streams,
+            stages={spec.name: StageCounters() for spec in self.graph},
+        )
         self._ref_latencies: list[float] = []
         self._drop_latencies: list[float] = []
-        self._tyolo_frames_done = 0
         self.record_events = record_events
         #: When enabled: (start, end, device, stage, stream_idx, n, n_pass)
         #: per service, in completion order — a Gantt chart of the run.
         self.events: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # graph-driven construction helpers
+    # ------------------------------------------------------------------
+    def _depth_for(self, spec: StageSpec) -> int | None:
+        cfg = self.config
+        if not cfg.bounded_queues:
+            return None  # static batching runs without the feedback mechanism
+        if spec.terminal and cfg.ref_overflow_to_storage:
+            return None  # Section 5.5: terminal overflow goes to storage
+        return cfg.queue_depth(spec.depth_key)
+
+    def _devices_for(self, spec: StageSpec) -> list[str]:
+        return self.placement.stage_devices.get(spec.name) or [spec.device]
 
     # ------------------------------------------------------------------
     # arrival model
@@ -173,14 +215,16 @@ class PipelineSimulator:
         return frame_idx / self.config.stream_fps
 
     def _top_up_arrivals(self, now: float) -> bool:
-        """Admit arrived frames into each SDD queue while room remains."""
+        """Admit arrived frames into the first stage while room remains."""
         eps = 1e-12
         progress = False
-        for st in self.streams:
-            while st.admitted < st.n and st.sdd_q.has_room(1):
+        first = self._stages[self.graph.first.name]
+        for idx, st in enumerate(self.streams):
+            q = first.merged_q if first.merged_q is not None else first.queues[idx]
+            while st.admitted < st.n and q.has_room(1):
                 if self._arrival_time(st, st.admitted) > now + eps:
                     break
-                st.sdd_q.put(st.admitted)
+                q.put((idx, st.admitted))
                 st.ingest_time[st.admitted] = max(
                     now, self._arrival_time(st, st.admitted)
                 )
@@ -189,7 +233,7 @@ class PipelineSimulator:
         return progress
 
     def _next_pending_arrival(self, now: float) -> float | None:
-        """Earliest future arrival that could enter an SDD queue."""
+        """Earliest future arrival that could enter the pipeline."""
         best = None
         for st in self.streams:
             if st.admitted < st.n:
@@ -201,19 +245,24 @@ class PipelineSimulator:
     # ------------------------------------------------------------------
     # out-buffer draining (blocked workers delivering held survivors)
     # ------------------------------------------------------------------
+    def _next_queue(self, spec: StageSpec, stream_idx: int) -> SimQueue:
+        nxt = self._stages[self.graph.next(spec.name).name]
+        if nxt.merged_q is not None:
+            return nxt.merged_q
+        return nxt.queues[stream_idx]
+
     def _drain_out_buffers(self) -> bool:
         progress = False
-        for st in self.streams:
-            while st.sdd_out and st.snm_q.has_room(1):
-                st.snm_q.put(st.sdd_out.popleft())
-                progress = True
-            while st.snm_out and st.tyolo_q.has_room(1):
-                st.tyolo_q.put(st.snm_out.popleft())
-                progress = True
-        for out in self._tyolo_out.values():
-            while out and self.ref_q.has_room(1):
-                self.ref_q.put(out.popleft())
-                progress = True
+        for spec in self.graph.specs[:-1]:
+            stg = self._stages[spec.name]
+            for dq in stg.out.values():
+                while dq:
+                    s_idx, f_idx = dq[0]
+                    target = self._next_queue(spec, s_idx)
+                    if not target.has_room(1):
+                        break  # the worker delivers FIFO; head blocks the rest
+                    target.put(dq.popleft())
+                    progress = True
         return progress
 
     # ------------------------------------------------------------------
@@ -226,133 +275,138 @@ class PipelineSimulator:
         self._in_service[device_name] = service
         device = self.placement.devices[device_name]
         device.busy_time += service.end - service.start
-        self._batch_events[service.stage] += 1
+        self._stages[service.stage].batch_events += 1
         heapq.heappush(self._heap, (service.end, next(self._seq), device_name))
 
-    def _try_start_sdd(self, now: float) -> bool:
-        name = self.placement.stage_devices["sdd"][0]
-        if not self._device_idle(name):
+    def _upstream_drained(self, spec: StageSpec, stream_idx: int) -> bool:
+        """No frame of ``stream_idx`` can ever reach ``spec`` again."""
+        st = self.streams[stream_idx]
+        if st.admitted < st.n:
             return False
-        n_streams = len(self.streams)
-        for off in range(n_streams):
-            idx = (self._rr_sdd + off) % n_streams
-            st = self.streams[idx]
-            if st.sdd_out or len(st.sdd_q) == 0:
-                continue  # worker still blocked, or nothing to do
-            n_take = min(len(st.sdd_q), _SDD_EVENT_BATCH)
-            frames = [(idx, st.sdd_q.pop()) for _ in range(n_take)]
-            passes = [bool(st.sdd_pass[fi]) for _, fi in frames]
-            st.in_flight_sdd += n_take
-            dt = self.costs.service_time("sdd", n_take)
-            self._start(name, _Service("sdd", idx, frames, passes, now, now + dt))
-            self._rr_sdd = (idx + 1) % n_streams
-            return True
-        return False
+        for up in self.graph.upstream(spec.name):
+            ustg = self._stages[up.name]
+            if ustg.in_flight[stream_idx]:
+                return False
+            if ustg.merged_q is not None:
+                if any(s == stream_idx for s, _ in ustg.merged_q):
+                    return False
+            elif len(ustg.queues[stream_idx]):
+                return False
+            if up.fan_in == PER_STREAM:
+                if ustg.out.get(stream_idx):
+                    return False
+            else:
+                for dq in ustg.out.values():
+                    if any(s == stream_idx for s, _ in dq):
+                        return False
+        return True
 
-    def _try_start_snm(self, now: float, name: str) -> bool:
-        if not self._device_idle(name):
-            return False
+    def _n_take(self, spec: StageSpec, q: SimQueue, stream_idx: int | None) -> int:
+        """Batch size a worker takes from ``q`` right now (0 = skip)."""
         cfg = self.config
+        rule = spec.batch
+        if rule.kind == "rr_cap":
+            return min(len(q), cfg.num_t_yolo)
+        if rule.kind == "config":
+            if stream_idx is None:
+                eof = all(
+                    self._upstream_drained(spec, i) for i in range(len(self.streams))
+                )
+            else:
+                eof = self._upstream_drained(spec, stream_idx)
+            return decide_batch(
+                cfg.batch_policy, len(q), cfg.batch_size, q.depth, eof=eof
+            )
+        return min(len(q), rule.size)
+
+    def _begin(
+        self,
+        device_name: str,
+        spec: StageSpec,
+        stream_idx: int | None,
+        frames: list,
+        now: float,
+    ) -> None:
+        stg = self._stages[spec.name]
+        passes = [bool(stg.passes[s][f]) for s, f in frames]
+        for s, _ in frames:
+            stg.in_flight[s] += 1
+        dt = stage_service_time(spec, self.costs, len(frames))
+        self._start(
+            device_name, _Service(spec.name, stream_idx, frames, passes, now, now + dt)
+        )
+
+    def _try_start_stage(self, device_name: str, spec: StageSpec, now: float) -> bool:
+        """Start one batch of ``spec`` on ``device_name`` if possible."""
+        stg = self._stages[spec.name]
+        if spec.fan_in == MERGED:
+            if not spec.terminal and stg.out.get(device_name):
+                return False  # this worker is blocked downstream
+            q = stg.merged_q
+            if len(q) == 0:
+                return False
+            n_take = self._n_take(spec, q, None)
+            if n_take == 0:
+                return False
+            frames = [q.pop() for _ in range(n_take)]
+            self._begin(device_name, spec, None, frames, now)
+            return True
+
+        if spec.fan_in == SHARED_RR and stg.out.get(device_name):
+            return False  # the shared worker is blocked downstream
         n_streams = len(self.streams)
         for off in range(n_streams):
-            idx = (self._rr_snm + off) % n_streams
-            st = self.streams[idx]
-            if st.snm_out:
-                continue  # this stream's SNM worker is blocked on T-YOLO
-            n_take = decide_batch(
-                cfg.batch_policy,
-                len(st.snm_q),
-                cfg.batch_size,
-                st.snm_q.depth,
-                eof=st.source_drained(),
-            )
+            idx = (stg.rr + off) % n_streams
+            if spec.fan_in == PER_STREAM and stg.out.get(idx):
+                continue  # this stream's worker is blocked downstream
+            q = stg.queues[idx]
+            if len(q) == 0:
+                continue
+            n_take = self._n_take(spec, q, idx)
             if n_take == 0:
                 continue
-            frames = [(idx, st.snm_q.pop()) for _ in range(n_take)]
-            passes = [bool(st.snm_pass[fi]) for _, fi in frames]
-            st.in_flight_snm += n_take
-            dt = self.costs.service_time("snm", n_take)
-            self._start(name, _Service("snm", idx, frames, passes, now, now + dt))
-            self._rr_snm = (idx + 1) % n_streams
+            frames = [q.pop() for _ in range(n_take)]
+            self._begin(device_name, spec, idx, frames, now)
+            stg.rr = (idx + 1) % n_streams
             return True
         return False
 
-    def _try_start_tyolo(self, now: float, name: str) -> bool:
-        if not self._device_idle(name):
-            return False
-        if self._tyolo_out[name]:
-            return False  # this T-YOLO worker is blocked on the ref queue
-        cfg = self.config
-        n_streams = len(self.streams)
-        for off in range(n_streams):
-            idx = (self._rr_tyolo + off) % n_streams
-            st = self.streams[idx]
-            if len(st.tyolo_q) == 0:
-                continue
-            n_take = min(len(st.tyolo_q), cfg.num_t_yolo)
-            frames = [(idx, st.tyolo_q.pop()) for _ in range(n_take)]
-            passes = [bool(st.tyolo_pass[fi]) for _, fi in frames]
-            dt = self.costs.service_time("tyolo", n_take)
-            self._start(name, _Service("tyolo", idx, frames, passes, now, now + dt))
-            self._rr_tyolo = (idx + 1) % n_streams
-            return True
-        return False
+    def _stage_order(self, device_name: str, specs: list[StageSpec]) -> list[StageSpec]:
+        """Service order for a device hosting several stages.
 
-    def _try_start_ref(self, now: float) -> bool:
-        started = False
-        devices = self.placement.stage_devices["ref"]
-        n_dev = len(devices)
-        for off in range(n_dev):
-            name = devices[(self._rr_ref_dev + off) % n_dev]
-            if not self._device_idle(name) or len(self.ref_q) == 0:
-                continue
-            item = self.ref_q.pop()
-            dt = self.costs.service_time("ref", 1)
-            self._start(name, _Service("ref", None, [item], [True], now, now + dt))
-            started = True
-        if started:
-            self._rr_ref_dev = (self._rr_ref_dev + 1) % n_dev
-        return started
-
-    def _filter_order(self, name: str) -> tuple[str, str]:
-        """Service order for a device hosting both SNM and T-YOLO.
-
-        The two worker threads share the GPU through the driver, which
+        The worker threads share the device through the driver, which
         time-slices them roughly in proportion to their pending work.  We
         approximate that by serving whichever stage has more queued
         service-time, falling back to strict alternation on ties — without
         this, a long unbounded SNM backlog (static batching) would starve
         T-YOLO and stall the reference stage behind it.
         """
-        snm_pf = self.costs.per_frame_time("snm", max(self.config.batch_size, 1))
-        ty_pf = self.costs.per_frame_time("tyolo", self.config.num_t_yolo)
-        snm_work = sum(len(st.snm_q) for st in self.streams) * snm_pf
-        ty_work = sum(len(st.tyolo_q) for st in self.streams) * ty_pf
-        if abs(snm_work - ty_work) < 1e-12:
-            last = self._dev_last.get(name, "snm")
-            return ("snm", "tyolo") if last == "tyolo" else ("tyolo", "snm")
-        return ("snm", "tyolo") if snm_work > ty_work else ("tyolo", "snm")
+        if len(specs) == 1:
+            return specs
+        works = [
+            self._stages[sp.name].queued()
+            * stage_per_frame_time(sp, self.costs, arbitration_batch(sp, self.config))
+            for sp in specs
+        ]
+        if all(abs(w - works[0]) < 1e-12 for w in works):
+            last = self._dev_last.get(device_name, specs[0].name)
+            names = [sp.name for sp in specs]
+            if last in names:
+                i = names.index(last)
+                return list(specs[i + 1 :]) + list(specs[: i + 1])
+            return list(specs)
+        ranked = sorted(range(len(specs)), key=lambda i: (-works[i], i))
+        return [specs[i] for i in ranked]
 
-    def _try_start_filters(self, now: float) -> bool:
-        """Start SNM / T-YOLO work on each device hosting them.
-
-        With the paper's placement both run on GPU 0; placements may also
-        spread them over several GPUs (the Section 4.3.2 scale-out note),
-        in which case every such device arbitrates independently."""
-        snm_devs = self.placement.stage_devices.get("snm", [])
-        tyolo_devs = self.placement.stage_devices.get("tyolo", [])
+    def _try_start_devices(self, now: float) -> bool:
+        """Start at most one service per idle device, per fixed-point pass."""
         any_started = False
-        for name in dict.fromkeys([*snm_devs, *tyolo_devs]):
-            order = self._filter_order(name)
-            for kind in order:
-                if kind == "snm" and name in snm_devs:
-                    started = self._try_start_snm(now, name)
-                elif kind == "tyolo" and name in tyolo_devs:
-                    started = self._try_start_tyolo(now, name)
-                else:
-                    started = False
-                if started:
-                    self._dev_last[name] = kind
+        for device_name, specs in self._dev_stages.items():
+            if not self._device_idle(device_name):
+                continue
+            for spec in self._stage_order(device_name, specs):
+                if self._try_start_stage(device_name, spec, now):
+                    self._dev_last[device_name] = spec.name
                     any_started = True
                     break
         return any_started
@@ -364,59 +418,42 @@ class PipelineSimulator:
             progress = False
             progress |= self._top_up_arrivals(now)
             progress |= self._drain_out_buffers()
-            progress |= self._try_start_sdd(now)
-            progress |= self._try_start_ref(now)
-            progress |= self._try_start_filters(now)
+            progress |= self._try_start_devices(now)
 
     # ------------------------------------------------------------------
     # completion handling
     # ------------------------------------------------------------------
     def _complete(self, device_name: str, now: float) -> None:
         svc = self._in_service.pop(device_name)
-        stage = svc.stage
+        spec = self.graph[svc.stage]
+        stg = self._stages[svc.stage]
         n_in = len(svc.frames)
         n_pass = int(sum(svc.passes))
-        self.metrics.stages[stage].record(n_in, n_pass)
+        self.metrics.stages[svc.stage].record(n_in, n_pass)
+        stg.frames_done += n_in
         if self.record_events:
             self.events.append(
-                (svc.start, svc.end, device_name, stage, svc.stream_idx, n_in, n_pass)
+                (svc.start, svc.end, device_name, svc.stage, svc.stream_idx, n_in, n_pass)
             )
 
+        out_key = svc.stream_idx if spec.fan_in == PER_STREAM else device_name
         for (s_idx, f_idx), ok in zip(svc.frames, svc.passes):
             st = self.streams[s_idx]
-            if stage == "sdd":
-                st.in_flight_sdd -= 1
-                if ok:
-                    if st.snm_q.has_room(1) and not st.sdd_out:
-                        st.snm_q.put(f_idx)
-                    else:
-                        st.sdd_out.append(f_idx)
-                else:
-                    self._drop_frame(st, f_idx, now)
-            elif stage == "snm":
-                st.in_flight_snm -= 1
-                if ok:
-                    if st.tyolo_q.has_room(1) and not st.snm_out:
-                        st.tyolo_q.put(f_idx)
-                    else:
-                        st.snm_out.append(f_idx)
-                else:
-                    self._drop_frame(st, f_idx, now)
-            elif stage == "tyolo":
-                self._tyolo_frames_done += 1
-                if ok:
-                    out = self._tyolo_out[device_name]
-                    if self.ref_q.has_room(1) and not out:
-                        self.ref_q.put((s_idx, f_idx))
-                    else:
-                        out.append((s_idx, f_idx))
-                else:
-                    self._drop_frame(st, f_idx, now)
-            elif stage == "ref":
-                st.ref_done += 1
+            stg.in_flight[s_idx] -= 1
+            if spec.terminal:
+                st.analyzed += 1
                 st.finish_time = max(st.finish_time, now)
                 self.metrics.frames_to_ref += 1
                 self._ref_latencies.append(now - self._latency_base(st, f_idx))
+            elif ok:
+                target = self._next_queue(spec, s_idx)
+                held = stg.out.get(out_key)
+                if target.has_room(1) and not held:
+                    target.put((s_idx, f_idx))
+                else:
+                    stg.out.setdefault(out_key, deque()).append((s_idx, f_idx))
+            else:
+                self._drop_frame(st, f_idx, now)
 
     def _latency_base(self, st: _StreamState, f_idx: int) -> float:
         """Reference point for latency: arrival when online (the user's
@@ -473,21 +510,27 @@ class PipelineSimulator:
             name: dev.utilization(m.duration)
             for name, dev in self.placement.devices.items()
         }
-        qhw: dict[str, int] = {"ref": self.ref_q.high_water}
-        for i, st in enumerate(self.streams):
-            qhw[f"sdd[{i}]"] = st.sdd_q.high_water
-            qhw[f"snm[{i}]"] = st.snm_q.high_water
-            qhw[f"tyolo[{i}]"] = st.tyolo_q.high_water
+        qhw: dict[str, int] = {}
+        for spec in self.graph:
+            stg = self._stages[spec.name]
+            if stg.merged_q is not None:
+                qhw[spec.name] = stg.merged_q.high_water
+            else:
+                for i, q in enumerate(stg.queues):
+                    qhw[f"{spec.name}[{i}]"] = q.high_water
         m.queue_high_water = qhw
         m.extra["per_stream_ingested"] = [st.admitted for st in self.streams]
-        m.extra["per_stream_done"] = [st.dropped + st.ref_done for st in self.streams]
+        m.extra["per_stream_done"] = [st.dropped + st.analyzed for st in self.streams]
         m.extra["per_stream_finish_time"] = [st.finish_time for st in self.streams]
-        m.extra["tyolo_fps"] = (
-            self._tyolo_frames_done / m.duration if m.duration > 0 else 0.0
-        )
-        for stage, events in self._batch_events.items():
-            if events:
-                m.extra[f"mean_{stage}_batch"] = m.stages[stage].entered / events
+        for spec in self.graph:
+            stg = self._stages[spec.name]
+            m.extra[f"{spec.name}_fps"] = (
+                stg.frames_done / m.duration if m.duration > 0 else 0.0
+            )
+            if stg.batch_events:
+                m.extra[f"mean_{spec.name}_batch"] = (
+                    m.stages[spec.name].entered / stg.batch_events
+                )
         m.extra["truncated"] = (
             max_virtual_time is not None
             and not all(st.finished for st in self.streams)

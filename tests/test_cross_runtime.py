@@ -1,0 +1,79 @@
+"""Cross-runtime equivalence: one StageGraph, two executors, same counts.
+
+The threaded runtime runs real inference; the discrete-event simulator
+replays a trace of the same models.  Both are built from the same
+:class:`~repro.core.pipeline.StageGraph` and emit the same per-stage
+structured counters, so a trace-faithful pair of runs must agree on
+(entered, passed, filtered) at every stage — regardless of threading,
+batching, or virtual-clock scheduling.  That agreement is the control
+plane's core guarantee, asserted here with
+:func:`repro.core.metrics.assert_stage_counts_equal`.
+"""
+
+import pytest
+
+from repro.core import FFSVAConfig, assert_stage_counts_equal, build_trace
+from repro.models import ModelZoo
+from repro.nn import TrainConfig
+from repro.runtime import ThreadedPipeline
+from repro.sim import PipelineSimulator
+from repro.video import jackson, make_stream
+
+N_FRAMES = 240
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Two small trained streams plus their traces (one model zoo)."""
+    zoo = ModelZoo()
+    streams, traces = [], []
+    for i, tor in enumerate((0.25, 0.45)):
+        stream = make_stream(jackson(), N_FRAMES, tor=tor, seed=40 + i)
+        zoo.train_for_stream(
+            stream,
+            n_train_frames=120,
+            stride=2,
+            train_config=TrainConfig(epochs=6, batch_size=32, seed=7),
+        )
+        streams.append(stream)
+        traces.append(build_trace(stream, zoo))
+    return streams, traces, zoo
+
+
+def _run_both(streams, traces, zoo, config):
+    pipe = ThreadedPipeline(streams, zoo, config)
+    m_real = pipe.run()
+    sim = PipelineSimulator(traces, config, online=False)
+    m_sim = sim.run()
+    return m_real, m_sim
+
+
+class TestCrossRuntimeEquivalence:
+    def test_default_cascade_counts_match(self, fleet):
+        streams, traces, zoo = fleet
+        m_real, m_sim = _run_both(streams, traces, zoo, FFSVAConfig())
+        m_real.check_conservation()
+        m_sim.check_conservation()
+        assert_stage_counts_equal(m_real, m_sim)
+        assert m_real.frames_to_ref == m_sim.frames_to_ref
+
+    def test_alternative_cascade_counts_match(self, fleet):
+        streams, traces, zoo = fleet
+        config = FFSVAConfig(cascade="no-sdd")
+        m_real, m_sim = _run_both(streams, traces, zoo, config)
+        assert set(m_real.stages) == {"snm", "tyolo", "ref"}
+        assert_stage_counts_equal(m_real, m_sim)
+
+    def test_two_filter_cascade_counts_match(self, fleet):
+        streams, traces, zoo = fleet
+        config = FFSVAConfig(cascade="snm-only", batch_policy="static", batch_size=8)
+        m_real, m_sim = _run_both(streams, traces, zoo, config)
+        assert set(m_real.stages) == {"snm", "ref"}
+        assert_stage_counts_equal(m_real, m_sim)
+
+    def test_mismatch_is_detected(self, fleet):
+        streams, traces, zoo = fleet
+        m_real, m_sim = _run_both(streams, traces, zoo, FFSVAConfig())
+        m_sim.stages["snm"].entered += 1
+        with pytest.raises(AssertionError, match="snm"):
+            assert_stage_counts_equal(m_real, m_sim)

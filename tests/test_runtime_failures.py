@@ -4,6 +4,17 @@ import numpy as np
 import pytest
 
 from repro.core import FFSVAConfig
+from repro.core.pipeline import (
+    ABORTED,
+    PER_STREAM,
+    BatchRule,
+    StageGraph,
+    StageLogic,
+    StageSpec,
+    ref_spec,
+    sdd_spec,
+    tyolo_spec,
+)
 from repro.models import ModelZoo
 from repro.nn import TrainConfig
 from repro.runtime import ThreadedPipeline
@@ -61,13 +72,80 @@ class TestFailurePropagation:
                 pipe.run(n_frames=200)
         finally:
             bundle.sdd = bundle.sdd._real
-        # Work done before the fault is still observable, and the pipeline
-        # terminated rather than hanging (pytest.raises returning proves it).
-        assert len(pipe.outcomes) < 200
+        # Work done before the fault is still observable, the pipeline
+        # terminated rather than hanging (pytest.raises returning proves it),
+        # and no frame was silently lost: everything still in flight at the
+        # abort carries the terminal "aborted" disposition.
+        assert len(pipe.outcomes) == 200
+        stages = {o.stage for o in pipe.outcomes}
+        assert ABORTED in stages
+        indices = sorted(o.index for o in pipe.outcomes)
+        assert indices == list(range(200))
 
     def test_run_without_fault_after_restore(self, trained):
         stream, zoo = trained
         pipe = ThreadedPipeline([stream], zoo, FFSVAConfig(batch_size=4))
         m = pipe.run(n_frames=100)
         assert len(pipe.outcomes) == 100
+        assert not any(o.stage == ABORTED for o in pipe.outcomes)
         m.check_conservation()
+
+
+def _faulty_graph(fail_after: int) -> StageGraph:
+    """The paper's cascade with an injected mid-pipeline stage that fails
+    after ``fail_after`` batches — exercised purely through the StageLogic
+    seam, no model monkey-patching required."""
+    calls = {"n": 0}
+
+    def evaluate(pixels, bundles, zoo, config):
+        calls["n"] += 1
+        if calls["n"] > fail_after:
+            raise RuntimeError("injected mid-stage fault")
+        return np.ones(len(pixels), dtype=bool), None
+
+    faulty = StageSpec(
+        name="faulty",
+        device="cpu0",
+        fan_in=PER_STREAM,
+        batch=BatchRule("fixed", 4),
+        logic=StageLogic(evaluate, lambda trace, cfg: np.ones(len(trace), dtype=bool)),
+        queue_key="snm",  # reuse an existing queue-depth threshold
+    )
+    return StageGraph([sdd_spec(), faulty, tyolo_spec(), ref_spec()], name="faulty")
+
+
+class TestInjectedStageFault:
+    """Drain/abort behaviour with a fault injected via the StageLogic seam."""
+
+    def test_fault_propagates_and_nothing_is_lost(self, trained):
+        stream, zoo = trained
+        pipe = ThreadedPipeline(
+            [stream],
+            zoo,
+            FFSVAConfig(batch_size=4),
+            graph=_faulty_graph(fail_after=2),
+        )
+        with pytest.raises(RuntimeError, match="injected mid-stage fault"):
+            pipe.run(n_frames=200)
+        # The original exception is chained, every downstream queue is
+        # closed (no worker or producer is left blocked — run() returned),
+        # and frame accounting holds on the failure path too.
+        assert len(pipe.outcomes) == pipe.metrics.frames_offered == 200
+        assert any(o.stage == ABORTED for o in pipe.outcomes)
+        for queues in pipe.stage_queues.values():
+            for q in queues:
+                assert q.closed and len(q) == 0
+        for q in pipe.merged_queues.values():
+            assert q.closed and len(q) == 0
+
+    def test_fault_in_first_batch_still_terminates(self, trained):
+        stream, zoo = trained
+        pipe = ThreadedPipeline(
+            [stream],
+            zoo,
+            FFSVAConfig(batch_size=4),
+            graph=_faulty_graph(fail_after=0),
+        )
+        with pytest.raises(RuntimeError, match="injected mid-stage fault"):
+            pipe.run(n_frames=120)
+        assert len(pipe.outcomes) == 120
