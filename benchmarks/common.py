@@ -35,6 +35,8 @@ __all__ = [
     "get_trace",
     "fleet",
     "record",
+    "record_metrics",
+    "record_timeseries",
     "print_table",
     "jackson",
     "coral",
@@ -116,6 +118,33 @@ def record(experiment: str, payload: dict) -> None:
             data = {}
     data[experiment] = payload
     _RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def record_metrics(experiment: str, metrics) -> None:
+    """Record one run's full :class:`RunMetrics` snapshot (canonical JSON
+    form, same schema the CLI's ``--metrics-json`` writes) under
+    ``<experiment>/run_metrics`` in benchmarks/results.json."""
+    record(f"{experiment}/run_metrics", metrics.to_dict())
+
+
+_TIMESERIES_PATH = Path(__file__).parent / "telemetry.json"
+
+
+def record_timeseries(experiment: str, telemetry) -> None:
+    """Persist a run's telemetry time-series and bus statistics into
+    ``benchmarks/telemetry.json`` (next to results.json) so queue-depth and
+    utilization traces survive the benchmark process."""
+    data = {}
+    if _TIMESERIES_PATH.exists():
+        try:
+            data = json.loads(_TIMESERIES_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[experiment] = {
+        "bus": telemetry.bus.stats(),
+        "series": telemetry.sampler.to_dict(),
+    }
+    _TIMESERIES_PATH.write_text(json.dumps(data, indent=2, sort_keys=True))
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

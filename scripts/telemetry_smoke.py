@@ -1,0 +1,114 @@
+"""CI smoke test for the telemetry subsystem — fast and in-process.
+
+Runs a short simulated analysis with telemetry attached, then exercises
+every plane end to end:
+
+* the event bus saw all six event kinds' worth of traffic and the per-stage
+  disposition events reproduce ``RunMetrics.stages`` exactly;
+* per-frame spans reconstruct and the Chrome trace JSON loads;
+* the HTTP export plane serves ``/metrics`` (Prometheus text, per-stage
+  counters matching the run) and ``/snapshot`` (JSON) over a real socket;
+* ``RunMetrics`` round-trips through its JSON form;
+* the CLI accepts ``--telemetry``/``--metrics-json``/``--trace-json`` and
+  writes loadable artifacts.
+
+Exit code 0 means the telemetry story works on this interpreter; any
+assertion failure or exception fails the CI step.
+"""
+
+import json
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.core import FFSVAConfig, RunMetrics, workload_trace  # noqa: E402
+from repro.obs import EVENT_KINDS, Telemetry  # noqa: E402
+from repro.sim import PipelineSimulator  # noqa: E402
+from repro.video import jackson  # noqa: E402
+
+N_FRAMES = 400
+
+
+def check_simulator_run(tmp: Path) -> None:
+    config = FFSVAConfig(telemetry=True)
+    telemetry = Telemetry.from_config(config)
+    trace = workload_trace(jackson(), N_FRAMES, tor=0.3, seed=3)
+    sim = PipelineSimulator([trace], config, online=False, telemetry=telemetry)
+    metrics = sim.run()
+
+    # Event plane: schema and counter agreement.
+    events = telemetry.bus.events()
+    assert events, "telemetry run produced no events"
+    assert telemetry.bus.dropped == 0
+    assert {e.kind for e in events} <= set(EVENT_KINDS)
+    for stage, c in metrics.stages.items():
+        dispositions = [
+            e for e in events
+            if e.stage == stage and e.kind in ("frame_pass", "frame_filter")
+        ]
+        assert len(dispositions) == c.entered, (
+            f"{stage}: {len(dispositions)} disposition events != {c.entered} entered"
+        )
+
+    # Trace plane: spans reconstruct, Chrome JSON loads from disk.
+    spans = telemetry.spans(terminal="ref")
+    assert spans
+    trace_path = tmp / "trace.json"
+    telemetry.dump_chrome_trace(trace_path, terminal="ref")
+    doc = json.loads(trace_path.read_text())
+    assert doc["traceEvents"], "chrome trace has no events"
+
+    # Export plane over a real socket.
+    server = telemetry.serve(lambda: metrics, port=0)
+    try:
+        text = urllib.request.urlopen(f"{server.url}/metrics", timeout=5).read().decode()
+        for stage, c in metrics.stages.items():
+            needle = f'ffsva_stage_frames_entered_total{{stage="{stage}"}} {c.entered}'
+            assert needle in text, f"missing {needle!r} in /metrics"
+        snap = json.loads(
+            urllib.request.urlopen(f"{server.url}/snapshot", timeout=5).read()
+        )
+        assert snap["metrics"]["frames_ingested"] == metrics.frames_ingested
+        assert snap["series"], "no sampled time-series in /snapshot"
+    finally:
+        server.stop()
+
+    # Metrics serialization round-trip.
+    clone = RunMetrics.from_json(metrics.to_json())
+    assert clone.to_dict() == metrics.to_dict()
+    print(
+        f"simulator: {telemetry.bus.published} events, {len(spans)} spans, "
+        f"{len(telemetry.sampler.names)} series — ok"
+    )
+
+
+def check_cli(tmp: Path) -> None:
+    metrics_path = tmp / "metrics.json"
+    trace_path = tmp / "cli_trace.json"
+    rc = cli_main([
+        "simulate", "--workload", "jackson", "--tor", "0.3",
+        "--frames", str(N_FRAMES), "--telemetry",
+        "--metrics-json", str(metrics_path), "--trace-json", str(trace_path),
+    ])
+    assert rc == 0
+    m = RunMetrics.from_json(metrics_path.read_text())
+    assert m.frames_ingested == N_FRAMES
+    assert json.loads(trace_path.read_text())["traceEvents"]
+    print("cli: metrics + chrome trace artifacts written — ok")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as d:
+        tmp = Path(d)
+        check_simulator_run(tmp)
+        check_cli(tmp)
+    print("telemetry smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

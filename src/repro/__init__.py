@@ -32,6 +32,7 @@ from .core import (
 )
 from .devices import CostModel
 from .models import ModelZoo
+from .obs import Telemetry, TelemetryServer
 from .sim import simulate_offline, simulate_online
 from .video import VideoStream, coral, jackson, make_stream, make_streams
 
@@ -49,6 +50,8 @@ __all__ = [
     "workload_trace",
     "simulate_offline",
     "simulate_online",
+    "Telemetry",
+    "TelemetryServer",
     "baseline_offline",
     "baseline_online",
     "error_rate",

@@ -30,6 +30,7 @@ from .core.metrics import RunMetrics
 from .core.trace import FrameTrace, build_trace
 from .devices.costs import CostModel
 from .models.zoo import ModelZoo, StreamModels
+from .obs import Telemetry
 from .runtime.engine import FrameOutcome, ThreadedPipeline
 from .sim import simulate_offline, simulate_online
 from .video.stream import VideoStream
@@ -46,6 +47,8 @@ class AnalysisReport:
     #: Frames that reached the reference model and matched the event
     #: (reference count >= NumberofObjects) — the system's actual output.
     events: list[FrameOutcome] = field(default_factory=list)
+    #: The run's telemetry (trace spans, time-series) when it was enabled.
+    telemetry: Telemetry | None = None
 
 
 class FFSVA:
@@ -56,10 +59,16 @@ class FFSVA:
         config: FFSVAConfig | None = None,
         zoo: ModelZoo | None = None,
         cost_model: CostModel | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.config = config or FFSVAConfig()
         self.zoo = zoo or ModelZoo()
         self.cost_model = cost_model or CostModel()
+        #: Shared by every run this facade launches; built automatically
+        #: when the config asks for telemetry, or pass your own.
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry.from_config(self.config)
+        )
 
     # ------------------------------------------------------------------
     # model management
@@ -96,7 +105,9 @@ class FFSVA:
 
     def _run(self, streams, n_frames, *, online, paced_fps=None) -> AnalysisReport:
         self._ensure_trained(streams)
-        pipeline = ThreadedPipeline(streams, self.zoo, self.config)
+        pipeline = ThreadedPipeline(
+            streams, self.zoo, self.config, telemetry=self.telemetry
+        )
         metrics = pipeline.run(n_frames, online=online, paced_fps=paced_fps)
         terminal = pipeline.graph.terminal.name
         events = [
@@ -106,7 +117,12 @@ class FFSVA:
             and o.ref_count is not None
             and o.ref_count >= self.config.number_of_objects
         ]
-        return AnalysisReport(metrics=metrics, outcomes=pipeline.outcomes, events=events)
+        return AnalysisReport(
+            metrics=metrics,
+            outcomes=pipeline.outcomes,
+            events=events,
+            telemetry=self.telemetry,
+        )
 
     # ------------------------------------------------------------------
     # trace building and simulation
@@ -117,11 +133,15 @@ class FFSVA:
 
     def simulate_offline(self, traces: list[FrameTrace]) -> RunMetrics:
         """Paper-scale offline run on the calibrated virtual server."""
-        return simulate_offline(traces, self.config, self.cost_model)
+        return simulate_offline(
+            traces, self.config, self.cost_model, telemetry=self.telemetry
+        )
 
     def simulate_online(self, traces: list[FrameTrace], **kw) -> RunMetrics:
         """Paper-scale online run on the calibrated virtual server."""
-        return simulate_online(traces, self.config, self.cost_model, **kw)
+        return simulate_online(
+            traces, self.config, self.cost_model, telemetry=self.telemetry, **kw
+        )
 
     def simulate_baseline_offline(self, traces: list[FrameTrace]) -> RunMetrics:
         """The YOLOv2-on-everything comparison system, offline."""

@@ -24,7 +24,8 @@ from .core.pipeline import CASCADES
 from .core.planner import offline_throughput_bound, plan_capacity
 from .core.tracecache import workload_trace
 from .models import ModelZoo
-from .sim import simulate_offline, simulate_online
+from .obs import Telemetry, TelemetryServer
+from .sim import PipelineSimulator
 from .video.workloads import coral, jackson, make_stream
 
 __all__ = ["main", "build_parser"]
@@ -55,7 +56,37 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry", action="store_true",
+        help="attach the telemetry subsystem (events, spans, time-series)",
+    )
+    p.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="serve /metrics and /snapshot on this local port (0 = ephemeral); "
+             "implies --telemetry",
+    )
+    p.add_argument(
+        "--telemetry-linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the telemetry endpoint up this long after the run",
+    )
+    p.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the run's RunMetrics as JSON to PATH",
+    )
+    p.add_argument(
+        "--trace-json", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON (chrome://tracing) to PATH; "
+             "requires --telemetry",
+    )
+
+
 def _config_from(args) -> FFSVAConfig:
+    telemetry = bool(
+        getattr(args, "telemetry", False)
+        or getattr(args, "telemetry_port", None) is not None
+        or getattr(args, "trace_json", None)
+    )
     return FFSVAConfig(
         filter_degree=args.filter_degree,
         number_of_objects=args.number_of_objects,
@@ -63,6 +94,8 @@ def _config_from(args) -> FFSVAConfig:
         batch_policy=args.batch_policy,
         batch_size=args.batch_size,
         cascade=args.cascade,
+        telemetry=telemetry,
+        telemetry_port=getattr(args, "telemetry_port", None),
     )
 
 
@@ -89,11 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="run the real threaded pipeline offline")
     _add_stream_args(p)
     _add_config_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--train-frames", type=int, default=300)
 
     p = sub.add_parser("simulate", help="paper-scale simulation on the virtual server")
     _add_stream_args(p)
     _add_config_args(p)
+    _add_telemetry_args(p)
     p.add_argument("--streams", type=int, default=1)
     p.add_argument("--mode", choices=["offline", "online"], default="offline")
 
@@ -125,20 +160,52 @@ def _cmd_train(args) -> int:
     return 0
 
 
+def _write_artifacts(args, metrics, telemetry, terminal: str) -> None:
+    """Persist the optional --metrics-json / --trace-json outputs."""
+    if getattr(args, "metrics_json", None):
+        with open(args.metrics_json, "w") as fh:
+            fh.write(metrics.to_json(indent=2))
+        print(f"metrics written to {args.metrics_json}")
+    if getattr(args, "trace_json", None) and telemetry is not None:
+        telemetry.dump_chrome_trace(args.trace_json, terminal=terminal)
+        print(f"chrome trace written to {args.trace_json} (open in chrome://tracing)")
+    if telemetry is not None:
+        stats = telemetry.bus.stats()
+        print(f"telemetry: {stats['published']} events "
+              f"({stats['dropped']} dropped, {len(telemetry.sampler.names)} series)")
+
+
+def _linger(server: TelemetryServer | None, seconds: float) -> None:
+    if server is None:
+        return
+    if seconds > 0:
+        import time
+
+        time.sleep(seconds)
+    server.stop()
+
+
 def _cmd_analyze(args) -> int:
     from .api import FFSVA
 
+    config = _config_from(args)
     stream = _stream_from(args)
-    system = FFSVA(_config_from(args))
+    system = FFSVA(config)
     system.train(stream, n_train_frames=args.train_frames)
     report = system.analyze_offline(stream)
     m = report.metrics
     print(f"processed {m.frames_ingested} frames in {m.duration:.1f}s "
           f"({m.throughput_fps:.0f} FPS real compute)")
-    for spec in _config_from(args).graph():
+    for spec in config.graph():
         c = m.stages[spec.name]
         print(f"  {spec.name:>6}: executed {c.entered:5d}  filtered {c.filtered:5d}")
     print(f"{len(report.events)} event frames confirmed by the reference model")
+    terminal = config.graph().terminal.name
+    _write_artifacts(args, m, report.telemetry, terminal)
+    if report.telemetry is not None and config.telemetry_port is not None:
+        server = report.telemetry.serve(lambda: m, port=config.telemetry_port)
+        print(f"telemetry endpoint: {server.url}/metrics (and /snapshot)")
+        _linger(server, args.telemetry_linger)
     return 0
 
 
@@ -148,10 +215,20 @@ def _cmd_simulate(args) -> int:
         _WORKLOADS[args.workload](), args.frames, tor=args.tor, seed=args.seed
     )
     traces = [base.rotated(997 * i).renamed(f"stream-{i}") for i in range(args.streams)]
+    telemetry = Telemetry.from_config(config)
+    sim = PipelineSimulator(
+        traces, config, online=(args.mode == "online"), telemetry=telemetry
+    )
+    server = None
+    if telemetry is not None and config.telemetry_port is not None:
+        # Serve live state: scraping /metrics mid-run sees the run so far.
+        server = telemetry.serve(lambda: sim.metrics, port=config.telemetry_port)
+        print(f"telemetry endpoint: {server.url}/metrics")
     if args.mode == "offline":
-        m = simulate_offline(traces, config)
+        m = sim.run()
     else:
-        m = simulate_online(traces, config)
+        horizon = max(len(t) for t in traces) / config.stream_fps + 2.0
+        m = sim.run(max_virtual_time=horizon)
     print(f"{args.mode} simulation of {args.streams} stream(s):")
     print(f"  throughput: {m.throughput_fps:.1f} FPS aggregate "
           f"({m.per_stream_fps:.1f}/stream)")
@@ -164,6 +241,8 @@ def _cmd_simulate(args) -> int:
           f"({m.stage_fraction(terminal):.1%} of input)")
     for dev, util in sorted(m.device_utilization.items()):
         print(f"  {dev} utilization: {util:.0%}")
+    _write_artifacts(args, m, telemetry, terminal)
+    _linger(server, args.telemetry_linger)
     return 0
 
 

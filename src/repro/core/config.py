@@ -67,6 +67,25 @@ class FFSVAConfig:
     # Frames per second each live stream delivers.
     stream_fps: float = 30.0
 
+    # --- telemetry (repro.obs) ------------------------------------------
+    # Attach the telemetry subsystem: structured pipeline events, per-frame
+    # trace spans, and time-series sampling.  Off by default: the hot path
+    # then pays a single branch per emission site.
+    telemetry: bool = False
+    # Serve /metrics (Prometheus text) and /snapshot (JSON) on this local
+    # port while telemetry is attached; 0 binds an ephemeral port, None
+    # disables the HTTP endpoint.
+    telemetry_port: int | None = None
+    # Base sampling interval for queue-depth/utilization/throughput series
+    # (wall seconds in the threaded runtime, virtual seconds in the DES).
+    telemetry_sample_interval: float = 0.05
+
+    # How long a threaded-runtime producer may block pushing one frame into
+    # a full downstream queue before giving the frame a terminal "dropped"
+    # disposition.  None (the default, and the paper's behaviour) blocks
+    # indefinitely — back-pressure propagates to the source.
+    queue_put_timeout: float | None = None
+
     # Section 5.5 remedy, applied by default: frames that survive every
     # filter but find the reference model saturated are "temporarily stored
     # in the storage system, to be processed later" instead of
@@ -104,6 +123,12 @@ class FFSVAConfig:
                 raise ValueError(f"queue depth for {key!r} must be >= 1")
         if self.stream_fps <= 0:
             raise ValueError("stream_fps must be positive")
+        if self.telemetry_port is not None and not 0 <= self.telemetry_port <= 65535:
+            raise ValueError("telemetry_port must be in [0, 65535] or None")
+        if self.telemetry_sample_interval <= 0:
+            raise ValueError("telemetry_sample_interval must be positive")
+        if self.queue_put_timeout is not None and self.queue_put_timeout <= 0:
+            raise ValueError("queue_put_timeout must be positive or None")
 
     def with_(self, **kwargs) -> "FFSVAConfig":
         """A modified copy (dataclasses.replace wrapper)."""

@@ -8,7 +8,8 @@ output-frame counts (Figure 8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -131,6 +132,56 @@ class RunMetrics:
             return True
         return self.frames_ingested >= tolerance * self.frames_offered
 
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-compatible view of the full metrics record.
+
+        Stage order is preserved (both runtimes emit stages in graph
+        order); numpy scalars and array-valued ``extra`` entries are
+        converted to plain python so the result always serializes.
+        """
+        return {
+            "n_streams": self.n_streams,
+            "duration": self.duration,
+            "frames_offered": self.frames_offered,
+            "frames_ingested": self.frames_ingested,
+            "frames_to_ref": self.frames_to_ref,
+            "stages": {name: asdict(c) for name, c in self.stages.items()},
+            "ref_latency": asdict(self.ref_latency),
+            "frame_latency": asdict(self.frame_latency),
+            "device_utilization": dict(self.device_utilization),
+            "queue_high_water": dict(self.queue_high_water),
+            "extra": _jsonable(self.extra),
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Serialize with :func:`json.dumps` (round-trips via from_json)."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunMetrics":
+        return cls(
+            n_streams=int(data.get("n_streams", 0)),
+            duration=float(data.get("duration", 0.0)),
+            frames_offered=int(data.get("frames_offered", 0)),
+            frames_ingested=int(data.get("frames_ingested", 0)),
+            frames_to_ref=int(data.get("frames_to_ref", 0)),
+            stages={
+                name: StageCounters(**c) for name, c in data.get("stages", {}).items()
+            },
+            ref_latency=LatencyStats(**data.get("ref_latency", {})),
+            frame_latency=LatencyStats(**data.get("frame_latency", {})),
+            device_utilization=dict(data.get("device_utilization", {})),
+            queue_high_water=dict(data.get("queue_high_water", {})),
+            extra=dict(data.get("extra", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunMetrics":
+        return cls.from_dict(json.loads(text))
+
     def check_conservation(self) -> None:
         """Assert flow conservation through the cascade (testing hook).
 
@@ -153,6 +204,19 @@ class RunMetrics:
                     f"{down} entered {self.stages[down].entered} exceeds "
                     f"{up} passed {self.stages[up].passed}"
                 )
+
+
+def _jsonable(value):
+    """Recursively convert numpy/tuple values so json.dumps always works."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
 
 
 def assert_stage_counts_equal(a: RunMetrics, b: RunMetrics) -> None:

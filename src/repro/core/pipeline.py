@@ -66,6 +66,7 @@ __all__ = [
     "REF",
     "STAGES",
     "ABORTED",
+    "DROPPED",
     "PER_STREAM",
     "SHARED_RR",
     "MERGED",
@@ -101,6 +102,11 @@ STAGES = (SDD, SNM, TYOLO, REF)
 #: Terminal disposition of a frame abandoned mid-flight when the pipeline
 #: aborts (a worker failed); distinct from every stage name.
 ABORTED = "aborted"
+
+#: Terminal disposition of a frame given up at a full or closed inter-stage
+#: queue (a ``put`` that exceeded ``FFSVAConfig.queue_put_timeout``, or a
+#: downstream queue already closed); distinct from every stage name.
+DROPPED = "dropped"
 
 # Fan-in modes: how a stage's input queue(s) relate to the streams.
 PER_STREAM = "per_stream"  # one queue and one worker per stream
@@ -171,7 +177,7 @@ class StageSpec:
     cost: tuple[float, float] | None = None
 
     def __post_init__(self) -> None:
-        if not self.name or self.name == ABORTED:
+        if not self.name or self.name in (ABORTED, DROPPED):
             raise ValueError(f"invalid stage name {self.name!r}")
         if self.fan_in not in _FAN_INS:
             raise ValueError(f"fan_in must be one of {_FAN_INS}")

@@ -116,6 +116,9 @@ class FeedbackQueue:
         self._closed = False
         self.high_water = 0
         self.total_in = 0
+        #: Telemetry hook point: how many ``put`` calls timed out against a
+        #: full queue (each is one observed back-pressure stall).
+        self.put_timeouts = 0
 
     def __len__(self) -> int:
         with self._cond:
@@ -145,6 +148,7 @@ class FeedbackQueue:
                     timeout=timeout,
                 )
                 if not ok:
+                    self.put_timeouts += 1
                     return False
             if self._closed:
                 raise QueueClosed(self.name)
@@ -190,3 +194,14 @@ class FeedbackQueue:
             if out:
                 self._cond.notify_all()
             return out
+
+    def snapshot(self) -> dict:
+        """Telemetry hook point: a consistent gauge/counter snapshot."""
+        with self._cond:
+            return {
+                "depth": len(self._items),
+                "high_water": self.high_water,
+                "total_in": self.total_in,
+                "put_timeouts": self.put_timeouts,
+                "closed": self._closed,
+            }

@@ -1,0 +1,95 @@
+"""Telemetry subsystem shared by the threaded runtime and the simulator.
+
+The observability story the paper's own evaluation needs — queue depths
+over time (Figure 9's feedback dynamics), per-filter execution ratios
+(Figure 5), and where individual frames stall — lives here, split into four
+small planes:
+
+* :mod:`repro.obs.bus` — the structured event transport (a non-blocking,
+  drop-counting ring both executors publish to);
+* :mod:`repro.obs.trace` — per-frame span reconstruction and Chrome
+  ``trace_event`` export;
+* :mod:`repro.obs.sampler` — bounded time-series reservoirs for queue
+  depth, device utilization, and per-stage throughput;
+* :mod:`repro.obs.export` — Prometheus/JSON rendering plus the optional
+  stdlib HTTP endpoint (``/metrics``, ``/snapshot``).
+
+A :class:`Telemetry` object bundles one bus and one sampler and is attached
+to a pipeline (``ThreadedPipeline(..., telemetry=...)``,
+``PipelineSimulator(..., telemetry=...)``, or transparently via
+``FFSVAConfig(telemetry=True)``).  When no telemetry is attached the hot
+path pays a single ``is None`` branch per emission site.
+"""
+
+from __future__ import annotations
+
+from .bus import EVENT_KINDS, NULL_BUS, EventBus, NullBus, TelemetryEvent
+from .export import TelemetryServer, render_prometheus, snapshot_json
+from .sampler import Series, TimeSeriesSampler
+from .trace import FrameSpan, build_spans, chrome_trace, dump_chrome_trace
+
+__all__ = [
+    "EVENT_KINDS",
+    "TelemetryEvent",
+    "EventBus",
+    "NullBus",
+    "NULL_BUS",
+    "Series",
+    "TimeSeriesSampler",
+    "FrameSpan",
+    "build_spans",
+    "chrome_trace",
+    "dump_chrome_trace",
+    "render_prometheus",
+    "snapshot_json",
+    "TelemetryServer",
+    "Telemetry",
+]
+
+
+class Telemetry:
+    """One run's telemetry: an event bus plus a time-series sampler."""
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 65536,
+        sample_interval: float = 0.05,
+        series_capacity: int = 512,
+    ):
+        self.bus = EventBus(capacity)
+        self.sampler = TimeSeriesSampler(sample_interval, series_capacity)
+
+    @classmethod
+    def from_config(cls, config) -> "Telemetry | None":
+        """The telemetry a config asks for (None when disabled)."""
+        if not getattr(config, "telemetry", False):
+            return None
+        return cls(sample_interval=config.telemetry_sample_interval)
+
+    # -- trace plane ---------------------------------------------------
+    def spans(self, *, terminal: str | None = None) -> list[FrameSpan]:
+        """Per-frame spans reconstructed from the retained events."""
+        return build_spans(self.bus.events(), terminal=terminal)
+
+    def chrome_trace(self, *, terminal: str | None = None) -> dict:
+        """Chrome ``trace_event`` JSON object for chrome://tracing."""
+        return chrome_trace(self.spans(terminal=terminal))
+
+    def dump_chrome_trace(self, path, *, terminal: str | None = None) -> None:
+        dump_chrome_trace(path, self.spans(terminal=terminal))
+
+    # -- export plane --------------------------------------------------
+    def prometheus(self, metrics=None) -> str:
+        return render_prometheus(metrics, self)
+
+    def snapshot(self, metrics=None) -> dict:
+        return snapshot_json(metrics, self)
+
+    def serve(self, metrics_provider, port: int = 0) -> TelemetryServer:
+        """Start an HTTP endpoint exposing this telemetry (caller stops it).
+
+        ``metrics_provider`` is a zero-argument callable returning the
+        current :class:`~repro.core.metrics.RunMetrics` (or None).
+        """
+        return TelemetryServer(lambda: (metrics_provider(), self), port=port).start()

@@ -1,0 +1,164 @@
+"""Telemetry event bus: a non-blocking, drop-counting ring buffer.
+
+Both executors publish the same structured :class:`TelemetryEvent` stream —
+the threaded runtime stamps wall-clock times, the discrete-event simulator
+stamps virtual times — so everything downstream (span reconstruction,
+Chrome traces, the export plane) is runtime-agnostic.
+
+The bus never blocks a pipeline worker: ``publish`` appends to a bounded
+ring and, when the ring is full, evicts the oldest event and counts the
+eviction in :attr:`EventBus.dropped`.  A disabled pipeline uses
+:data:`NULL_BUS` and pays exactly one ``enabled`` branch per would-be event.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["EVENT_KINDS", "TelemetryEvent", "EventBus", "NullBus", "NULL_BUS"]
+
+#: The closed event vocabulary shared by both runtimes.
+#:
+#: * ``frame_enter``  — a frame landed in a stage's input queue.
+#: * ``frame_pass``   — a stage's verdict let the frame through (terminal
+#:   stages emit this for every frame they analyze).
+#: * ``frame_filter`` — a stage's verdict dropped the frame.
+#: * ``batch_exec``   — one service of a batch on a device (``n`` frames,
+#:   ``t_start``..``ts`` busy window).
+#: * ``queue_block``  — a producer found the downstream queue full (put
+#:   timeout in the threaded runtime, out-buffer hold in the simulator) or
+#:   gave up on a closed/ saturated queue.
+#: * ``admission``    — a source frame was admitted into the first stage.
+EVENT_KINDS = (
+    "frame_enter",
+    "frame_pass",
+    "frame_filter",
+    "batch_exec",
+    "queue_block",
+    "admission",
+)
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured pipeline event.
+
+    ``ts`` is the event's completion time (wall seconds in the threaded
+    runtime, virtual seconds in the simulator).  Execution events
+    (``frame_pass``/``frame_filter``/``batch_exec``) also carry ``t_start``,
+    the service-start time, so consumers can recover the busy window.
+    ``n`` is the event's magnitude: batch size for ``batch_exec``, observed
+    queue length for ``queue_block``.
+    """
+
+    ts: float
+    kind: str
+    stage: str
+    stream: int | None = None
+    frame: int | None = None
+    t_start: float | None = None
+    n: int | None = None
+
+
+class EventBus:
+    """Bounded multi-producer event ring with drop accounting."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque[TelemetryEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.published = 0
+        self.dropped = 0
+        self.counts: dict[str, int] = {k: 0 for k in EVENT_KINDS}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def emit(
+        self,
+        kind: str,
+        ts: float,
+        stage: str,
+        *,
+        stream: int | None = None,
+        frame: int | None = None,
+        t_start: float | None = None,
+        n: int | None = None,
+    ) -> None:
+        """Build and publish one event (never blocks, never raises on full)."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}; known: {EVENT_KINDS}")
+        self.publish(
+            TelemetryEvent(
+                ts=ts, kind=kind, stage=stage, stream=stream, frame=frame,
+                t_start=t_start, n=n,
+            )
+        )
+
+    def publish(self, event: TelemetryEvent) -> None:
+        with self._lock:
+            if len(self._ring) == self.capacity:
+                self.dropped += 1
+            self._ring.append(event)
+            self.published += 1
+            self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+
+    def events(self) -> list[TelemetryEvent]:
+        """Snapshot of the retained events, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def drain(self) -> list[TelemetryEvent]:
+        """Remove and return everything currently retained."""
+        with self._lock:
+            out = list(self._ring)
+            self._ring.clear()
+            return out
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "retained": len(self._ring),
+                "published": self.published,
+                "dropped": self.dropped,
+                "counts": dict(self.counts),
+            }
+
+
+class NullBus:
+    """The disabled bus: one attribute check, no event construction."""
+
+    enabled = False
+    published = 0
+    dropped = 0
+    counts: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return 0
+
+    def emit(self, *args, **kwargs) -> None:  # pragma: no cover - trivial
+        pass
+
+    def publish(self, event) -> None:  # pragma: no cover - trivial
+        pass
+
+    def events(self) -> list:
+        return []
+
+    def drain(self) -> list:
+        return []
+
+    def stats(self) -> dict:
+        return {"capacity": 0, "retained": 0, "published": 0, "dropped": 0, "counts": {}}
+
+
+#: Shared do-nothing bus for telemetry-off pipelines.
+NULL_BUS = NullBus()

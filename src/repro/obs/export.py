@@ -1,0 +1,188 @@
+"""Telemetry export plane: Prometheus text format, JSON snapshots, HTTP.
+
+Rendering is pull-based and side-effect free: :func:`render_prometheus` and
+:func:`snapshot_json` take whatever :class:`~repro.core.metrics.RunMetrics`
+and :class:`~repro.obs.Telemetry` currently hold — both are updated live by
+the runtimes, so scraping *during* a run observes the run in progress.
+
+:class:`TelemetryServer` serves both renderings from a stdlib
+``ThreadingHTTPServer`` on a daemon thread:
+
+* ``GET /metrics``  — Prometheus text format 0.0.4;
+* ``GET /snapshot`` — the full JSON snapshot (metrics, time-series, bus
+  statistics).
+
+No third-party client library is required on either side.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["render_prometheus", "snapshot_json", "TelemetryServer"]
+
+_PREFIX = "ffsva"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _line(name: str, value, labels: dict | None = None) -> str:
+    if labels:
+        inner = ",".join(f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items()))
+        return f"{_PREFIX}_{name}{{{inner}}} {value}"
+    return f"{_PREFIX}_{name} {value}"
+
+
+def _head(name: str, kind: str, help_text: str) -> list[str]:
+    return [f"# HELP {_PREFIX}_{name} {help_text}", f"# TYPE {_PREFIX}_{name} {kind}"]
+
+
+def render_prometheus(metrics=None, telemetry=None) -> str:
+    """Render a run's state in Prometheus text exposition format 0.0.4.
+
+    The per-stage counter families mirror ``RunMetrics.stages`` exactly —
+    one ``{stage=...}`` sample per stage for entered/passed/filtered — so a
+    scrape and the end-of-run snapshot can be cross-checked 1:1.
+    """
+    lines: list[str] = []
+    if metrics is not None:
+        lines += _head("stage_frames_entered_total", "counter", "Frames entering each stage.")
+        for stage, c in metrics.stages.items():
+            lines.append(_line("stage_frames_entered_total", c.entered, {"stage": stage}))
+        lines += _head("stage_frames_passed_total", "counter", "Frames passing each stage.")
+        for stage, c in metrics.stages.items():
+            lines.append(_line("stage_frames_passed_total", c.passed, {"stage": stage}))
+        lines += _head("stage_frames_filtered_total", "counter", "Frames filtered at each stage.")
+        for stage, c in metrics.stages.items():
+            lines.append(_line("stage_frames_filtered_total", c.filtered, {"stage": stage}))
+
+        lines += _head("frames_offered_total", "counter", "Frames produced by the sources.")
+        lines.append(_line("frames_offered_total", metrics.frames_offered))
+        lines += _head("frames_ingested_total", "counter", "Frames admitted into the pipeline.")
+        lines.append(_line("frames_ingested_total", metrics.frames_ingested))
+        lines += _head("frames_to_ref_total", "counter", "Frames reaching the reference model.")
+        lines.append(_line("frames_to_ref_total", metrics.frames_to_ref))
+        lines += _head("run_duration_seconds", "gauge", "Run makespan (wall or virtual).")
+        lines.append(_line("run_duration_seconds", metrics.duration))
+        lines += _head("throughput_fps", "gauge", "Aggregate processed frames per second.")
+        lines.append(_line("throughput_fps", metrics.throughput_fps))
+
+        lines += _head("queue_high_water", "gauge", "Highest observed depth per queue.")
+        for queue, depth in sorted(metrics.queue_high_water.items()):
+            lines.append(_line("queue_high_water", depth, {"queue": queue}))
+        lines += _head("device_utilization", "gauge", "Busy fraction per device.")
+        for device, util in sorted(metrics.device_utilization.items()):
+            lines.append(_line("device_utilization", util, {"device": device}))
+
+        for family, stats in (
+            ("frame_latency_seconds", metrics.frame_latency),
+            ("ref_latency_seconds", metrics.ref_latency),
+        ):
+            lines += _head(family, "summary", "Per-frame latency summary.")
+            for q, v in (("0.5", stats.p50), ("0.95", stats.p95), ("0.99", stats.p99)):
+                lines.append(_line(family, v, {"quantile": q}))
+            lines.append(_line(f"{family}_sum", stats.mean * stats.count))
+            lines.append(_line(f"{family}_count", stats.count))
+
+    if telemetry is not None:
+        bus = telemetry.bus
+        lines += _head("telemetry_events_total", "counter", "Events published per kind.")
+        for kind, count in sorted(bus.counts.items()):
+            lines.append(_line("telemetry_events_total", count, {"kind": kind}))
+        lines += _head("telemetry_events_dropped_total", "counter",
+                       "Events evicted from the full ring buffer.")
+        lines.append(_line("telemetry_events_dropped_total", bus.dropped))
+        lines += _head("sample_gauge", "gauge", "Latest value of each sampled time-series.")
+        for name, value in sorted(telemetry.sampler.latest().items()):
+            lines.append(_line("sample_gauge", value, {"series": name}))
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_json(metrics=None, telemetry=None) -> dict:
+    """A JSON-compatible snapshot of everything the export plane knows."""
+    snap: dict = {}
+    if metrics is not None:
+        snap["metrics"] = metrics.to_dict()
+    if telemetry is not None:
+        snap["bus"] = telemetry.bus.stats()
+        snap["series"] = telemetry.sampler.to_dict()
+    return snap
+
+
+class TelemetryServer:
+    """Stdlib HTTP endpoint exposing ``/metrics`` and ``/snapshot``.
+
+    ``provider`` is a zero-argument callable returning the current
+    ``(metrics, telemetry)`` pair; it is invoked per request so scrapes see
+    live state.  ``port=0`` binds an ephemeral port (see :attr:`port`).
+    """
+
+    def __init__(self, provider, port: int = 0, host: str = "127.0.0.1"):
+        self._provider = provider
+        self._requested = (host, port)
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "TelemetryServer":
+        provider = self._provider
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # keep scrapes silent
+                pass
+
+            def _send(self, status: int, content_type: str, body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                metrics, telemetry = provider()
+                if self.path.split("?")[0] == "/metrics":
+                    body = render_prometheus(metrics, telemetry).encode()
+                    self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
+                elif self.path.split("?")[0] == "/snapshot":
+                    body = json.dumps(snapshot_json(metrics, telemetry)).encode()
+                    self._send(200, "application/json", body)
+                else:
+                    self._send(404, "text/plain", b"try /metrics or /snapshot\n")
+
+        self._httpd = ThreadingHTTPServer(self._requested, Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="telemetry-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- addressing ----------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, _ = self._requested
+        return f"http://{host}:{self.port}"

@@ -1,0 +1,119 @@
+"""Time-series sampling into fixed-size decimating reservoirs.
+
+The sampler answers the questions the end-of-run ``RunMetrics`` snapshot
+cannot: *what was the SNM queue depth at t=3.2s*, *how did gpu0 utilization
+evolve*, *when did T-YOLO throughput collapse*.  Each named series holds at
+most ``capacity`` ``(t, value)`` points; when a series fills up, every
+other point is discarded and the series' effective sampling interval
+doubles, so arbitrarily long runs keep a bounded, uniformly-thinned record
+(the classic decimating reservoir).
+
+Both runtimes drive one sampler: the threaded runtime from a background
+poller thread on the wall clock, the simulator from its event loop on the
+virtual clock.  ``observe`` is cheap and thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Series", "TimeSeriesSampler"]
+
+
+class Series:
+    """One named time-series with bounded, self-decimating storage."""
+
+    def __init__(self, capacity: int = 512, min_interval: float = 0.0):
+        if capacity < 4:
+            raise ValueError("series capacity must be >= 4")
+        self.capacity = capacity
+        #: Current minimum spacing between retained points; doubles on
+        #: every decimation.
+        self.min_interval = min_interval
+        self.t: list[float] = []
+        self.v: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    def add(self, t: float, value: float, *, force: bool = False) -> bool:
+        """Record ``(t, value)`` if it is due; returns True when retained."""
+        if not force and self.t and t - self.t[-1] < self.min_interval:
+            return False
+        self.t.append(float(t))
+        self.v.append(float(value))
+        if len(self.t) > self.capacity:
+            # Keep every other point (always the newest) and halve density.
+            # Length here is capacity+1 (odd), so the even indices include
+            # both endpoints.
+            self.t = self.t[::2]
+            self.v = self.v[::2]
+            self.min_interval = max(self.min_interval * 2, 1e-9)
+        return True
+
+    def last(self) -> tuple[float, float] | None:
+        if not self.t:
+            return None
+        return self.t[-1], self.v[-1]
+
+    def to_dict(self) -> dict:
+        return {"t": list(self.t), "v": list(self.v)}
+
+
+class TimeSeriesSampler:
+    """A keyed collection of :class:`Series` sharing one base interval."""
+
+    def __init__(self, interval: float = 0.05, capacity: int = 512):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval = interval
+        self.capacity = capacity
+        self._series: dict[str, Series] = {}
+        self._lock = threading.Lock()
+        self._last_sweep = float("-inf")
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._series
+
+    @property
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def due(self, t: float) -> bool:
+        """Has at least one base interval elapsed since the last sweep?"""
+        return t - self._last_sweep >= self.interval
+
+    def observe(self, name: str, t: float, value: float, *, force: bool = False) -> bool:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = Series(
+                    self.capacity, min_interval=self.interval
+                )
+            return series.add(t, value, force=force)
+
+    def observe_many(self, t: float, values: dict, *, force: bool = False) -> None:
+        """One synchronized sweep over many gauges; advances the due clock."""
+        self._last_sweep = t
+        for name, value in values.items():
+            self.observe(name, t, value, force=force)
+
+    def series(self, name: str) -> Series:
+        with self._lock:
+            return self._series[name]
+
+    def latest(self) -> dict[str, float]:
+        """Most recent value of every series (for gauge export)."""
+        with self._lock:
+            out = {}
+            for name, series in self._series.items():
+                point = series.last()
+                if point is not None:
+                    out[name] = point[1]
+            return out
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {name: s.to_dict() for name, s in sorted(self._series.items())}

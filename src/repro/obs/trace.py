@@ -1,0 +1,163 @@
+"""Per-frame trace spans and Chrome ``trace_event`` export.
+
+Reconstructs each frame's journey through the cascade from the event
+stream: for every ``(stream, frame, stage)`` visit, a :class:`FrameSpan`
+records when the frame entered the stage's queue, when service started and
+ended, and how the visit ended (passed on, filtered, or analyzed at the
+terminal stage).  The spans render to Chrome's JSON ``trace_event`` format
+— load the dump in ``chrome://tracing`` (or Perfetto) to see queue waits
+and device busy windows per stream and stage.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .bus import TelemetryEvent
+
+__all__ = ["FrameSpan", "build_spans", "chrome_trace", "dump_chrome_trace"]
+
+#: Span dispositions.
+PASSED = "pass"
+FILTERED = "filtered"
+ANALYZED = "analyzed"
+
+
+@dataclass(frozen=True)
+class FrameSpan:
+    """One frame's visit to one stage."""
+
+    stream: int
+    frame: int
+    stage: str
+    t_enter: float  # when the frame landed in the stage's input queue
+    t_start: float  # service start
+    t_end: float  # service end / disposition time
+    disposition: str  # "pass" | "filtered" | "analyzed"
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent waiting in the stage's input queue."""
+        return max(0.0, self.t_start - self.t_enter)
+
+    @property
+    def exec_time(self) -> float:
+        """Seconds of (batched) service covering this frame."""
+        return max(0.0, self.t_end - self.t_start)
+
+
+def build_spans(
+    events: list[TelemetryEvent], *, terminal: str | None = None
+) -> list[FrameSpan]:
+    """Reconstruct per-frame spans from a bus's event stream.
+
+    ``terminal`` names the graph's terminal stage so its ``frame_pass``
+    events read as ``analyzed`` rather than ``pass``.  Events may arrive
+    slightly out of order across worker threads; disposition events with no
+    matching ``frame_enter`` (e.g. evicted from a full ring) fall back to
+    their service-start time as the enter time.
+    """
+    enters: dict[tuple, float] = {}
+    spans: list[FrameSpan] = []
+    for ev in sorted(events, key=lambda e: e.ts):
+        if ev.stream is None or ev.frame is None:
+            continue
+        key = (ev.stream, ev.frame, ev.stage)
+        if ev.kind in ("frame_enter", "admission"):
+            enters.setdefault(key, ev.ts)
+        elif ev.kind in ("frame_pass", "frame_filter"):
+            t_start = ev.t_start if ev.t_start is not None else ev.ts
+            t_enter = enters.pop(key, t_start)
+            if ev.kind == "frame_filter":
+                disposition = FILTERED
+            elif terminal is not None and ev.stage == terminal:
+                disposition = ANALYZED
+            else:
+                disposition = PASSED
+            spans.append(
+                FrameSpan(
+                    stream=ev.stream,
+                    frame=ev.frame,
+                    stage=ev.stage,
+                    t_enter=min(t_enter, t_start),
+                    t_start=t_start,
+                    t_end=ev.ts,
+                    disposition=disposition,
+                )
+            )
+    return spans
+
+
+def chrome_trace(spans: list[FrameSpan]) -> dict:
+    """Render spans as a Chrome ``trace_event`` JSON object.
+
+    Streams map to processes and stages to threads; every span emits a
+    complete ("X") slice for its service window plus an optional
+    ``<stage>:wait`` slice covering the queue wait.  Timestamps are
+    microseconds, as the format requires.
+    """
+    stage_tids: dict[str, int] = {}
+    trace_events: list[dict] = []
+
+    def tid(stage: str) -> int:
+        if stage not in stage_tids:
+            stage_tids[stage] = len(stage_tids) + 1
+        return stage_tids[stage]
+
+    for span in spans:
+        t = tid(span.stage)
+        if span.queue_wait > 0:
+            trace_events.append(
+                {
+                    "name": f"{span.stage}:wait",
+                    "cat": "queue",
+                    "ph": "X",
+                    "ts": span.t_enter * 1e6,
+                    "dur": span.queue_wait * 1e6,
+                    "pid": span.stream,
+                    "tid": t,
+                    "args": {"frame": span.frame},
+                }
+            )
+        trace_events.append(
+            {
+                "name": span.stage,
+                "cat": span.disposition,
+                "ph": "X",
+                "ts": span.t_start * 1e6,
+                "dur": span.exec_time * 1e6,
+                "pid": span.stream,
+                "tid": t,
+                "args": {"frame": span.frame, "disposition": span.disposition},
+            }
+        )
+
+    streams = sorted({s.stream for s in spans})
+    for stream in streams:
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": stream,
+                "tid": 0,
+                "args": {"name": f"stream-{stream}"},
+            }
+        )
+        for stage, t in stage_tids.items():
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": stream,
+                    "tid": t,
+                    "args": {"name": stage},
+                }
+            )
+    return {"displayTimeUnit": "ms", "traceEvents": trace_events}
+
+
+def dump_chrome_trace(path, spans: list[FrameSpan]) -> None:
+    """Write the Chrome trace JSON for ``spans`` to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(spans), fh)

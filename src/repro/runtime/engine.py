@@ -39,6 +39,7 @@ from ..core.config import FFSVAConfig
 from ..core.metrics import LatencyStats, RunMetrics, StageCounters
 from ..core.pipeline import (
     ABORTED,
+    DROPPED,
     MERGED,
     PER_STREAM,
     SHARED_RR,
@@ -46,9 +47,10 @@ from ..core.pipeline import (
     StageSpec,
     cascade,
 )
-from ..core.queues import FeedbackQueue
+from ..core.queues import FeedbackQueue, QueueClosed
 from ..devices.placement import Placement, ffs_va_placement
 from ..models.zoo import ModelZoo
+from ..obs import Telemetry
 from ..video.stream import VideoStream
 
 __all__ = ["FrameOutcome", "ThreadedPipeline"]
@@ -94,6 +96,7 @@ class ThreadedPipeline:
         config: FFSVAConfig | None = None,
         placement: Placement | None = None,
         graph: StageGraph | str | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if not streams:
             raise ValueError("need at least one stream")
@@ -140,6 +143,12 @@ class ThreadedPipeline:
         self._producers_lock = threading.Lock()
 
         self._locks = {spec.name: self._device_lock(spec) for spec in self.graph}
+        self._devnames = {spec.name: self._device_name(spec) for spec in self.graph}
+        #: Attached telemetry (None = disabled; every emission site guards
+        #: on that with a single branch).
+        self.telemetry = telemetry if telemetry is not None else Telemetry.from_config(cfg)
+        self._t0 = 0.0  # run-start monotonic reference for telemetry stamps
+        self._busy: dict[str, float] = {}  # per-device lock-held seconds
         self.outcomes: list[FrameOutcome] = []
         self._outcome_lock = threading.Lock()
         self.metrics = RunMetrics(
@@ -169,9 +178,12 @@ class ThreadedPipeline:
         prev = upstream[-1]
         return len(self.ctxs) if prev.fan_in == PER_STREAM else 1
 
-    def _device_lock(self, spec: StageSpec):
+    def _device_name(self, spec: StageSpec) -> str:
         names = self.placement.stage_devices.get(spec.name) or [spec.device]
-        device = self.placement.devices.get(names[0])
+        return names[0]
+
+    def _device_lock(self, spec: StageSpec):
+        device = self.placement.devices.get(self._device_name(spec))
         if device is not None and device.kind == "gpu":
             return device.lock
         return nullcontext()
@@ -218,26 +230,63 @@ class ThreadedPipeline:
         with self._outcome_lock:
             self.outcomes.append(outcome)
 
-    def _count(self, stage: str, n_in: int, n_pass: int) -> None:
+    def _count(self, stage: str, n_in: int, n_pass: int, busy: float = 0.0) -> None:
         with self._stage_lock:
             self.metrics.stages[stage].record(n_in, n_pass)
+            if busy:
+                device = self._devnames[stage]
+                self._busy[device] = self._busy.get(device, 0.0) + busy
 
     def _fail(self, exc: BaseException) -> None:
         self._errors.append(exc)
         self._abort.set()
 
-    def _put(self, spec: StageSpec, queue: FeedbackQueue, work: _Work) -> bool:
-        """Blocking put into ``spec``'s input, giving up on abort.
+    def _now(self) -> float:
+        """Seconds since run start — the telemetry timestamp base (so the
+        threaded timeline is comparable with the simulator's virtual one)."""
+        return time.monotonic() - self._t0
 
-        Without this, a worker dying downstream would leave its producer
-        blocked forever on a full feedback queue.
+    def _put(self, spec: StageSpec, queue: FeedbackQueue, work: _Work) -> str:
+        """Blocking put into ``spec``'s input: ``"ok"``, ``"dropped"``, or
+        ``"abort"``.
+
+        Gives up on abort (a worker dying downstream must not leave its
+        producer blocked forever on a full feedback queue).  With
+        ``config.queue_put_timeout`` set, a put that stays blocked past the
+        deadline — or that finds the downstream queue already closed —
+        reports ``"dropped"`` so the caller can give the frame a terminal
+        disposition instead of losing it silently.
         """
+        tel = self.telemetry
+        timeout = self.config.queue_put_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
         while not self._abort.is_set():
-            if queue.put(work, timeout=0.1):
-                if spec.fan_in == SHARED_RR:
-                    self._wake[spec.name].set()
-                return True
-        return False
+            try:
+                if queue.put(work, timeout=0.1):
+                    if spec.fan_in == SHARED_RR:
+                        self._wake[spec.name].set()
+                    if tel is not None and tel.bus.enabled:
+                        tel.bus.emit(
+                            "frame_enter", self._now(), spec.name,
+                            stream=work.stream_idx, frame=work.index,
+                        )
+                    return "ok"
+            except QueueClosed:
+                if tel is not None and tel.bus.enabled:
+                    tel.bus.emit(
+                        "queue_block", self._now(), spec.name,
+                        stream=work.stream_idx, frame=work.index, n=len(queue),
+                    )
+                return "dropped"
+            # Timed out against a full queue: one observed back-pressure stall.
+            if tel is not None and tel.bus.enabled:
+                tel.bus.emit(
+                    "queue_block", self._now(), spec.name,
+                    stream=work.stream_idx, frame=work.index, n=len(queue),
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                return "dropped"
+        return "abort"
 
     # ------------------------------------------------------------------
     # close protocol
@@ -274,15 +323,30 @@ class ThreadedPipeline:
         ``"aborted"`` so no outcome is ever silently lost.
         """
         done = 0
+        tel = self.telemetry
         try:
             pixels = np.stack([w.pixels for w in works])
             bundles = [self.ctxs[w.stream_idx].bundle for w in works]
             with self._locks[spec.name]:
+                t_exec = self._now()
                 passes, info = spec.logic.evaluate(
                     pixels, bundles, self.zoo, self.config
                 )
+                t_done = self._now()
             passes = np.asarray(passes, dtype=bool)
-            self._count(spec.name, len(works), int(passes.sum()))
+            self._count(spec.name, len(works), int(passes.sum()), busy=t_done - t_exec)
+            if tel is not None and tel.bus.enabled:
+                tel.bus.emit(
+                    "batch_exec", t_done, spec.name,
+                    stream=works[0].stream_idx if spec.fan_in != MERGED else None,
+                    t_start=t_exec, n=len(works),
+                )
+                for k, work in enumerate(works):
+                    tel.bus.emit(
+                        "frame_pass" if (spec.terminal or passes[k]) else "frame_filter",
+                        t_done, spec.name,
+                        stream=work.stream_idx, frame=work.index, t_start=t_exec,
+                    )
             nxt = self.graph.next(spec.name)
             for k, work in enumerate(works):
                 if spec.terminal:
@@ -290,10 +354,13 @@ class ThreadedPipeline:
                     self._record(work, spec.name, ref_count=detail)
                 elif passes[k]:
                     target = self._input_queue(nxt, work.stream_idx)
-                    if not self._put(nxt, target, work):
+                    status = self._put(nxt, target, work)
+                    if status == "abort":
                         for w in works[k:]:
                             self._record(w, ABORTED)
                         return False
+                    if status == "dropped":
+                        self._record(work, DROPPED)
                 else:
                     self._record(work, spec.name)
                 done = k + 1
@@ -310,6 +377,7 @@ class ThreadedPipeline:
         ctx = self.ctxs[idx]
         first = self.graph.first
         target = self._input_queue(first, idx)
+        tel = self.telemetry
         t0 = time.monotonic()
         try:
             for i in range(n_frames):
@@ -319,13 +387,21 @@ class ThreadedPipeline:
                         time.sleep(delay)
                 pixels = ctx.stream.pixels(i)
                 work = _Work(idx, i, pixels, time.monotonic())
-                if not self._put(first, target, work):
+                status = self._put(first, target, work)
+                if status == "dropped":
+                    self._record(work, DROPPED)
+                    continue
+                if status != "ok":
                     # The pipeline is aborting: frames never admitted still
                     # get a terminal disposition.
                     now = time.monotonic()
                     for j in range(i, n_frames):
                         self._record(_Work(idx, j, pixels, now), ABORTED)
                     return
+                if tel is not None and tel.bus.enabled:
+                    tel.bus.emit(
+                        "admission", self._now(), first.name, stream=idx, frame=i
+                    )
         except BaseException as exc:  # pragma: no cover - defensive
             self._fail(exc)
         finally:
@@ -398,6 +474,43 @@ class ThreadedPipeline:
             self._downstream_done(spec, None)
 
     # ------------------------------------------------------------------
+    # time-series sampling (telemetry only)
+    # ------------------------------------------------------------------
+    def _all_queues(self):
+        for queues in self.stage_queues.values():
+            yield from queues
+        yield from self.merged_queues.values()
+
+    def _sample(self, t: float, prev: dict, *, force: bool = False) -> dict:
+        """Record one gauge sweep; returns the snapshot for the next delta."""
+        tel = self.telemetry
+        gauges: dict[str, float] = {}
+        for q in self._all_queues():
+            gauges[f"queue_depth[{q.name}]"] = len(q)
+        with self._stage_lock:
+            entered = {s: c.entered for s, c in self.metrics.stages.items()}
+            busy = dict(self._busy)
+        dt = t - prev["t"]
+        if dt > 0:
+            for stage, n in entered.items():
+                gauges[f"stage_fps[{stage}]"] = (
+                    (n - prev["entered"].get(stage, 0)) / dt
+                )
+            for device, b in busy.items():
+                gauges[f"device_utilization[{device}]"] = min(
+                    1.0, (b - prev["busy"].get(device, 0.0)) / dt
+                )
+        tel.sampler.observe_many(t, gauges, force=force)
+        return {"t": t, "entered": entered, "busy": busy}
+
+    def _sampler_loop(self, stop: threading.Event) -> None:
+        interval = self.telemetry.sampler.interval
+        prev = {"t": 0.0, "entered": {}, "busy": {}}
+        while not stop.wait(interval):
+            prev = self._sample(self._now(), prev)
+        self._sample(self._now(), prev, force=True)
+
+    # ------------------------------------------------------------------
     def _drain_unfinished(self) -> None:
         """After an abort, give every still-queued frame a terminal record."""
         leftovers: list[_Work] = []
@@ -452,12 +565,23 @@ class ThreadedPipeline:
                     threading.Thread(target=self._merged_worker, args=(spec,), daemon=True)
                 )
 
-        t0 = time.monotonic()
+        self._t0 = t0 = time.monotonic()
+        sampler_stop = None
+        if self.telemetry is not None:
+            sampler_stop = threading.Event()
+            sampler = threading.Thread(
+                target=self._sampler_loop, args=(sampler_stop,),
+                name="telemetry-sampler", daemon=True,
+            )
+            sampler.start()
         for t in threads:
             t.start()
         for t in threads:
             t.join()
         duration = time.monotonic() - t0
+        if sampler_stop is not None:
+            sampler_stop.set()
+            sampler.join(timeout=2.0)
         if self._abort.is_set():
             self._drain_unfinished()
         if self._errors:
@@ -481,4 +605,13 @@ class ThreadedPipeline:
             },
             **{q.name: q.high_water for q in self.merged_queues.values()},
         }
+        if duration > 0 and self._busy:
+            m.device_utilization = {
+                dev: min(1.0, b / duration) for dev, b in self._busy.items()
+            }
+        if self.telemetry is not None:
+            m.extra["telemetry"] = self.telemetry.bus.stats()
+            m.extra["queue_put_timeouts"] = {
+                q.name: q.put_timeouts for q in self._all_queues()
+            }
         return m

@@ -61,6 +61,7 @@ from ..core.queues import SimQueue
 from ..core.trace import FrameTrace
 from ..devices.costs import CostModel
 from ..devices.placement import Placement, ffs_va_placement
+from ..obs import Telemetry
 
 __all__ = ["PipelineSimulator", "simulate_offline", "simulate_online"]
 
@@ -133,6 +134,7 @@ class PipelineSimulator:
         online: bool = True,
         record_events: bool = False,
         graph: StageGraph | str | None = None,
+        telemetry: Telemetry | None = None,
     ):
         if not traces:
             raise ValueError("need at least one stream trace")
@@ -191,6 +193,16 @@ class PipelineSimulator:
         #: When enabled: (start, end, device, stage, stream_idx, n, n_pass)
         #: per service, in completion order — a Gantt chart of the run.
         self.events: list[tuple] = []
+        #: Attached telemetry (None = disabled).  Event timestamps are
+        #: *virtual* seconds — the same schema the threaded runtime emits.
+        self.telemetry = telemetry if telemetry is not None else Telemetry.from_config(cfg)
+        self._prev_sample = {"t": 0.0, "done": {}, "busy": {}}
+        # Downstream stage names, precomputed so disabled-telemetry event
+        # sites pay only their guard branch (no graph lookups on the hot path).
+        self._next_name = {
+            spec.name: (None if spec.terminal else self.graph.next(spec.name).name)
+            for spec in self.graph
+        }
 
     # ------------------------------------------------------------------
     # graph-driven construction helpers
@@ -218,16 +230,24 @@ class PipelineSimulator:
         """Admit arrived frames into the first stage while room remains."""
         eps = 1e-12
         progress = False
-        first = self._stages[self.graph.first.name]
+        tel = self.telemetry
+        first_name = self.graph.first.name
+        first = self._stages[first_name]
         for idx, st in enumerate(self.streams):
             q = first.merged_q if first.merged_q is not None else first.queues[idx]
             while st.admitted < st.n and q.has_room(1):
                 if self._arrival_time(st, st.admitted) > now + eps:
                     break
                 q.put((idx, st.admitted))
-                st.ingest_time[st.admitted] = max(
-                    now, self._arrival_time(st, st.admitted)
-                )
+                t_in = max(now, self._arrival_time(st, st.admitted))
+                st.ingest_time[st.admitted] = t_in
+                if tel is not None and tel.bus.enabled:
+                    tel.bus.emit(
+                        "admission", t_in, first_name, stream=idx, frame=st.admitted
+                    )
+                    tel.bus.emit(
+                        "frame_enter", t_in, first_name, stream=idx, frame=st.admitted
+                    )
                 st.admitted += 1
                 progress = True
         return progress
@@ -251,8 +271,9 @@ class PipelineSimulator:
             return nxt.merged_q
         return nxt.queues[stream_idx]
 
-    def _drain_out_buffers(self) -> bool:
+    def _drain_out_buffers(self, now: float) -> bool:
         progress = False
+        tel = self.telemetry
         for spec in self.graph.specs[:-1]:
             stg = self._stages[spec.name]
             for dq in stg.out.values():
@@ -262,6 +283,11 @@ class PipelineSimulator:
                     if not target.has_room(1):
                         break  # the worker delivers FIFO; head blocks the rest
                     target.put(dq.popleft())
+                    if tel is not None and tel.bus.enabled:
+                        tel.bus.emit(
+                            "frame_enter", now, self._next_name[spec.name],
+                            stream=s_idx, frame=f_idx,
+                        )
                     progress = True
         return progress
 
@@ -417,7 +443,7 @@ class PipelineSimulator:
         while progress:
             progress = False
             progress |= self._top_up_arrivals(now)
-            progress |= self._drain_out_buffers()
+            progress |= self._drain_out_buffers(now)
             progress |= self._try_start_devices(now)
 
     # ------------------------------------------------------------------
@@ -435,11 +461,24 @@ class PipelineSimulator:
             self.events.append(
                 (svc.start, svc.end, device_name, svc.stage, svc.stream_idx, n_in, n_pass)
             )
+        tel = self.telemetry
+        emit = tel is not None and tel.bus.enabled
+        if emit:
+            tel.bus.emit(
+                "batch_exec", now, svc.stage,
+                stream=svc.stream_idx, t_start=svc.start, n=n_in,
+            )
 
+        nxt_name = self._next_name[svc.stage]
         out_key = svc.stream_idx if spec.fan_in == PER_STREAM else device_name
         for (s_idx, f_idx), ok in zip(svc.frames, svc.passes):
             st = self.streams[s_idx]
             stg.in_flight[s_idx] -= 1
+            if emit:
+                tel.bus.emit(
+                    "frame_pass" if (spec.terminal or ok) else "frame_filter",
+                    now, svc.stage, stream=s_idx, frame=f_idx, t_start=svc.start,
+                )
             if spec.terminal:
                 st.analyzed += 1
                 st.finish_time = max(st.finish_time, now)
@@ -450,7 +489,18 @@ class PipelineSimulator:
                 held = stg.out.get(out_key)
                 if target.has_room(1) and not held:
                     target.put((s_idx, f_idx))
+                    if emit:
+                        tel.bus.emit(
+                            "frame_enter", now, nxt_name, stream=s_idx, frame=f_idx
+                        )
                 else:
+                    # The worker is blocked on a full downstream queue and
+                    # holds the survivor in its out-buffer.
+                    if emit:
+                        tel.bus.emit(
+                            "queue_block", now, nxt_name,
+                            stream=s_idx, frame=f_idx, n=len(target),
+                        )
                     stg.out.setdefault(out_key, deque()).append((s_idx, f_idx))
             else:
                 self._drop_frame(st, f_idx, now)
@@ -470,14 +520,45 @@ class PipelineSimulator:
         self._drop_latencies.append(now - self._latency_base(st, f_idx))
 
     # ------------------------------------------------------------------
+    # time-series sampling (telemetry only)
+    # ------------------------------------------------------------------
+    def _sample(self, now: float, *, force: bool = False) -> None:
+        tel = self.telemetry
+        gauges: dict[str, float] = {}
+        done: dict[str, int] = {}
+        for spec in self.graph:
+            stg = self._stages[spec.name]
+            done[spec.name] = stg.frames_done
+            if stg.merged_q is not None:
+                gauges[f"queue_depth[{spec.name}]"] = len(stg.merged_q)
+            else:
+                for i, q in enumerate(stg.queues):
+                    gauges[f"queue_depth[{spec.name}[{i}]]"] = len(q)
+        busy = {name: dev.busy_time for name, dev in self.placement.devices.items()}
+        prev = self._prev_sample
+        dt = now - prev["t"]
+        if dt > 0:
+            for stage, n in done.items():
+                gauges[f"stage_fps[{stage}]"] = (n - prev["done"].get(stage, 0)) / dt
+            for device, b in busy.items():
+                gauges[f"device_utilization[{device}]"] = min(
+                    1.0, (b - prev["busy"].get(device, 0.0)) / dt
+                )
+        tel.sampler.observe_many(now, gauges, force=force)
+        self._prev_sample = {"t": now, "done": done, "busy": busy}
+
+    # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
     def run(self, max_virtual_time: float | None = None) -> RunMetrics:
         """Simulate until all frames are processed (or the horizon ends)."""
         now = 0.0
         inf = float("inf")
+        sample = self.telemetry is not None
         while True:
             self._start_all(now)
+            if sample and self.telemetry.sampler.due(now):
+                self._sample(now)
             if all(st.finished for st in self.streams):
                 break
             t_heap = self._heap[0][0] if self._heap else inf
@@ -535,6 +616,9 @@ class PipelineSimulator:
             max_virtual_time is not None
             and not all(st.finished for st in self.streams)
         )
+        if self.telemetry is not None:
+            self._sample(now, force=True)
+            m.extra["telemetry"] = self.telemetry.bus.stats()
         return m
 
 
@@ -543,9 +627,13 @@ def simulate_offline(
     config: FFSVAConfig | None = None,
     cost_model: CostModel | None = None,
     placement: Placement | None = None,
+    *,
+    telemetry: Telemetry | None = None,
 ) -> RunMetrics:
     """Offline analysis: all frames available immediately, run to drain."""
-    sim = PipelineSimulator(traces, config, cost_model, placement, online=False)
+    sim = PipelineSimulator(
+        traces, config, cost_model, placement, online=False, telemetry=telemetry
+    )
     return sim.run()
 
 
@@ -556,6 +644,7 @@ def simulate_online(
     placement: Placement | None = None,
     *,
     horizon_slack: float = 2.0,
+    telemetry: Telemetry | None = None,
 ) -> RunMetrics:
     """Online analysis: frames arrive at ``stream_fps``, bounded horizon.
 
@@ -564,7 +653,9 @@ def simulate_online(
     one shows depressed ingest (and fails :meth:`RunMetrics.realtime`).
     """
     config = config or FFSVAConfig()
-    sim = PipelineSimulator(traces, config, cost_model, placement, online=True)
+    sim = PipelineSimulator(
+        traces, config, cost_model, placement, online=True, telemetry=telemetry
+    )
     n_max = max(len(t) for t in traces)
     horizon = n_max / config.stream_fps + horizon_slack
     return sim.run(max_virtual_time=horizon)

@@ -30,6 +30,18 @@ class TestParser:
         assert args.number_of_objects == 3
         assert args.relax == 1
 
+    def test_telemetry_args_parsed(self):
+        args = build_parser().parse_args(
+            ["simulate", "--telemetry", "--telemetry-port", "0",
+             "--metrics-json", "m.json", "--trace-json", "t.json"]
+        )
+        assert args.telemetry is True
+        assert args.telemetry_port == 0
+        assert args.metrics_json == "m.json"
+        assert args.trace_json == "t.json"
+        # Telemetry defaults to off.
+        assert build_parser().parse_args(["analyze"]).telemetry is False
+
 
 class TestCommands:
     def test_workloads(self, capsys):
@@ -47,6 +59,28 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "throughput" in out
         assert "frames to reference model" in out
+
+    def test_simulate_with_telemetry_artifacts(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.core import RunMetrics
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(
+            ["simulate", "--workload", "jackson", "--tor", "0.3",
+             "--frames", "400", "--telemetry",
+             "--metrics-json", str(metrics_path), "--trace-json", str(trace_path)]
+        )
+        assert code == 0
+        assert "telemetry:" in capsys.readouterr().out
+        # --metrics-json round-trips through RunMetrics.from_json.
+        m = RunMetrics.from_json(metrics_path.read_text())
+        assert m.frames_ingested == 400
+        assert set(m.stages) == {"sdd", "snm", "tyolo", "ref"}
+        # --trace-json is loadable chrome://tracing input.
+        assert json.loads(trace_path.read_text())["traceEvents"]
 
     def test_simulate_online(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))

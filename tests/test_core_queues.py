@@ -184,3 +184,58 @@ class TestFeedbackQueue:
         q.put(2)
         assert q.drain() == [1, 2]
         assert len(q) == 0
+
+    def test_put_timeout_on_full_queue_counts_stall(self):
+        q = FeedbackQueue(1)
+        q.put(1)
+        assert q.put(2, timeout=0.05) is False
+        assert q.put(3, timeout=0.05) is False
+        assert q.put_timeouts == 2
+        assert q.snapshot() == {
+            "depth": 1,
+            "high_water": 1,
+            "total_in": 1,
+            "put_timeouts": 2,
+            "closed": False,
+        }
+        # Item 1 is still there: a timed-out put mutates nothing else.
+        assert q.pop_batch(5) == [1]
+
+    def test_drain_racing_close_loses_nothing(self):
+        # close() and drain() from different threads must never drop or
+        # duplicate an item, whichever order the lock grants.
+        for _ in range(50):
+            q = FeedbackQueue(None)
+            for i in range(20):
+                q.put(i)
+            drained: list = []
+            barrier = threading.Barrier(2)
+
+            def closer():
+                barrier.wait()
+                q.close()
+
+            def drainer():
+                barrier.wait()
+                drained.extend(q.drain())
+
+            threads = [threading.Thread(target=closer), threading.Thread(target=drainer)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=2.0)
+            assert q.closed
+            assert drained + q.drain() == list(range(20))
+
+    def test_pop_batch_min_n_short_batch_only_after_close(self):
+        q = FeedbackQueue(10)
+        q.put(1)
+        q.put(2)
+        # While open, min_n=3 must wait (and here time out) rather than
+        # hand out a short batch.
+        assert q.pop_batch(5, min_n=3, timeout=0.05) == []
+        assert len(q) == 2
+        q.close()
+        # After close the remainder comes out even though it is short.
+        assert q.pop_batch(5, min_n=3, timeout=0.5) == [1, 2]
+        assert q.pop_batch(5, min_n=3, timeout=0.01) == []

@@ -1,0 +1,409 @@
+"""Tests for the telemetry subsystem (repro.obs) and its runtime wiring."""
+
+import json
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core import FFSVAConfig, RunMetrics, build_trace
+from repro.core.metrics import LatencyStats, StageCounters
+from repro.core.pipeline import (
+    DROPPED,
+    MERGED,
+    PER_STREAM,
+    BatchRule,
+    StageGraph,
+    StageLogic,
+    StageSpec,
+)
+from repro.models import ModelZoo
+from repro.nn import TrainConfig
+from repro.obs import (
+    EVENT_KINDS,
+    EventBus,
+    Series,
+    Telemetry,
+    TelemetryEvent,
+    TelemetryServer,
+    TimeSeriesSampler,
+    build_spans,
+    chrome_trace,
+    render_prometheus,
+    snapshot_json,
+)
+from repro.runtime import ThreadedPipeline
+from repro.sim import PipelineSimulator
+from repro.video import jackson, make_stream
+
+N_FRAMES = 200
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """One small trained stream plus its trace."""
+    zoo = ModelZoo()
+    stream = make_stream(jackson(), N_FRAMES, tor=0.3, seed=11)
+    zoo.train_for_stream(
+        stream,
+        n_train_frames=120,
+        stride=2,
+        train_config=TrainConfig(epochs=6, batch_size=32, seed=7),
+    )
+    return stream, build_trace(stream, zoo), zoo
+
+
+# ---------------------------------------------------------------------------
+# event bus
+# ---------------------------------------------------------------------------
+class TestEventBus:
+    def test_emit_and_snapshot(self):
+        bus = EventBus(capacity=8)
+        bus.emit("frame_enter", 0.5, "sdd", stream=0, frame=3)
+        (ev,) = bus.events()
+        assert ev == TelemetryEvent(ts=0.5, kind="frame_enter", stage="sdd",
+                                    stream=0, frame=3)
+        assert bus.counts["frame_enter"] == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventBus().emit("frame_teleport", 0.0, "sdd")
+
+    def test_ring_drops_oldest_and_counts(self):
+        bus = EventBus(capacity=4)
+        for i in range(10):
+            bus.emit("batch_exec", float(i), "snm", n=1)
+        assert len(bus) == 4
+        assert bus.dropped == 6
+        assert bus.published == 10
+        assert [e.ts for e in bus.events()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_drain_empties(self):
+        bus = EventBus(capacity=4)
+        bus.emit("admission", 0.0, "sdd", stream=0, frame=0)
+        assert len(bus.drain()) == 1
+        assert len(bus) == 0
+
+
+# ---------------------------------------------------------------------------
+# sampler
+# ---------------------------------------------------------------------------
+class TestSampler:
+    def test_interval_gating(self):
+        s = TimeSeriesSampler(interval=1.0)
+        assert s.observe("q", 0.0, 1.0)
+        assert not s.observe("q", 0.5, 2.0)  # too soon
+        assert s.observe("q", 1.1, 3.0)
+        t, v = s.series("q").t, s.series("q").v
+        assert (t, v) == ([0.0, 1.1], [1.0, 3.0])
+
+    def test_decimation_bounds_storage(self):
+        series = Series(capacity=8, min_interval=0.0)
+        for i in range(1000):
+            series.add(float(i), float(i))
+        assert len(series) <= 8
+        # The thinned record stays within one effective interval of now.
+        assert 999.0 - series.last()[0] <= series.min_interval
+        assert series.min_interval > 0
+        assert series.add(1000.0, -1.0, force=True)  # force always lands
+        assert series.last() == (1000.0, -1.0)
+
+    def test_observe_many_advances_due_clock(self):
+        s = TimeSeriesSampler(interval=0.5)
+        assert s.due(0.0)
+        s.observe_many(0.0, {"a": 1.0, "b": 2.0})
+        assert not s.due(0.4)
+        assert s.due(0.6)
+        assert s.latest() == {"a": 1.0, "b": 2.0}
+
+    def test_to_dict(self):
+        s = TimeSeriesSampler(interval=0.1)
+        s.observe("x", 0.0, 5.0)
+        assert s.to_dict() == {"x": {"t": [0.0], "v": [5.0]}}
+
+
+# ---------------------------------------------------------------------------
+# trace spans and chrome export
+# ---------------------------------------------------------------------------
+def _synthetic_events():
+    return [
+        TelemetryEvent(0.0, "frame_enter", "sdd", stream=0, frame=0),
+        TelemetryEvent(0.3, "frame_pass", "sdd", stream=0, frame=0, t_start=0.1),
+        TelemetryEvent(0.3, "frame_enter", "ref", stream=0, frame=0),
+        TelemetryEvent(0.9, "frame_pass", "ref", stream=0, frame=0, t_start=0.5),
+        TelemetryEvent(0.0, "frame_enter", "sdd", stream=1, frame=0),
+        TelemetryEvent(0.3, "frame_filter", "sdd", stream=1, frame=0, t_start=0.1),
+    ]
+
+
+class TestSpans:
+    def test_build_spans_wait_and_exec(self):
+        spans = build_spans(_synthetic_events(), terminal="ref")
+        assert len(spans) == 3
+        by_key = {(s.stream, s.stage): s for s in spans}
+        sdd = by_key[(0, "sdd")]
+        assert sdd.queue_wait == pytest.approx(0.1)
+        assert sdd.exec_time == pytest.approx(0.2)
+        assert sdd.disposition == "pass"
+        assert by_key[(0, "ref")].disposition == "analyzed"
+        assert by_key[(1, "sdd")].disposition == "filtered"
+
+    def test_missing_enter_falls_back(self):
+        spans = build_spans(
+            [TelemetryEvent(0.3, "frame_pass", "sdd", stream=0, frame=0, t_start=0.1)]
+        )
+        assert spans[0].queue_wait == 0.0
+
+    def test_chrome_trace_loads_and_has_required_keys(self):
+        doc = chrome_trace(build_spans(_synthetic_events(), terminal="ref"))
+        doc = json.loads(json.dumps(doc))  # must serialize cleanly
+        assert doc["traceEvents"]
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slices and all(
+            {"name", "ph", "ts", "dur", "pid", "tid"} <= set(e) for e in slices
+        )
+        # microsecond timestamps
+        ref = next(e for e in slices if e["name"] == "ref")
+        assert ref["ts"] == pytest.approx(0.5e6)
+        assert ref["dur"] == pytest.approx(0.4e6)
+        assert any(e["ph"] == "M" for e in doc["traceEvents"])  # metadata names
+
+
+# ---------------------------------------------------------------------------
+# export plane
+# ---------------------------------------------------------------------------
+def _sample_metrics() -> RunMetrics:
+    return RunMetrics(
+        n_streams=2,
+        duration=4.0,
+        frames_offered=100,
+        frames_ingested=100,
+        frames_to_ref=7,
+        stages={
+            "sdd": StageCounters(100, 60, 40),
+            "ref": StageCounters(7, 7, 0),
+        },
+        ref_latency=LatencyStats(count=7, mean=0.2, p50=0.1, p95=0.3, p99=0.4, max=0.5),
+        frame_latency=LatencyStats(count=100, mean=0.1, p50=0.1, p95=0.2, p99=0.3, max=0.4),
+        device_utilization={"gpu0": 0.75},
+        queue_high_water={"sdd[0]": 2},
+        extra={"note": [1, 2]},
+    )
+
+
+class TestExport:
+    def test_prometheus_counters_match_stages_exactly(self):
+        m = _sample_metrics()
+        text = render_prometheus(m)
+        for stage, c in m.stages.items():
+            assert f'ffsva_stage_frames_entered_total{{stage="{stage}"}} {c.entered}' in text
+            assert f'ffsva_stage_frames_passed_total{{stage="{stage}"}} {c.passed}' in text
+            assert f'ffsva_stage_frames_filtered_total{{stage="{stage}"}} {c.filtered}' in text
+        assert 'ffsva_queue_high_water{queue="sdd[0]"} 2' in text
+        assert 'ffsva_frame_latency_seconds{quantile="0.95"} 0.2' in text
+        assert "# TYPE ffsva_stage_frames_entered_total counter" in text
+
+    def test_prometheus_includes_bus_and_series(self):
+        tel = Telemetry()
+        tel.bus.emit("admission", 0.0, "sdd", stream=0, frame=0)
+        tel.sampler.observe("queue_depth[snm[0]]", 0.0, 3.0)
+        text = render_prometheus(None, tel)
+        assert 'ffsva_telemetry_events_total{kind="admission"} 1' in text
+        assert 'ffsva_sample_gauge{series="queue_depth[snm[0]]"} 3.0' in text
+
+    def test_snapshot_json_shape(self):
+        snap = snapshot_json(_sample_metrics(), Telemetry())
+        assert set(snap) == {"metrics", "bus", "series"}
+        json.dumps(snap)  # fully serializable
+
+    def test_http_endpoints(self):
+        m = _sample_metrics()
+        tel = Telemetry()
+        server = TelemetryServer(lambda: (m, tel), port=0).start()
+        try:
+            base = server.url
+            text = urllib.request.urlopen(f"{base}/metrics").read().decode()
+            assert 'ffsva_stage_frames_entered_total{stage="sdd"} 100' in text
+            snap = json.loads(urllib.request.urlopen(f"{base}/snapshot").read())
+            assert snap["metrics"]["frames_offered"] == 100
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"{base}/nope")
+        finally:
+            server.stop()
+
+
+# ---------------------------------------------------------------------------
+# RunMetrics serialization (satellite)
+# ---------------------------------------------------------------------------
+class TestRunMetricsJson:
+    def test_round_trip(self):
+        m = _sample_metrics()
+        m2 = RunMetrics.from_json(m.to_json())
+        assert m2.to_dict() == m.to_dict()
+        assert m2.stages["sdd"] == m.stages["sdd"]
+        assert m2.ref_latency == m.ref_latency
+        assert list(m2.stages) == list(m.stages)  # stage order preserved
+
+    def test_numpy_extra_serializes(self):
+        m = _sample_metrics()
+        m.extra["arr"] = np.arange(3)
+        m.extra["scalar"] = np.float64(1.5)
+        m2 = RunMetrics.from_json(m.to_json())
+        assert m2.extra["arr"] == [0, 1, 2]
+        assert m2.extra["scalar"] == 1.5
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: both runtimes, one event schema
+# ---------------------------------------------------------------------------
+def _check_events_match_counters(tel: Telemetry, metrics: RunMetrics):
+    """Per-stage disposition events must reproduce the stage counters."""
+    events = tel.bus.events()
+    assert tel.bus.dropped == 0  # the ring was big enough: nothing evicted
+    assert {e.kind for e in events} <= set(EVENT_KINDS)
+    for stage, c in metrics.stages.items():
+        stage_evs = [e for e in events if e.stage == stage]
+        n_pass = sum(e.kind == "frame_pass" for e in stage_evs)
+        n_filter = sum(e.kind == "frame_filter" for e in stage_evs)
+        assert n_pass + n_filter == c.entered
+        assert n_filter == c.filtered
+        batch_total = sum(e.n for e in stage_evs if e.kind == "batch_exec")
+        assert batch_total == c.entered
+
+
+class TestEndToEnd:
+    def test_threaded_and_sim_same_schema(self, trained):
+        stream, trace, zoo = trained
+        config = FFSVAConfig(telemetry=True)
+
+        tel_real = Telemetry.from_config(config)
+        pipe = ThreadedPipeline([stream], zoo, config, telemetry=tel_real)
+        m_real = pipe.run()
+
+        tel_sim = Telemetry.from_config(config)
+        sim = PipelineSimulator([trace], config, online=False, telemetry=tel_sim)
+        m_sim = sim.run()
+
+        _check_events_match_counters(tel_real, m_real)
+        _check_events_match_counters(tel_sim, m_sim)
+        # Identical field schema across runtimes.
+        for tel in (tel_real, tel_sim):
+            for ev in tel.bus.events():
+                assert isinstance(ev, TelemetryEvent)
+        assert {e.kind for e in tel_real.bus.events()} >= {
+            "admission", "frame_enter", "frame_pass", "batch_exec"
+        }
+        assert {e.kind for e in tel_sim.bus.events()} >= {
+            "admission", "frame_enter", "frame_pass", "batch_exec"
+        }
+
+        # Both produce loadable Chrome traces with per-frame slices.
+        for tel, m in ((tel_real, m_real), (tel_sim, m_sim)):
+            doc = json.loads(json.dumps(tel.chrome_trace(terminal="ref")))
+            slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+            assert len(slices) >= m.stages["sdd"].entered
+
+        # /metrics agrees with RunMetrics.stages for both runtimes.
+        for tel, m in ((tel_real, m_real), (tel_sim, m_sim)):
+            server = tel.serve(lambda m=m: m, port=0)
+            try:
+                text = urllib.request.urlopen(f"{server.url}/metrics").read().decode()
+            finally:
+                server.stop()
+            for stage, c in m.stages.items():
+                assert (
+                    f'ffsva_stage_frames_entered_total{{stage="{stage}"}} {c.entered}'
+                    in text
+                )
+
+        # Time-series were sampled in both timelines.
+        assert any(n.startswith("queue_depth") for n in tel_sim.sampler.names)
+        assert any(n.startswith("queue_depth") for n in tel_real.sampler.names)
+
+    def test_threaded_spans_reconstruct(self, trained):
+        stream, _, zoo = trained
+        tel = Telemetry()
+        pipe = ThreadedPipeline([stream], zoo, FFSVAConfig(), telemetry=tel)
+        m = pipe.run(60)
+        spans = tel.spans(terminal="ref")
+        assert spans
+        # Every span is causally ordered and non-negative.
+        for s in spans:
+            assert s.t_enter <= s.t_start <= s.t_end
+        analyzed = [s for s in spans if s.disposition == "analyzed"]
+        assert len(analyzed) == m.frames_to_ref
+
+    def test_disabled_by_default(self, trained):
+        stream, _, zoo = trained
+        pipe = ThreadedPipeline([stream], zoo, FFSVAConfig())
+        assert pipe.telemetry is None
+        m = pipe.run(40)
+        assert "telemetry" not in m.extra
+
+
+# ---------------------------------------------------------------------------
+# dropped disposition under put timeout (satellite)
+# ---------------------------------------------------------------------------
+def _slow_sink_graph(per_frame_sleep: float) -> StageGraph:
+    def pass_all(pixels, bundles, zoo, cfg):
+        return np.ones(len(pixels), dtype=bool), None
+
+    def slow_sink(pixels, bundles, zoo, cfg):
+        time.sleep(per_frame_sleep * len(pixels))
+        return np.ones(len(pixels), dtype=bool), np.zeros(len(pixels), dtype=np.int64)
+
+    ones = StageLogic(pass_all, lambda trace, cfg: np.ones(len(trace), dtype=bool))
+    return StageGraph(
+        [
+            StageSpec(
+                name="fast", device="cpu0", fan_in=PER_STREAM,
+                batch=BatchRule("fixed", 4), logic=ones, queue_key="sdd",
+            ),
+            StageSpec(
+                name="sink", device="cpu0", fan_in=MERGED,
+                batch=BatchRule("fixed", 1),
+                logic=StageLogic(
+                    slow_sink, lambda trace, cfg: np.ones(len(trace), dtype=bool)
+                ),
+                queue_key="tyolo", terminal=True,
+            ),
+        ],
+        name="slow-sink",
+    )
+
+
+class TestDroppedDisposition:
+    def test_put_timeout_records_dropped_and_queue_block(self, trained):
+        stream, _, zoo = trained
+        tel = Telemetry()
+        # A bounded terminal queue (depth 2 via "tyolo") fed faster than the
+        # sink drains: producers must hit the put timeout and drop.
+        config = FFSVAConfig(
+            queue_put_timeout=0.02, telemetry=True, ref_overflow_to_storage=False
+        )
+        pipe = ThreadedPipeline(
+            [stream], zoo, config, graph=_slow_sink_graph(0.15), telemetry=tel
+        )
+        n = 30
+        m = pipe.run(n)
+        # Every offered frame got a terminal disposition, timeout or not.
+        assert len(pipe.outcomes) == m.frames_offered == n
+        stages = {o.stage for o in pipe.outcomes}
+        assert DROPPED in stages, "a full sink queue must produce drops"
+        assert stages <= {"fast", "sink", DROPPED}
+        m.check_conservation()
+        # Each drop was preceded by at least one observed stall.
+        n_dropped = sum(o.stage == DROPPED for o in pipe.outcomes)
+        assert tel.bus.counts["queue_block"] >= n_dropped
+        assert sum(m.extra["queue_put_timeouts"].values()) >= n_dropped
+
+    def test_no_timeout_blocks_and_loses_nothing(self, trained):
+        stream, _, zoo = trained
+        pipe = ThreadedPipeline(
+            [stream], zoo, FFSVAConfig(ref_overflow_to_storage=False),
+            graph=_slow_sink_graph(0.002),
+        )
+        m = pipe.run(30)
+        assert len(pipe.outcomes) == m.frames_offered == 30
+        assert all(o.stage in ("fast", "sink") for o in pipe.outcomes)
