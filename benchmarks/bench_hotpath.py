@@ -1,0 +1,311 @@
+"""Hot-path microbenchmarks: the inference fast path vs the naive path.
+
+FFS-VA's premise is that the cheap filters run orders of magnitude faster
+than the reference model, so the reproduction's per-frame overhead — stage
+resize, SNM forward passes, grid-detector response maps — must stay small
+*and keep staying small*.  This suite measures each hot path twice:
+
+* **before** — the straightforward implementation (per-call resize index
+  math, training-machinery ``forward`` with backward caches), kept alive
+  here as reference code;
+* **after**  — the shipped fast path (cached :class:`ResizePlan`,
+  ``Sequential.predict``, per-instance buffers).
+
+Medians land in ``BENCH_hotpath.json`` at the repo root (committed, so the
+perf trajectory is reviewable per PR).  Correctness — fast path outputs
+equivalent to the slow path — is always asserted and is the only thing
+that can fail the run: timings are data, not gates, because CI machines
+are noisy.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_hotpath            # full run
+    PYTHONPATH=src python -m benchmarks.bench_hotpath --quick    # CI smoke
+    PYTHONPATH=src python -m benchmarks.bench_hotpath --check    # correctness only
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.models.griddet import GridDetector
+from repro.models.sdd import SDD
+from repro.models.snm import SNMConfig, build_snm_network
+from repro.video.ops import get_resize_plan
+
+from .common import print_table, record_bench
+
+#: The jackson workload's render size (H, W) — the geometry the stage
+#: resizes actually see in steady state (coral renders at a similar 90x160).
+FRAME_HW = (100, 150)
+
+#: A hi-res variant, for the scaling behaviour of the gather path.
+FRAME_HW_HIRES = (360, 640)
+
+
+# ---------------------------------------------------------------------------
+# The "before" implementations, kept verbatim as reference code.
+# ---------------------------------------------------------------------------
+def reference_resize(img: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
+    """Pre-plan bilinear resize: recompute gather indices on every call."""
+    arr = np.asarray(img, dtype=np.float32)
+    single = arr.ndim == 2
+    if single:
+        arr = arr[None]
+    n, h, w = arr.shape
+    oh, ow = int(out_hw[0]), int(out_hw[1])
+    if (oh, ow) == (h, w):
+        out = arr.copy()
+        return out[0] if single else out
+    ys = (np.arange(oh, dtype=np.float32) + 0.5) * (h / oh) - 0.5
+    xs = (np.arange(ow, dtype=np.float32) + 0.5) * (w / ow) - 0.5
+    ys = np.clip(ys, 0.0, h - 1.0)
+    xs = np.clip(xs, 0.0, w - 1.0)
+    y0 = np.floor(ys).astype(np.intp)
+    x0 = np.floor(xs).astype(np.intp)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0).astype(np.float32)
+    wx = (xs - x0).astype(np.float32)
+    ia = arr[:, y0[:, None], x0[None, :]]
+    ib = arr[:, y0[:, None], x1[None, :]]
+    ic = arr[:, y1[:, None], x0[None, :]]
+    id_ = arr[:, y1[:, None], x1[None, :]]
+    wy_ = wy[None, :, None]
+    wx_ = wx[None, None, :]
+    top = ia * (1.0 - wx_) + ib * wx_
+    bot = ic * (1.0 - wx_) + id_ * wx_
+    out = top * (1.0 - wy_) + bot * wy_
+    return out[0] if single else out
+
+
+def forward_eval(net, x: np.ndarray) -> np.ndarray:
+    """Pre-predict inference: training machinery with backward caches."""
+    net.set_training(False)
+    out = net.forward(x)
+    net.set_training(True)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+def median_pair_ms(before, after, *, reps: int, warmup: int = 3) -> tuple[float, float]:
+    """Median wall times (ms) of two callables, sampled interleaved.
+
+    Alternating before/after per iteration (instead of timing each in its
+    own block) makes the reported *ratio* robust to machine-load drift over
+    the measurement window — both sides see the same background noise.
+    """
+    for _ in range(warmup):
+        before()
+        after()
+    b_samples, a_samples = [], []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        before()
+        t1 = time.perf_counter()
+        after()
+        t2 = time.perf_counter()
+        b_samples.append((t1 - t0) * 1e3)
+        a_samples.append((t2 - t1) * 1e3)
+    return statistics.median(b_samples), statistics.median(a_samples)
+
+
+class Case:
+    """One before/after pair with a correctness predicate."""
+
+    def __init__(self, name, before, after, check, reps):
+        self.name = name
+        self.before = before
+        self.after = after
+        self.check = check  # () -> bool: fast path equivalent to slow path
+        self.reps = reps
+
+
+def build_cases(quick: bool) -> list[Case]:
+    rng = np.random.default_rng(0)
+    frames1 = rng.random((1, *FRAME_HW), dtype=np.float32)
+    frames10 = rng.random((10, *FRAME_HW), dtype=np.float32)
+    hires8 = rng.random((8, *FRAME_HW_HIRES), dtype=np.float32)
+    cases: list[Case] = []
+
+    def resize_case(tag, batch, out_hw, reps):
+        in_hw = batch.shape[1:]
+        plan = get_resize_plan(in_hw, out_hw)
+        buf = np.empty((len(batch), *out_hw), dtype=np.float32)
+        cases.append(
+            Case(
+                f"resize[{tag}]",
+                lambda: reference_resize(batch, out_hw),
+                lambda: plan.apply(batch, out=buf),
+                lambda: np.array_equal(plan.apply(batch), reference_resize(batch, out_hw)),
+                reps,
+            )
+        )
+
+    # Batch 10 is the paper's feedback batch size (the engine's steady-state
+    # batch); batch 1 is the latency-sensitive trickle case.
+    r = 40 if quick else 200
+    resize_case("sdd 100x100 b1", frames1, (100, 100), r)
+    resize_case("sdd 100x100 b10", frames10, (100, 100), r)
+    resize_case("snm 50x50 b10", frames10, (50, 50), r)
+    resize_case("tyolo 104x104 b10", frames10, (104, 104), r)
+    resize_case("hires 100x100 b8", hires8, (100, 100), r)
+
+    # SDD distance: resize + MSE against the stream reference.
+    reference = rng.random(FRAME_HW, dtype=np.float32)
+    sdd = SDD(reference, threshold=0.01)
+
+    def sdd_before():
+        resized = reference_resize(frames10, (100, 100))
+        d = resized - sdd.reference
+        return np.mean(d * d, axis=(1, 2))
+
+    cases.append(
+        Case(
+            "sdd distances b10",
+            sdd_before,
+            lambda: sdd.distances(frames10),
+            lambda: np.allclose(sdd.distances(frames10), sdd_before(), rtol=1e-5),
+            40 if quick else 200,
+        )
+    )
+
+    # SNM batched predict: the cascade's second filter at its real input size.
+    net = build_snm_network(SNMConfig())
+    x16 = rng.normal(size=(16, 1, 50, 50)).astype(np.float32)
+    cases.append(
+        Case(
+            "snm predict b16",
+            lambda: forward_eval(net, x16),
+            lambda: net.predict(x16, copy=False),
+            lambda: np.array_equal(net.predict(x16), forward_eval(net, x16)),
+            20 if quick else 100,
+        )
+    )
+
+    # Grid detector (T-YOLO operating point) batched count.
+    det_fast = GridDetector(grid=13, resolution=104)
+    det_ref = GridDetector(grid=13, resolution=104)
+    bg = rng.random(FRAME_HW, dtype=np.float32)
+
+    def griddet_before():
+        # Reference cells path: per-call resize index math, fresh buffers.
+        resized = reference_resize(frames10, (104, 104))
+        bg_small = reference_resize(bg, (104, 104))
+        bg_med = float(np.median(bg_small)) or 1.0
+        gain = (np.median(resized, axis=(1, 2)) / bg_med)[:, None, None].astype(np.float32)
+        resp = np.abs(resized - bg_small[None] * gain)
+        cells = resp.reshape(10, 13, 8, 13, 8).mean(axis=(2, 4)) / 0.25
+        counts = np.empty(10, dtype=np.int64)
+        for i, c in enumerate(cells):
+            counts[i] = len(det_ref._detect_from_cells(c, FRAME_HW))
+        return counts
+
+    cases.append(
+        Case(
+            "griddet count b10",
+            griddet_before,
+            lambda: det_fast.count_batch(frames10, bg),
+            lambda: np.array_equal(det_fast.count_batch(frames10, bg), griddet_before()),
+            20 if quick else 100,
+        )
+    )
+    return cases
+
+
+def run_e2e(quick: bool) -> dict:
+    """End-to-end threaded run: trained models, real queues, real threads."""
+    from repro.core import FFSVAConfig
+    from repro.models import ModelZoo
+    from repro.nn import TrainConfig
+    from repro.runtime import ThreadedPipeline
+    from repro.video import jackson, make_stream
+
+    n_frames = 120 if quick else 360
+    zoo = ModelZoo()
+    streams = []
+    for i, tor in enumerate((0.25, 0.45)):
+        stream = make_stream(jackson(), n_frames, tor=tor, seed=40 + i)
+        zoo.train_for_stream(
+            stream,
+            n_train_frames=100,
+            stride=2,
+            train_config=TrainConfig(epochs=4, batch_size=32, seed=7),
+        )
+        streams.append(stream)
+    pipe = ThreadedPipeline(streams, zoo, FFSVAConfig())
+    metrics = pipe.run()
+    fps = metrics.frames_ingested / metrics.duration if metrics.duration else 0.0
+    return {
+        "n_streams": len(streams),
+        "n_frames": metrics.frames_ingested,
+        "duration_s": round(metrics.duration, 4),
+        "throughput_fps": round(fps, 1),
+        "frames_to_ref": metrics.frames_to_ref,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="CI smoke: fewer reps, no e2e")
+    ap.add_argument("--check", action="store_true", help="correctness only, no timing")
+    ap.add_argument("--no-e2e", action="store_true", help="skip the threaded end-to-end run")
+    ap.add_argument("--out", default=None, help="override the BENCH_hotpath.json path")
+    args = ap.parse_args(argv)
+
+    cases = build_cases(args.quick)
+    failures = []
+    for case in cases:
+        if not case.check():
+            failures.append(case.name)
+    if failures:
+        print(f"FAIL: fast path diverges from slow path: {failures}", file=sys.stderr)
+        return 1
+    print(f"correctness: all {len(cases)} fast paths equivalent to their slow paths")
+    if args.check:
+        return 0
+
+    results: dict[str, dict] = {}
+    rows = []
+    for case in cases:
+        before, after = median_pair_ms(case.before, case.after, reps=case.reps)
+        speedup = before / after if after > 0 else float("inf")
+        results[case.name] = {
+            "before_ms": round(before, 4),
+            "after_ms": round(after, 4),
+            "speedup": round(speedup, 2),
+        }
+        rows.append([case.name, before, after, speedup])
+    print_table(
+        "Hot-path microbenchmarks (median ms)",
+        ["case", "before", "after", "speedup"],
+        rows,
+    )
+
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "mode": "quick" if args.quick else "full",
+        },
+        "cases": results,
+    }
+    if not (args.quick or args.no_e2e):
+        payload["e2e_threaded"] = run_e2e(args.quick)
+        print(f"\ne2e threaded run: {payload['e2e_threaded']}")
+    path = record_bench("hotpath", payload, path=args.out)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

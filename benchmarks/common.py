@@ -35,6 +35,7 @@ __all__ = [
     "get_trace",
     "fleet",
     "record",
+    "record_bench",
     "record_metrics",
     "record_timeseries",
     "print_table",
@@ -118,6 +119,31 @@ def record(experiment: str, payload: dict) -> None:
             data = {}
     data[experiment] = payload
     _RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+def record_bench(name: str, payload: dict, path: str | Path | None = None) -> Path:
+    """Merge one benchmark family's measurements into ``BENCH_<name>.json``.
+
+    Performance-trajectory artifacts live at the repo root (committed, so
+    the speedup history survives across PRs), one file per family — e.g.
+    ``record_bench("hotpath", {...})`` maintains ``BENCH_hotpath.json``.
+    Top-level keys of ``payload`` replace same-named keys of the existing
+    file, so repeated runs update in place.  Returns the path written.
+    """
+    target = (
+        Path(path)
+        if path is not None
+        else Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
+    )
+    data = {}
+    if target.exists():
+        try:
+            data = json.loads(target.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data.update(payload)
+    target.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return target
 
 
 def record_metrics(experiment: str, metrics) -> None:

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import ndimage
 
-from ..video.ops import block_reduce_mean, resize_bilinear
+from ..video.ops import block_reduce_mean, get_resize_plan, resize_bilinear
 
 __all__ = ["Detection", "GridDetector", "classify_kind"]
 
@@ -130,13 +130,16 @@ class GridDetector:
         # Per-background resize cache: detect() is called frame-by-frame with
         # the same reference image, so resizing it once matters.
         self._bg_cache: tuple[int, np.ndarray] | None = None
+        self._resized: np.ndarray | None = None  # steady-state resize buffer
 
     # ------------------------------------------------------------------
     def _resized_background(self, background: np.ndarray) -> np.ndarray:
         key = id(background)
         if self._bg_cache is not None and self._bg_cache[0] == key:
             return self._bg_cache[1]
-        resized = resize_bilinear(background, (self.resolution, self.resolution))
+        resized = resize_bilinear(
+            background, (self.resolution, self.resolution), copy=True
+        )
         self._bg_cache = (key, resized)
         return resized
 
@@ -149,7 +152,16 @@ class GridDetector:
         single = batch.ndim == 2
         if single:
             batch = batch[None]
-        resized = resize_bilinear(batch, (self.resolution, self.resolution))
+        res = self.resolution
+        plan = get_resize_plan(batch.shape[1:], (res, res))
+        if plan.identity:
+            resized = batch
+        else:
+            buf = self._resized
+            shape = (batch.shape[0], res, res)
+            if buf is None or buf.shape != shape:
+                buf = self._resized = np.empty(shape, dtype=np.float32)
+            resized = plan.apply(batch, out=buf)
         bg = self._resized_background(np.asarray(background, dtype=np.float32))
         # Global multiplicative lighting correction per frame.
         bg_med = float(np.median(bg)) or 1.0

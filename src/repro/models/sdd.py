@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..video.ops import resize_bilinear
+from ..video.ops import get_resize_plan, resize_bilinear
 
 __all__ = ["mse", "nrmse", "sad", "SDD", "calibrate_sdd"]
 
@@ -74,15 +74,31 @@ class SDD:
             raise ValueError(f"unknown metric {metric!r}; choose from {sorted(_METRICS)}")
         if threshold < 0:
             raise ValueError("threshold must be non-negative")
-        self.reference = resize_bilinear(np.asarray(reference, dtype=np.float32), SDD_INPUT)
+        self.reference = resize_bilinear(
+            np.asarray(reference, dtype=np.float32), SDD_INPUT, copy=True
+        )
         self.threshold = float(threshold)
         self.metric = metric
         self._metric_fn = _METRICS[metric]
+        self._resized: np.ndarray | None = None  # steady-state resize buffer
 
     def distances(self, frames: np.ndarray) -> np.ndarray:
-        """Distance of each frame to the reference (after resize)."""
+        """Distance of each frame to the reference (after resize).
+
+        Runs on the cached :class:`~repro.video.ops.ResizePlan` for the
+        incoming frame shape, resizing into a per-instance buffer so the
+        steady state allocates nothing but the gather temporaries.
+        """
         batch = _batched(frames)
-        resized = resize_bilinear(batch, SDD_INPUT)
+        plan = get_resize_plan(batch.shape[1:], SDD_INPUT)
+        if plan.identity:
+            resized = batch
+        else:
+            buf = self._resized
+            shape = (batch.shape[0], *SDD_INPUT)
+            if buf is None or buf.shape != shape:
+                buf = self._resized = np.empty(shape, dtype=np.float32)
+            resized = plan.apply(batch, out=buf)
         return self._metric_fn(resized, self.reference)
 
     def passes(self, frames: np.ndarray) -> np.ndarray:

@@ -39,7 +39,7 @@ from ..nn import (
     softmax,
     train_classifier,
 )
-from ..video.ops import resize_bilinear
+from ..video.ops import get_resize_plan, resize_bilinear
 
 __all__ = ["SNMConfig", "SNM", "train_snm"]
 
@@ -108,6 +108,8 @@ class SNM:
         self.c_low = 0.0
         self.c_high = 1.0
         self._bg_small: np.ndarray | None = None
+        self._bg_med: float = 1.0
+        self._resized: np.ndarray | None = None  # steady-state resize buffer
         if background is not None:
             self.set_background(background)
 
@@ -115,8 +117,9 @@ class SNM:
         """Install the stream's reference background (resized once)."""
         s = self.config.input_size
         self._bg_small = resize_bilinear(
-            np.asarray(background, dtype=np.float32), (s, s)
+            np.asarray(background, dtype=np.float32), (s, s), copy=True
         )
+        self._bg_med = float(np.median(self._bg_small)) or 1.0
 
     # ------------------------------------------------------------------
     def preprocess(self, frames: np.ndarray) -> np.ndarray:
@@ -131,21 +134,28 @@ class SNM:
         if batch.ndim == 2:
             batch = batch[None]
         s = self.config.input_size
-        resized = resize_bilinear(batch, (s, s))
+        plan = get_resize_plan(batch.shape[1:], (s, s))
+        if plan.identity:
+            resized = batch
+        else:
+            buf = self._resized
+            shape = (batch.shape[0], s, s)
+            if buf is None or buf.shape != shape:
+                buf = self._resized = np.empty(shape, dtype=np.float32)
+            resized = plan.apply(batch, out=buf)
         bg = self._bg_small
-        bg_med = float(np.median(bg)) or 1.0
-        gain = (np.median(resized, axis=(1, 2)) / bg_med)[:, None, None]
+        gain = (np.median(resized, axis=(1, 2)) / self._bg_med)[:, None, None]
         diff = (resized - bg[None] * gain) / _DIFF_SCALE
         return diff[:, None, :, :]
 
     def predict_proba(self, frames: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Predicted probability ``c`` of the target object, per frame."""
         x = self.preprocess(frames)
-        self.network.set_training(False)
         temp = max(self.config.temperature, 1e-6)
         probs = np.empty(len(x), dtype=np.float32)
         for i in range(0, len(x), batch_size):
-            logits = self.network.forward(x[i : i + batch_size]) / temp
+            # Zero-alloc forward pass; the scratch logits are consumed here.
+            logits = self.network.predict(x[i : i + batch_size], copy=False) / temp
             probs[i : i + batch_size] = softmax(logits)[:, 1]
         return probs
 

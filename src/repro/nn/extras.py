@@ -61,6 +61,18 @@ class BatchNorm2D(Layer):
             + self.params["b"][None, :, None, None]
         )
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != len(self.running_mean):
+            raise ValueError(
+                f"expected (N, {len(self.running_mean)}, H, W), got {x.shape}"
+            )
+        std = np.sqrt(self.running_var + self.eps)
+        xhat = (x - self.running_mean[None, :, None, None]) / std[None, :, None, None]
+        return (
+            self.params["W"][None, :, None, None] * xhat
+            + self.params["b"][None, :, None, None]
+        )
+
     def backward(self, dout: np.ndarray) -> np.ndarray:
         assert self._cache is not None, "backward called before forward"
         xhat, std, shape = self._cache

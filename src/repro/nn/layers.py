@@ -37,13 +37,16 @@ __all__ = [
 
 
 def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int, out: np.ndarray | None = None
 ) -> tuple[np.ndarray, int, int]:
     """Unfold ``(N, C, H, W)`` into ``(N * OH * OW, C * kh * kw)`` patches.
 
     Returns the patch matrix plus the output spatial dims ``(OH, OW)``.
     Uses stride tricks (a view, no copy) for the window extraction and one
-    reshape-copy to produce the GEMM operand.
+    reshape-copy to produce the GEMM operand.  ``out``, when given, receives
+    that copy (it must be C-contiguous ``float32`` of the patch-matrix
+    shape), so steady-state inference reuses one scratch buffer instead of
+    allocating per call.
     """
     n, c, h, w = x.shape
     oh = (h + 2 * pad - kh) // stride + 1
@@ -62,8 +65,17 @@ def im2col(
         writeable=False,
     )
     # (N, OH, OW, C, kh, kw) -> rows are receptive fields.
-    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * oh * ow, c * kh * kw)
-    return np.ascontiguousarray(cols), oh, ow
+    perm = windows.transpose(0, 2, 3, 1, 4, 5)
+    rows, width = n * oh * ow, c * kh * kw
+    if out is not None:
+        if out.shape != (rows, width):
+            raise ValueError(f"out must have shape {(rows, width)}, got {out.shape}")
+        np.copyto(out.reshape(n, oh, ow, c, kh, kw), perm)
+        return out, oh, ow
+    cols = perm.reshape(rows, width)
+    if not cols.flags.c_contiguous:  # reshape of the strided view usually copies
+        cols = np.ascontiguousarray(cols)
+    return cols, oh, ow
 
 
 def col2im(
@@ -92,19 +104,44 @@ def col2im(
     return dx
 
 
+def _scratch(bufs: dict[str, np.ndarray], key: str, shape: tuple, dtype=np.float32) -> np.ndarray:
+    """A reusable per-layer buffer: reallocated only when the shape changes.
+
+    The returned array is *owned by the layer* and overwritten by the next
+    inference call with the same shapes — callers must not hold onto it.
+    """
+    buf = bufs.get(key)
+    if buf is None or buf.shape != shape or buf.dtype != dtype:
+        buf = np.empty(shape, dtype)
+        bufs[key] = buf
+    return buf
+
+
 class Layer:
-    """Base class: stateless by default, parameterized layers override."""
+    """Base class: stateless by default, parameterized layers override.
+
+    ``forward`` caches what ``backward`` needs; :meth:`infer` is the
+    inference fast path — same outputs, no backward caches, and (where a
+    layer overrides it) per-layer scratch buffers reused across calls.
+    """
 
     def __init__(self) -> None:
         self.params: dict[str, np.ndarray] = {}
         self.grads: dict[str, np.ndarray] = {}
         self.training = True
+        #: Inference scratch store (see :func:`_scratch`); not thread-safe —
+        #: one network instance serves one worker at a time.
+        self._bufs: dict[str, np.ndarray] = {}
 
     def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
         raise NotImplementedError
 
     def backward(self, dout: np.ndarray) -> np.ndarray:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass without backward caching; defaults to ``forward``."""
+        return self.forward(x)
 
     def zero_grads(self) -> None:
         for k in self.grads:
@@ -133,6 +170,15 @@ class Dense(Layer):
             raise ValueError(f"Dense expects (N, D) input, got shape {x.shape}")
         self._x = x
         return x @ self.params["W"] + self.params["b"]
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects (N, D) input, got shape {x.shape}")
+        w = self.params["W"]
+        out = _scratch(self._bufs, "y", (x.shape[0], w.shape[1]), np.result_type(x, w))
+        np.matmul(x, w, out=out)
+        out += self.params["b"]
+        return out
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         assert self._x is not None, "backward called before forward"
@@ -186,6 +232,27 @@ class Conv2D(Layer):
         self._cache = (x.shape, cols, oh, ow)
         return np.ascontiguousarray(out)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects (N, {self.in_channels}, H, W), got shape {x.shape}"
+            )
+        k, s, p = self.kernel_size, self.stride, self.pad
+        n, c, h, w = x.shape
+        oh = (h + 2 * p - k) // s + 1
+        ow = (w + 2 * p - k) // s + 1
+        bufs = self._bufs
+        dtype = np.result_type(x, self.params["W"])
+        cols_buf = _scratch(bufs, "cols", (n * oh * ow, c * k * k), dtype)
+        cols, oh, ow = im2col(x, k, k, s, p, out=cols_buf)
+        wmat = self.params["W"].reshape(self.out_channels, -1)
+        gemm = _scratch(bufs, "gemm", (n * oh * ow, self.out_channels), dtype)
+        np.matmul(cols, wmat.T, out=gemm)
+        gemm += self.params["b"]
+        out = _scratch(bufs, "y", (n, self.out_channels, oh, ow), dtype)
+        np.copyto(out, gemm.reshape(n, oh, ow, self.out_channels).transpose(0, 3, 1, 2))
+        return out
+
     def backward(self, dout: np.ndarray) -> np.ndarray:
         assert self._cache is not None, "backward called before forward"
         x_shape, cols, oh, ow = self._cache
@@ -222,6 +289,24 @@ class MaxPool2D(Layer):
         self._cache = (x.shape, mask, oh, ow)
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        s = self.size
+        oh, ow = h // s, w // s
+        if oh == 0 or ow == 0:
+            raise ValueError(f"pool size {s} too large for input {h}x{w}")
+        out = _scratch(self._bufs, "y", (n, c, oh, ow), x.dtype)
+        # No argmax mask: inference never routes gradients.  s*s elementwise
+        # maxima over strided slices beat one reduction over a 6-D view, and
+        # max is exact so the result matches ``view.max(axis=(3, 5))`` bitwise.
+        np.copyto(out, x[:, :, : oh * s : s, : ow * s : s])
+        for i in range(s):
+            for j in range(s):
+                if i == 0 and j == 0:
+                    continue
+                np.maximum(out, x[:, :, i : i + oh * s : s, j : j + ow * s : s], out=out)
+        return out
+
     def backward(self, dout: np.ndarray) -> np.ndarray:
         assert self._cache is not None, "backward called before forward"
         x_shape, mask, oh, ow = self._cache
@@ -246,6 +331,10 @@ class ReLU(Layer):
         self._mask = x > 0
         return np.where(self._mask, x, 0.0).astype(x.dtype, copy=False)
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = _scratch(self._bufs, "y", x.shape, x.dtype)
+        return np.maximum(x, 0.0, out=out)
+
     def backward(self, dout: np.ndarray) -> np.ndarray:
         assert self._mask is not None, "backward called before forward"
         return dout * self._mask
@@ -260,6 +349,9 @@ class Flatten(Layer):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
         return x.reshape(x.shape[0], -1)
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
@@ -285,6 +377,9 @@ class Dropout(Layer):
         keep = 1.0 - self.rate
         self._mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
         return x * self._mask
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return x
 
     def backward(self, dout: np.ndarray) -> np.ndarray:
         if self._mask is None:

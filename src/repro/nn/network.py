@@ -27,6 +27,30 @@ class Sequential:
             dout = layer.backward(dout)
         return dout
 
+    def predict(self, x: np.ndarray, *, copy: bool = True) -> np.ndarray:
+        """Inference fast path: ``forward`` outputs without backward caches.
+
+        Runs every layer in inference mode (``training=False`` for the
+        duration of the call; prior flags are restored) through its
+        :meth:`~repro.nn.layers.Layer.infer` method, which reuses per-layer
+        scratch buffers across calls instead of allocating.  Outputs are
+        bit-identical to ``forward`` with ``set_training(False)``.
+
+        Because the final activation lives in a scratch buffer the next call
+        will overwrite, the result is copied by default; ``copy=False`` hands
+        back the raw buffer for callers that consume it immediately.  Not
+        re-entrant: one ``Sequential`` serves one thread at a time.
+        """
+        flags = [layer.training for layer in self.layers]
+        try:
+            for layer in self.layers:
+                layer.training = False
+                x = layer.infer(x)
+        finally:
+            for layer, flag in zip(self.layers, flags):
+                layer.training = flag
+        return x.copy() if copy else x
+
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
 

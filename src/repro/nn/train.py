@@ -46,12 +46,10 @@ class TrainResult:
 
 def accuracy(net: Sequential, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
     """Top-1 accuracy of ``net`` on ``(x, y)``, evaluated in inference mode."""
-    net.set_training(False)
     correct = 0
     for i in range(0, len(x), batch_size):
-        logits = net.forward(x[i : i + batch_size])
+        logits = net.predict(x[i : i + batch_size], copy=False)
         correct += int((logits.argmax(axis=1) == y[i : i + batch_size]).sum())
-    net.set_training(True)
     return correct / max(len(x), 1)
 
 
@@ -100,11 +98,9 @@ def train_classifier(
             n_batches += 1
         result.train_losses.append(epoch_loss / max(n_batches, 1))
 
-        net.set_training(False)
-        val_logits = net.forward(xv)
+        val_logits = net.predict(xv, copy=False)
         val_loss = loss_fn(val_logits, yv)
         val_acc = float((val_logits.argmax(axis=1) == yv).mean())
-        net.set_training(True)
         result.val_losses.append(val_loss)
         result.val_accuracies.append(val_acc)
 

@@ -56,8 +56,9 @@ class Telemetry:
         capacity: int = 65536,
         sample_interval: float = 0.05,
         series_capacity: int = 512,
+        events: tuple[str, ...] | None = None,
     ):
-        self.bus = EventBus(capacity)
+        self.bus = EventBus(capacity, kinds=events)
         self.sampler = TimeSeriesSampler(sample_interval, series_capacity)
 
     @classmethod

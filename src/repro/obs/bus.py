@@ -63,14 +63,25 @@ class TelemetryEvent:
 
 
 class EventBus:
-    """Bounded multi-producer event ring with drop accounting."""
+    """Bounded multi-producer event ring with drop accounting.
+
+    ``kinds`` restricts the bus to a subset of :data:`EVENT_KINDS` — e.g.
+    ``kinds=("batch_exec",)`` samples only device busy windows.  Unwanted
+    kinds are rejected at :meth:`emit` time, and hot paths can skip event
+    construction entirely by checking :meth:`wants` once per batch.
+    """
 
     enabled = True
 
-    def __init__(self, capacity: int = 65536):
+    def __init__(self, capacity: int = 65536, kinds: tuple[str, ...] | None = None):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if kinds is not None:
+            unknown = set(kinds) - set(EVENT_KINDS)
+            if unknown:
+                raise ValueError(f"unknown event kinds {sorted(unknown)}; known: {EVENT_KINDS}")
         self.capacity = capacity
+        self.kinds = frozenset(EVENT_KINDS if kinds is None else kinds)
         self._ring: deque[TelemetryEvent] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self.published = 0
@@ -80,6 +91,10 @@ class EventBus:
     def __len__(self) -> int:
         with self._lock:
             return len(self._ring)
+
+    def wants(self, kind: str) -> bool:
+        """Whether this bus records ``kind`` (cheap hot-path pre-check)."""
+        return kind in self.kinds
 
     def emit(
         self,
@@ -95,6 +110,8 @@ class EventBus:
         """Build and publish one event (never blocks, never raises on full)."""
         if kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {kind!r}; known: {EVENT_KINDS}")
+        if kind not in self.kinds:
+            return
         self.publish(
             TelemetryEvent(
                 ts=ts, kind=kind, stage=stage, stream=stream, frame=frame,
@@ -140,6 +157,10 @@ class NullBus:
     published = 0
     dropped = 0
     counts: dict[str, int] = {}
+    kinds: frozenset = frozenset()
+
+    def wants(self, kind: str) -> bool:
+        return False
 
     def __len__(self) -> int:
         return 0

@@ -315,7 +315,31 @@ class ThreadedPipeline:
     # ------------------------------------------------------------------
     # stage service
     # ------------------------------------------------------------------
-    def _serve(self, spec: StageSpec, works: list[_Work]) -> bool:
+    def _stacked_pixels(self, works: list[_Work], scratch: dict | None) -> np.ndarray:
+        """Batch pixel tensor for ``works``, reusing the worker's buffer.
+
+        The buffer is preallocated per worker thread (grown once to the
+        stage's batch cap) and overwritten on every batch; stage logic treats
+        its input as read-only and never retains it past ``evaluate``.
+        """
+        first = works[0].pixels
+        if scratch is None:
+            return np.stack([w.pixels for w in works])
+        n = len(works)
+        buf = scratch.get("pixels")
+        if (
+            buf is None
+            or buf.shape[0] < n
+            or buf.shape[1:] != first.shape
+            or buf.dtype != first.dtype
+        ):
+            cap = max(n, int(scratch.get("cap", 0)))
+            buf = scratch["pixels"] = np.empty((cap, *first.shape), dtype=first.dtype)
+        out = buf[:n]
+        np.stack([w.pixels for w in works], out=out)
+        return out
+
+    def _serve(self, spec: StageSpec, works: list[_Work], scratch: dict | None = None) -> bool:
         """Evaluate one batch and route each frame; False aborts the worker.
 
         Every frame of the batch reaches a terminal record or the next
@@ -324,9 +348,22 @@ class ThreadedPipeline:
         """
         done = 0
         tel = self.telemetry
+        bus = tel.bus if tel is not None else None
         try:
-            pixels = np.stack([w.pixels for w in works])
-            bundles = [self.ctxs[w.stream_idx].bundle for w in works]
+            n = len(works)
+            if n == 1:
+                # Singleton batches are the threaded runtime's common case at
+                # low load: a (1, H, W) view costs nothing, np.stack copies.
+                pixels = works[0].pixels[None]
+            else:
+                pixels = self._stacked_pixels(works, scratch)
+            if spec.fan_in == MERGED:
+                ctxs = self.ctxs
+                bundles = [ctxs[w.stream_idx].bundle for w in works]
+            else:
+                # per_stream / shared_rr batches always come from one
+                # stream's queue: one bundle lookup serves the whole batch.
+                bundles = [self.ctxs[works[0].stream_idx].bundle] * n
             with self._locks[spec.name]:
                 t_exec = self._now()
                 passes, info = spec.logic.evaluate(
@@ -334,19 +371,24 @@ class ThreadedPipeline:
                 )
                 t_done = self._now()
             passes = np.asarray(passes, dtype=bool)
-            self._count(spec.name, len(works), int(passes.sum()), busy=t_done - t_exec)
-            if tel is not None and tel.bus.enabled:
-                tel.bus.emit(
-                    "batch_exec", t_done, spec.name,
-                    stream=works[0].stream_idx if spec.fan_in != MERGED else None,
-                    t_start=t_exec, n=len(works),
-                )
-                for k, work in enumerate(works):
-                    tel.bus.emit(
-                        "frame_pass" if (spec.terminal or passes[k]) else "frame_filter",
-                        t_done, spec.name,
-                        stream=work.stream_idx, frame=work.index, t_start=t_exec,
+            self._count(spec.name, n, int(passes.sum()), busy=t_done - t_exec)
+            if bus is not None and bus.enabled:
+                if bus.wants("batch_exec"):
+                    bus.emit(
+                        "batch_exec", t_done, spec.name,
+                        stream=works[0].stream_idx if spec.fan_in != MERGED else None,
+                        t_start=t_exec, n=n,
                     )
+                # Hoisted per-kind check: a bus sampling only batch_exec
+                # skips the whole per-frame emission loop (emit itself also
+                # drops unwanted kinds, so this is purely a fast path).
+                if bus.wants("frame_pass") or bus.wants("frame_filter"):
+                    for k, work in enumerate(works):
+                        bus.emit(
+                            "frame_pass" if (spec.terminal or passes[k]) else "frame_filter",
+                            t_done, spec.name,
+                            stream=work.stream_idx, frame=work.index, t_start=t_exec,
+                        )
             nxt = self.graph.next(spec.name)
             for k, work in enumerate(works):
                 if spec.terminal:
@@ -411,6 +453,7 @@ class ThreadedPipeline:
         """Worker for one stream of a ``per_stream`` stage."""
         q = self.stage_queues[spec.name][idx]
         max_n, min_n = self._batch_bounds(spec)
+        scratch = {"cap": max_n}  # per-worker batch pixel buffer
         try:
             while True:
                 batch = q.pop_batch(max_n, min_n=min_n, timeout=0.05)
@@ -418,7 +461,7 @@ class ThreadedPipeline:
                     if self._abort.is_set() or (q.closed and len(q) == 0):
                         break
                     continue
-                if not self._serve(spec, batch):
+                if not self._serve(spec, batch, scratch):
                     return
         except BaseException as exc:
             self._fail(exc)
@@ -430,6 +473,7 @@ class ThreadedPipeline:
         queues = self.stage_queues[spec.name]
         wake = self._wake[spec.name]
         cap = self._shared_cap(spec)
+        scratch = {"cap": cap}  # per-worker batch pixel buffer
         try:
             while True:
                 all_done = True
@@ -441,7 +485,7 @@ class ThreadedPipeline:
                     if not batch:
                         continue
                     any_served = True
-                    if not self._serve(spec, batch):
+                    if not self._serve(spec, batch, scratch):
                         return
                 if all_done or self._abort.is_set():
                     break
@@ -459,6 +503,7 @@ class ThreadedPipeline:
         """Single worker draining a ``merged`` stage's one queue."""
         q = self.merged_queues[spec.name]
         max_n, min_n = self._batch_bounds(spec)
+        scratch = {"cap": max_n}  # per-worker batch pixel buffer
         try:
             while True:
                 batch = q.pop_batch(max_n, min_n=min_n, timeout=0.05)
@@ -466,7 +511,7 @@ class ThreadedPipeline:
                     if self._abort.is_set() or (q.closed and len(q) == 0):
                         break
                     continue
-                if not self._serve(spec, batch):
+                if not self._serve(spec, batch, scratch):
                     return
         except BaseException as exc:
             self._fail(exc)

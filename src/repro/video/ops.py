@@ -7,13 +7,25 @@ vectorized NumPy equivalents the reproduction needs: bilinear resize, block
 mean-pooling, and normalization helpers.  Everything operates on grayscale
 ``float32`` images with values in ``[0, 1]`` shaped ``(H, W)`` or batches
 shaped ``(N, H, W)``.
+
+Resizing is the cascade's per-frame tax: every stage pays it on every frame
+before any model runs.  Steady-state streams resize the same ``(in_hw,
+out_hw)`` pair millions of times, so the gather indices and interpolation
+weights are precomputed once into a :class:`ResizePlan` (LRU-cached per
+shape pair via :func:`get_resize_plan`) and each call does only
+fancy-indexed gathers plus fused multiply-adds — never index math.
 """
 
 from __future__ import annotations
 
+import threading
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = [
+    "ResizePlan",
+    "get_resize_plan",
     "resize_bilinear",
     "block_reduce_mean",
     "to_float01",
@@ -21,51 +33,192 @@ __all__ = [
 ]
 
 
-def resize_bilinear(img: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
+class ResizePlan:
+    """Precomputed bilinear-resize gathers and weights for one shape pair.
+
+    Sample positions follow the "half-pixel centers" convention so that up-
+    and down-scaling are both well behaved at the borders.  The plan stores
+    flattened gather indices for the four neighbours plus the row/column
+    interpolation weights, so :meth:`apply` is a fixed sequence of four
+    ``take``-style gathers and in-place FMAs over ``(N, OH*OW)`` — identical
+    results to recomputing the indices per call, at a fraction of the cost.
+
+    The index/weight tables are immutable after construction; the only
+    mutable state is a *thread-local* pool of gather scratch buffers (the
+    four neighbour temporaries are each ``(N, OH*OW)`` float32 and would
+    otherwise be reallocated per call — at stage-batch sizes that malloc
+    churn costs as much as the gathers themselves).  Thread locality keeps
+    one plan safely shared across threads (the per-stream and shared-stage
+    workers of the threaded runtime all hit the same LRU cache).
+    """
+
+    __slots__ = (
+        "in_hw",
+        "out_hw",
+        "identity",
+        "_i00",
+        "_i01",
+        "_i10",
+        "_i11",
+        "_wy",
+        "_iwy",
+        "_wx",
+        "_iwx",
+        "_tls",
+    )
+
+    def __init__(self, in_hw: tuple[int, int], out_hw: tuple[int, int]):
+        h, w = int(in_hw[0]), int(in_hw[1])
+        oh, ow = int(out_hw[0]), int(out_hw[1])
+        if h <= 0 or w <= 0:
+            raise ValueError(f"input size must be positive, got {in_hw}")
+        if oh <= 0 or ow <= 0:
+            raise ValueError(f"output size must be positive, got {out_hw}")
+        self.in_hw = (h, w)
+        self.out_hw = (oh, ow)
+        self.identity = (oh, ow) == (h, w)
+        self._tls = threading.local()
+        if self.identity:
+            self._i00 = self._i01 = self._i10 = self._i11 = None
+            self._wy = self._iwy = self._wx = self._iwx = None
+            return
+
+        ys = (np.arange(oh, dtype=np.float32) + 0.5) * (h / oh) - 0.5
+        xs = (np.arange(ow, dtype=np.float32) + 0.5) * (w / ow) - 0.5
+        ys = np.clip(ys, 0.0, h - 1.0)
+        xs = np.clip(xs, 0.0, w - 1.0)
+        y0 = np.floor(ys).astype(np.intp)
+        x0 = np.floor(xs).astype(np.intp)
+        y1 = np.minimum(y0 + 1, h - 1)
+        x1 = np.minimum(x0 + 1, w - 1)
+        wy = (ys - y0).astype(np.float32)
+        wx = (xs - x0).astype(np.float32)
+
+        # Flattened gather indices into a row-major (H*W) image; flattened
+        # weights broadcast over (OH*OW) so apply() runs on 2-D operands.
+        self._i00 = (y0[:, None] * w + x0[None, :]).ravel()
+        self._i01 = (y0[:, None] * w + x1[None, :]).ravel()
+        self._i10 = (y1[:, None] * w + x0[None, :]).ravel()
+        self._i11 = (y1[:, None] * w + x1[None, :]).ravel()
+        self._wy = np.repeat(wy, ow)
+        self._iwy = np.float32(1.0) - self._wy
+        self._wx = np.tile(wx, oh)
+        self._iwx = np.float32(1.0) - self._wx
+
+    def apply(self, img: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Resize ``img`` (``(H, W)`` or ``(N, H, W)``) using this plan.
+
+        ``out``, when given, must be a ``float32`` array of the batch output
+        shape ``(N, OH, OW)`` (or ``(OH, OW)`` for a single image); the
+        result is written into it and returned, so steady-state callers can
+        run allocation-free apart from the gather temporaries.
+
+        Identity plans return the input itself (as ``float32``) — see
+        :func:`resize_bilinear` for the aliasing contract.
+        """
+        arr = np.asarray(img, dtype=np.float32)
+        single = arr.ndim == 2
+        if single:
+            arr = arr[None]
+        if arr.ndim != 3:
+            raise ValueError(f"expected (H, W) or (N, H, W) image, got shape {arr.shape}")
+        if arr.shape[1:] != self.in_hw:
+            raise ValueError(
+                f"plan built for input {self.in_hw}, got image of shape {arr.shape[1:]}"
+            )
+        if self.identity:
+            res = arr[0] if single else arr
+            if out is not None:
+                np.copyto(out, res)
+                return out
+            return res
+        n = arr.shape[0]
+        oh, ow = self.out_hw
+        flat = arr.reshape(n, -1)
+        # Four neighbour gathers into this thread's scratch buffers (mode
+        # "clip" skips the wraparound branch; the indices are in range by
+        # construction).  The interpolation then runs fully in-place on the
+        # scratch (same op order as the unplanned formula, so results are
+        # bit-identical to recomputing indices per call).
+        ia, ib, ic, id_ = self._gather_scratch(n, oh * ow)
+        np.take(flat, self._i00, axis=1, out=ia, mode="clip")
+        np.take(flat, self._i01, axis=1, out=ib, mode="clip")
+        np.take(flat, self._i10, axis=1, out=ic, mode="clip")
+        np.take(flat, self._i11, axis=1, out=id_, mode="clip")
+        np.multiply(ia, self._iwx, out=ia)
+        np.multiply(ib, self._wx, out=ib)
+        np.add(ia, ib, out=ia)  # top row interpolation
+        np.multiply(ic, self._iwx, out=ic)
+        np.multiply(id_, self._wx, out=id_)
+        np.add(ic, id_, out=ic)  # bottom row interpolation
+        np.multiply(ia, self._iwy, out=ia)
+        np.multiply(ic, self._wy, out=ic)
+        if out is not None:
+            target = out[None] if (single and out.ndim == 2) else out
+            if target.shape != (n, oh, ow):
+                raise ValueError(
+                    f"out must have shape {(n, oh, ow)}, got {out.shape}"
+                )
+            np.add(ia, ic, out=target.reshape(n, -1))
+            return out
+        res = np.add(ia, ic).reshape(n, oh, ow)
+        return res[0] if single else res
+
+    def _gather_scratch(self, n: int, npix: int) -> tuple[np.ndarray, ...]:
+        """This thread's four gather buffers, grown to cover ``(n, npix)``."""
+        bufs = getattr(self._tls, "bufs", None)
+        if bufs is None or bufs[0].shape[0] < n:
+            bufs = tuple(np.empty((n, npix), dtype=np.float32) for _ in range(4))
+            self._tls.bufs = bufs
+        if bufs[0].shape[0] == n:
+            return bufs
+        return tuple(b[:n] for b in bufs)
+
+    def __call__(self, img: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return self.apply(img, out=out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResizePlan({self.in_hw} -> {self.out_hw})"
+
+
+@lru_cache(maxsize=128)
+def _cached_plan(h: int, w: int, oh: int, ow: int) -> ResizePlan:
+    return ResizePlan((h, w), (oh, ow))
+
+
+def get_resize_plan(in_hw: tuple[int, int], out_hw: tuple[int, int]) -> ResizePlan:
+    """The process-wide cached :class:`ResizePlan` for a shape pair.
+
+    Steady-state stage preprocessing calls this per batch; after the first
+    call for a ``(in_hw, out_hw)`` pair the plan lookup is a dict hit.
+    """
+    return _cached_plan(int(in_hw[0]), int(in_hw[1]), int(out_hw[0]), int(out_hw[1]))
+
+
+def resize_bilinear(
+    img: np.ndarray, out_hw: tuple[int, int], *, copy: bool = False
+) -> np.ndarray:
     """Resize ``img`` to ``out_hw = (H, W)`` with bilinear interpolation.
 
     Accepts a single image ``(H, W)`` or a batch ``(N, H, W)``; the batch
-    dimension is preserved.  The implementation uses precomputed gather
-    indices and weights so the whole batch is resized with four fancy-indexed
-    reads and a weighted sum (no Python-level loop over pixels).
+    dimension is preserved.  Runs on the LRU-cached :class:`ResizePlan` for
+    the shape pair, so repeated calls pay no index math.
+
+    When the output size equals the input size the input is returned
+    **as-is** (for ``float32`` input, an alias of ``img``; other dtypes are
+    converted and therefore copied).  Pass ``copy=True`` to force an owned
+    array — do so whenever the caller mutates the result or outlives the
+    source buffer.
     """
     arr = np.asarray(img, dtype=np.float32)
     single = arr.ndim == 2
-    if single:
-        arr = arr[None]
-    if arr.ndim != 3:
+    batch = arr[None] if single else arr
+    if batch.ndim != 3:
         raise ValueError(f"expected (H, W) or (N, H, W) image, got shape {arr.shape}")
-    n, h, w = arr.shape
-    oh, ow = int(out_hw[0]), int(out_hw[1])
-    if oh <= 0 or ow <= 0:
-        raise ValueError(f"output size must be positive, got {out_hw}")
-    if (oh, ow) == (h, w):
-        out = arr.copy()
-        return out[0] if single else out
-
-    # Sample positions follow the "half-pixel centers" convention so that
-    # up- and down-scaling are both well behaved at the borders.
-    ys = (np.arange(oh, dtype=np.float32) + 0.5) * (h / oh) - 0.5
-    xs = (np.arange(ow, dtype=np.float32) + 0.5) * (w / ow) - 0.5
-    ys = np.clip(ys, 0.0, h - 1.0)
-    xs = np.clip(xs, 0.0, w - 1.0)
-    y0 = np.floor(ys).astype(np.intp)
-    x0 = np.floor(xs).astype(np.intp)
-    y1 = np.minimum(y0 + 1, h - 1)
-    x1 = np.minimum(x0 + 1, w - 1)
-    wy = (ys - y0).astype(np.float32)
-    wx = (xs - x0).astype(np.float32)
-
-    # Gather the four neighbours; broadcasting builds (N, oh, ow) directly.
-    ia = arr[:, y0[:, None], x0[None, :]]
-    ib = arr[:, y0[:, None], x1[None, :]]
-    ic = arr[:, y1[:, None], x0[None, :]]
-    id_ = arr[:, y1[:, None], x1[None, :]]
-    wy_ = wy[None, :, None]
-    wx_ = wx[None, None, :]
-    top = ia * (1.0 - wx_) + ib * wx_
-    bot = ic * (1.0 - wx_) + id_ * wx_
-    out = top * (1.0 - wy_) + bot * wy_
+    plan = get_resize_plan(batch.shape[1:], out_hw)
+    if plan.identity:
+        return arr.copy() if copy else arr
+    out = plan.apply(batch)
     return out[0] if single else out
 
 

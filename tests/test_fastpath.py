@@ -1,0 +1,275 @@
+"""Inference fast path: planned resize and zero-alloc forward equivalence.
+
+The fast path is default-on, so these tests pin its one invariant: outputs
+must be **bit-identical** to the straightforward implementations.  The
+reference resize below recomputes gather indices per call (the pre-plan
+implementation); ``Sequential.predict`` is checked against training-mode
+``forward`` with dropout disabled.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.griddet import GridDetector
+from repro.models.sdd import SDD
+from repro.models.snm import SNM, SNMConfig, build_snm_network
+from repro.nn import (
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+from repro.nn.layers import im2col
+from repro.obs import EventBus
+from repro.video.ops import ResizePlan, get_resize_plan, resize_bilinear
+
+
+def reference_resize(img: np.ndarray, out_hw: tuple[int, int]) -> np.ndarray:
+    """Bilinear resize recomputing indices/weights per call (pre-plan path)."""
+    arr = np.asarray(img, dtype=np.float32)
+    single = arr.ndim == 2
+    if single:
+        arr = arr[None]
+    n, h, w = arr.shape
+    oh, ow = int(out_hw[0]), int(out_hw[1])
+    if (oh, ow) == (h, w):
+        out = arr.copy()
+        return out[0] if single else out
+    ys = (np.arange(oh, dtype=np.float32) + 0.5) * (h / oh) - 0.5
+    xs = (np.arange(ow, dtype=np.float32) + 0.5) * (w / ow) - 0.5
+    ys = np.clip(ys, 0.0, h - 1.0)
+    xs = np.clip(xs, 0.0, w - 1.0)
+    y0 = np.floor(ys).astype(np.intp)
+    x0 = np.floor(xs).astype(np.intp)
+    y1 = np.minimum(y0 + 1, h - 1)
+    x1 = np.minimum(x0 + 1, w - 1)
+    wy = (ys - y0).astype(np.float32)
+    wx = (xs - x0).astype(np.float32)
+    ia = arr[:, y0[:, None], x0[None, :]]
+    ib = arr[:, y0[:, None], x1[None, :]]
+    ic = arr[:, y1[:, None], x0[None, :]]
+    id_ = arr[:, y1[:, None], x1[None, :]]
+    wy_ = wy[None, :, None]
+    wx_ = wx[None, None, :]
+    top = ia * (1.0 - wx_) + ib * wx_
+    bot = ic * (1.0 - wx_) + id_ * wx_
+    out = top * (1.0 - wy_) + bot * wy_
+    return out[0] if single else out
+
+
+class TestResizePlan:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        h=st.integers(2, 48),
+        w=st.integers(2, 48),
+        oh=st.integers(1, 40),
+        ow=st.integers(1, 40),
+        n=st.integers(0, 4),  # 0 means single image
+        seed=st.integers(0, 2**16),
+    )
+    def test_planned_equals_unplanned(self, h, w, oh, ow, n, seed):
+        rng = np.random.default_rng(seed)
+        shape = (h, w) if n == 0 else (n, h, w)
+        img = rng.random(shape, dtype=np.float32)
+        want = reference_resize(img, (oh, ow))
+        got = resize_bilinear(img, (oh, ow))
+        assert got.shape == want.shape
+        assert np.array_equal(got, want)
+
+    def test_out_buffer_path(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((3, 31, 17), dtype=np.float32)
+        plan = get_resize_plan((31, 17), (12, 23))
+        buf = np.empty((3, 12, 23), dtype=np.float32)
+        got = plan.apply(img, out=buf)
+        assert got is buf
+        assert np.array_equal(got, reference_resize(img, (12, 23)))
+        # A second apply overwrites the same buffer with new content.
+        img2 = rng.random((3, 31, 17), dtype=np.float32)
+        got2 = plan.apply(img2, out=buf)
+        assert got2 is buf
+        assert np.array_equal(got2, reference_resize(img2, (12, 23)))
+
+    def test_plan_cached_per_shape_pair(self):
+        assert get_resize_plan((30, 40), (10, 10)) is get_resize_plan((30, 40), (10, 10))
+        assert get_resize_plan((30, 40), (10, 10)) is not get_resize_plan((30, 40), (11, 11))
+
+    def test_identity_is_passthrough(self):
+        img = np.random.default_rng(1).random((10, 12), dtype=np.float32)
+        # Default: identity resize aliases the input (documented), no copy.
+        assert resize_bilinear(img, (10, 12)) is img
+        out = resize_bilinear(img, (10, 12), copy=True)
+        assert out is not img
+        assert np.array_equal(out, img)
+
+    def test_plan_rejects_wrong_input_shape(self):
+        plan = ResizePlan((10, 10), (5, 5))
+        with pytest.raises(ValueError, match="plan built for"):
+            plan.apply(np.zeros((11, 10), dtype=np.float32))
+
+    def test_plan_rejects_bad_out_shape(self):
+        plan = ResizePlan((10, 10), (5, 5))
+        with pytest.raises(ValueError, match="out must have shape"):
+            plan.apply(np.zeros((2, 10, 10), np.float32), out=np.zeros((2, 4, 5), np.float32))
+
+
+class TestIm2ColOut:
+    def test_out_matches_allocating_path(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 3, 9, 9)).astype(np.float32)
+        want, oh, ow = im2col(x, 3, 3, 2, 1)
+        buf = np.empty_like(want)
+        got, oh2, ow2 = im2col(x, 3, 3, 2, 1, out=buf)
+        assert (oh, ow) == (oh2, ow2)
+        assert got is buf
+        assert np.array_equal(got, want)
+
+    def test_allocating_path_is_contiguous(self):
+        x = np.random.default_rng(3).normal(size=(1, 1, 6, 6)).astype(np.float32)
+        cols, _, _ = im2col(x, 2, 2, 1, 0)
+        assert cols.flags.c_contiguous
+
+    def test_out_shape_checked(self):
+        x = np.zeros((1, 1, 6, 6), dtype=np.float32)
+        with pytest.raises(ValueError, match="out must have shape"):
+            im2col(x, 2, 2, 1, 0, out=np.zeros((3, 3), np.float32))
+
+
+def eval_forward(net: Sequential, x: np.ndarray) -> np.ndarray:
+    """Training-machinery forward in inference mode (the slow path)."""
+    net.set_training(False)
+    out = net.forward(x)
+    net.set_training(True)
+    return out
+
+
+class TestPredictEquivalence:
+    def test_snm_network_bit_identical(self):
+        net = build_snm_network(SNMConfig())
+        rng = np.random.default_rng(4)
+        for n in (1, 5, 32, 5):  # repeat a size: scratch buffers are reused
+            x = rng.normal(size=(n, 1, 50, 50)).astype(np.float32)
+            assert np.array_equal(net.predict(x), eval_forward(net, x))
+
+    def test_trained_snm_predict_proba_unchanged(self):
+        # The adopted call site: predict_proba must agree with the slow path.
+        cfg = SNMConfig(input_size=30)
+        snm = SNM(build_snm_network(cfg), cfg)
+        rng = np.random.default_rng(5)
+        snm.set_background(rng.random((60, 80), dtype=np.float32))
+        frames = rng.random((12, 60, 80), dtype=np.float32)
+        fast = snm.predict_proba(frames)
+        x = snm.preprocess(frames)
+        from repro.nn import softmax
+
+        logits = eval_forward(snm.network, x) / max(cfg.temperature, 1e-6)
+        assert np.array_equal(fast, softmax(logits)[:, 1].astype(np.float32))
+
+    def test_batchnorm_dropout_net_bit_identical(self):
+        rng = np.random.default_rng(6)
+        net = Sequential(
+            [
+                Conv2D(1, 4, 3, rng=rng),
+                BatchNorm2D(4),
+                ReLU(),
+                MaxPool2D(2),
+                Flatten(),
+                Dropout(0.4, rng=rng),
+                Dense(4 * 9 * 9, 3, rng=rng),
+            ]
+        )
+        x = rng.normal(size=(6, 1, 20, 20)).astype(np.float32)
+        net.forward(x)  # populate batchnorm running stats in training mode
+        assert np.array_equal(net.predict(x), eval_forward(net, x))
+
+    def test_predict_restores_training_flags(self):
+        net = build_snm_network(SNMConfig(input_size=30))
+        net.set_training(True)
+        net.predict(np.zeros((2, 1, 30, 30), dtype=np.float32))
+        assert all(layer.training for layer in net.layers)
+        net.layers[0].training = False  # mixed flags survive too
+        net.predict(np.zeros((2, 1, 30, 30), dtype=np.float32))
+        assert not net.layers[0].training
+        assert all(layer.training for layer in net.layers[1:])
+
+    def test_predict_copy_semantics(self):
+        net = Sequential([Dense(4, 2, rng=np.random.default_rng(7))])
+        x = np.ones((3, 4), dtype=np.float32)
+        owned = net.predict(x)
+        raw = net.predict(x, copy=False)
+        assert np.array_equal(owned, raw)
+        # copy=False hands back the scratch buffer: the next call reuses it.
+        raw2 = net.predict(np.full((3, 4), 2.0, dtype=np.float32), copy=False)
+        assert raw2 is raw
+        # The default copy is insulated from that reuse.
+        assert not np.array_equal(owned, raw2)
+        assert np.array_equal(owned, net.predict(x))
+
+    def test_training_still_works_after_predict(self):
+        # predict must not poison backward: caches are written by forward.
+        net = Sequential([Dense(4, 2, rng=np.random.default_rng(8))])
+        x = np.ones((3, 4), dtype=np.float32)
+        net.predict(x)
+        out = net.forward(x)
+        net.backward(np.ones_like(out))
+        assert float(np.abs(net.layers[0].grads["W"]).sum()) > 0
+
+
+class TestDetectorFastPath:
+    # NB: the plan's *resize output* is bit-identical to the reference (see
+    # TestResizePlan), but NumPy's pairwise-SIMD mean/median over the reused
+    # scratch buffer can differ from the same values in a fresh allocation by
+    # ~1 ULP (reduction grouping is buffer-alignment sensitive).  Reductions
+    # downstream of the buffer therefore get a ~1e-5 relative tolerance.
+
+    def test_sdd_distances_match_reference_pipeline(self):
+        rng = np.random.default_rng(9)
+        ref = rng.random((80, 120), dtype=np.float32)
+        sdd = SDD(ref, threshold=0.01)
+        frames = rng.random((7, 80, 120), dtype=np.float32)
+        resized = reference_resize(frames, (100, 100))
+        want = np.mean((resized - sdd.reference) ** 2, axis=(1, 2))
+        got = sdd.distances(frames)
+        np.testing.assert_allclose(got, want, rtol=1e-5)
+        # Steady state reuses the per-instance buffer: exact same results.
+        assert np.array_equal(sdd.distances(frames), got)
+
+    def test_griddet_cells_match_reference_resize(self):
+        rng = np.random.default_rng(10)
+        det = GridDetector(grid=13, resolution=104)
+        bg = rng.random((90, 160), dtype=np.float32)
+        frames = rng.random((4, 90, 160), dtype=np.float32)
+        got = det.response_cells(frames, bg)
+        from repro.video.ops import block_reduce_mean
+
+        resized = reference_resize(frames, (104, 104))
+        bg_small = reference_resize(bg, (104, 104))
+        bg_med = float(np.median(bg_small)) or 1.0
+        gain = (np.median(resized, axis=(1, 2)) / bg_med)[:, None, None].astype(np.float32)
+        want = block_reduce_mean(np.abs(resized - bg_small[None] * gain), 8) / 0.25
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+        assert np.array_equal(det.response_cells(frames, bg), got)
+
+
+class TestEventKindGating:
+    def test_bus_filters_unwanted_kinds(self):
+        bus = EventBus(16, kinds=("batch_exec",))
+        assert bus.wants("batch_exec")
+        assert not bus.wants("frame_pass")
+        bus.emit("frame_pass", 0.0, "snm", stream=0, frame=1)
+        bus.emit("batch_exec", 0.0, "snm", n=4)
+        assert bus.published == 1
+        assert [e.kind for e in bus.events()] == ["batch_exec"]
+
+    def test_unknown_kind_still_rejected(self):
+        bus = EventBus(16, kinds=("batch_exec",))
+        with pytest.raises(ValueError, match="unknown event kind"):
+            bus.emit("nonsense", 0.0, "snm")
+        with pytest.raises(ValueError, match="unknown event kinds"):
+            EventBus(16, kinds=("bogus",))
