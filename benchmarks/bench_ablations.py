@@ -17,9 +17,10 @@ These go beyond the paper's own figures:
 """
 
 from repro.devices import Placement, standard_server
+from repro.obs import Telemetry
 from repro.sim import simulate_offline
 
-from common import OPERATING_POINT, fleet, print_table, record
+from common import OPERATING_POINT, fleet, print_table, record, record_timeseries
 
 TOR = 0.203
 
@@ -32,20 +33,26 @@ def test_x1_queue_depth_sweep(benchmark):
         "huge (16,80,16,32)": {"sdd": 16, "snm": 80, "tyolo": 16, "ref": 32},
     }
 
-    def run(depths):
+    def run(depths, telemetry=None):
         # NumberofObjects=2 keeps the run SNM-bound (see Figure 9's bench)
         # so queue-depth effects on batching are visible.
         cfg = OPERATING_POINT.with_(
             queue_depths=depths, batch_policy="dynamic", number_of_objects=2
         )
-        return simulate_offline(traces, cfg)
+        return simulate_offline(traces, cfg, telemetry=telemetry)
 
     benchmark.pedantic(lambda: run(depth_sets["paper (2,10,2,4)"]), rounds=1, iterations=1)
 
     rows = []
     results = {}
     for name, depths in depth_sets.items():
-        m = run(depths)
+        # The paper-depths run carries the telemetry bus so the sweep leaves
+        # its queue-depth/utilization traces behind (the ablation is *about*
+        # queue dynamics; the depth curves make the trade-off inspectable).
+        telemetry = Telemetry() if name.startswith("paper") else None
+        m = run(depths, telemetry)
+        if telemetry is not None:
+            record_timeseries("ablation_x1/paper_depths", telemetry)
         results[name] = m
         rows.append([name, m.throughput_fps, m.frame_latency.mean, m.extra["mean_snm_batch"]])
     print_table(

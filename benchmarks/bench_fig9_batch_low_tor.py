@@ -16,9 +16,10 @@ video contents, the average latency is basically unchanged."
 
 import pytest
 
+from repro.obs import Telemetry
 from repro.sim import simulate_offline, simulate_online
 
-from common import OPERATING_POINT, fleet, print_table, record
+from common import OPERATING_POINT, fleet, print_table, record, record_timeseries
 
 TOR = 0.203
 BATCHES = (1, 2, 4, 8, 10, 16, 24, 30)
@@ -47,7 +48,13 @@ def test_fig9a_throughput_vs_batch(benchmark, traces):
     data = {p: [] for p in ("static", "feedback", "dynamic")}
     for b in BATCHES:
         for policy in data:
-            m = simulate_offline(traces, _cfg(policy, b))
+            # The paper's operating batch (dynamic, 10) carries the telemetry
+            # bus: its queue-depth traces are the feedback dynamics Figure 9
+            # is about, recorded without perturbing the rest of the sweep.
+            telemetry = Telemetry() if (policy == "dynamic" and b == 10) else None
+            m = simulate_offline(traces, _cfg(policy, b), telemetry=telemetry)
+            if telemetry is not None:
+                record_timeseries("fig9a/dynamic_b10", telemetry)
             data[policy].append(m.throughput_fps)
     rows = [
         [b, data["static"][i], data["feedback"][i], data["dynamic"][i]]
@@ -80,7 +87,10 @@ def test_fig9b_latency_vs_batch(benchmark, traces):
     data = {p: [] for p in ("static", "feedback", "dynamic")}
     for b in BATCHES:
         for policy in data:
-            m = simulate_online(traces, _cfg(policy, b))
+            telemetry = Telemetry() if (policy == "dynamic" and b == 10) else None
+            m = simulate_online(traces, _cfg(policy, b), telemetry=telemetry)
+            if telemetry is not None:
+                record_timeseries("fig9b/dynamic_b10", telemetry)
             data[policy].append(m.frame_latency.mean)
     rows = [
         [b, data["static"][i], data["feedback"][i], data["dynamic"][i]]

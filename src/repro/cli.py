@@ -54,6 +54,22 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
         default="ffs-va",
         help="which registered stage-graph composition to execute",
     )
+    p.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default="thread",
+        help="run CPU-hosted stages (SDD) inline in worker threads, or on a "
+             "pool of worker processes fed through the shared-memory frame plane",
+    )
+    p.add_argument(
+        "--num-sdd-procs", type=int, default=2, metavar="N",
+        help="worker processes in the SDD pool when --executor process",
+    )
+    p.add_argument(
+        "--snm-fusion", action="store_true",
+        help="fuse the per-stream SNMs into one worker forming cross-stream "
+             "mega-batches executed as a single weight-stacked forward pass",
+    )
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
@@ -94,6 +110,9 @@ def _config_from(args) -> FFSVAConfig:
         batch_policy=args.batch_policy,
         batch_size=args.batch_size,
         cascade=args.cascade,
+        executor=getattr(args, "executor", "thread"),
+        num_sdd_procs=getattr(args, "num_sdd_procs", 2),
+        snm_fusion=bool(getattr(args, "snm_fusion", False)),
         telemetry=telemetry,
         telemetry_port=getattr(args, "telemetry_port", None),
     )

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from .config import FFSVAConfig
 
-__all__ = ["decide_batch", "batch_wait_bound"]
+__all__ = ["decide_batch", "decide_fused_batch", "fused_pop_order", "batch_wait_bound"]
 
 
 def decide_batch(
@@ -66,6 +66,76 @@ def decide_batch(
     if policy == "dynamic":
         return min(queue_len, batch_size)
     raise ValueError(f"unknown batch policy {policy!r}")
+
+
+def decide_fused_batch(
+    policy: str,
+    queue_lens: list[int],
+    batch_size: int,
+    queue_depth: int | None,
+    *,
+    eof: bool = False,
+    start: int = 0,
+) -> list[int]:
+    """Per-stream take counts for one cross-stream SNM mega-batch.
+
+    The fused SNM stage (fan-in ``"fused"``) has one queue per stream and a
+    single worker that pools them: the batch target is the same
+    ``BatchSize`` :func:`decide_batch` would use, but it is satisfied from
+    the *aggregate* of all queues — a full GPU-efficient batch forms as soon
+    as the streams have enough frames between them, instead of waiting for
+    any single stream to fill one.
+
+    Frames are distributed round-robin, one at a time over the non-empty
+    queues starting at stream ``start``, so no stream can monopolize the
+    mega-batch (the same inter-stream fairness goal as the T-YOLO extraction
+    cap of Section 3.2.3).  Returns a per-stream count vector summing to the
+    decided batch size; all zeros means keep waiting.
+
+    ``eof`` (every producer finished) flushes whatever remains even when the
+    per-stream queues are partially empty and a full batch can never form.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if any(n < 0 for n in queue_lens):
+        raise ValueError("queue lengths must be >= 0")
+    n_streams = len(queue_lens)
+    takes = [0] * n_streams
+    total = sum(queue_lens)
+    if total == 0:
+        return takes
+    # The aggregate target follows decide_batch's policy semantics exactly,
+    # applied to the pooled queue length.
+    target = decide_batch(policy, total, batch_size, queue_depth, eof=eof)
+    if target == 0:
+        return takes
+    left = list(queue_lens)
+    picked = 0
+    while picked < target:
+        progressed = False
+        for off in range(n_streams):
+            idx = (start + off) % n_streams
+            if left[idx] > 0 and picked < target:
+                takes[idx] += 1
+                left[idx] -= 1
+                picked += 1
+                progressed = True
+        if not progressed:  # pragma: no cover - target <= total by construction
+            break
+    return takes
+
+
+def fused_pop_order(takes: list[int], start: int = 0) -> list[int]:
+    """Stream visit order matching :func:`decide_fused_batch`'s distribution.
+
+    Both runtimes pop each stream's ``takes[idx]`` frames contiguously,
+    visiting streams in round-robin order from ``start`` — this fixes the
+    mega-batch layout so the threaded runtime and the simulator agree on
+    batch composition (per-frame results are order-independent, but a shared
+    convention keeps the two executors trivially comparable).
+    """
+    n = len(takes)
+    return [(start + off) % n for off in range(n) if takes[(start + off) % n] > 0]
 
 
 def batch_wait_bound(

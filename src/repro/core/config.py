@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from .pipeline import CASCADES, STAGES, StageGraph
+from .pipeline import CASCADES, EXECUTORS, STAGES, StageGraph, scaled_graph
 
 __all__ = ["FFSVAConfig", "BatchPolicyName"]
 
@@ -57,6 +57,18 @@ class FFSVAConfig:
 
     # T-YOLO round-robin extraction cap per stream per cycle.
     num_t_yolo: int = 2
+
+    # --- scale-out execution plane (repro.runtime.procpool) --------------
+    # "process" runs CPU-hosted stages (SDD) on a pool of worker processes
+    # fed through the shared-memory frame plane, sidestepping the GIL;
+    # "thread" (the default) keeps every stage in its worker thread.
+    executor: str = "thread"
+    # Worker processes in the SDD pool when executor="process".
+    num_sdd_procs: int = 2
+    # Fuse the per-stream SNM stages into one worker that pops all streams'
+    # queues into cross-stream mega-batches executed as a single
+    # weight-stacked forward pass (the paper's GPU-0 batching of SNMs).
+    snm_fusion: bool = False
 
     # Online admission (Section 4.3.1): an instance can accept another stream
     # when T-YOLO's observed rate stays below this for `admission_window`
@@ -108,6 +120,10 @@ class FFSVAConfig:
             raise ValueError("batch_size must be >= 1")
         if self.num_t_yolo < 1:
             raise ValueError("num_t_yolo must be >= 1")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}")
+        if self.num_sdd_procs < 1:
+            raise ValueError("num_sdd_procs must be >= 1")
         if self.cascade not in CASCADES:
             raise ValueError(
                 f"cascade must be one of {sorted(CASCADES)}, got {self.cascade!r}"
@@ -139,8 +155,11 @@ class FFSVAConfig:
         return int(self.queue_depths[stage])
 
     def graph(self) -> StageGraph:
-        """The stage graph this configuration selects."""
-        return CASCADES[self.cascade]
+        """The stage graph this configuration selects, with the scale-out
+        execution options (``executor``, ``snm_fusion``) applied."""
+        return scaled_graph(
+            CASCADES[self.cascade], executor=self.executor, snm_fusion=self.snm_fusion
+        )
 
     @property
     def bounded_queues(self) -> bool:

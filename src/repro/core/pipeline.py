@@ -52,7 +52,7 @@ two.  The threaded runtime measures real compute and ignores ``cost``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterator, Sequence
 
 import numpy as np
@@ -70,6 +70,8 @@ __all__ = [
     "PER_STREAM",
     "SHARED_RR",
     "MERGED",
+    "FUSED",
+    "EXECUTORS",
     "BatchRule",
     "StageLogic",
     "StageSpec",
@@ -81,6 +83,7 @@ __all__ = [
     "tyolo_spec",
     "ref_spec",
     "ffs_va_graph",
+    "scaled_graph",
     "effective_batch",
     "arbitration_batch",
     "stage_service_time",
@@ -112,7 +115,13 @@ DROPPED = "dropped"
 PER_STREAM = "per_stream"  # one queue and one worker per stream
 SHARED_RR = "shared_rr"  # one queue per stream, one worker round-robins
 MERGED = "merged"  # a single queue merging all streams
-_FAN_INS = (PER_STREAM, SHARED_RR, MERGED)
+FUSED = "fused"  # one queue per stream, one worker forming cross-stream mega-batches
+_FAN_INS = (PER_STREAM, SHARED_RR, MERGED, FUSED)
+
+#: How a stage's work is executed by the threaded runtime: in the worker
+#: thread itself, or shipped to a pool of worker processes
+#: (:mod:`repro.runtime.procpool`) via the shared-memory frame plane.
+EXECUTORS = ("thread", "process")
 
 _BATCH_KINDS = ("fixed", "config", "rr_cap")
 
@@ -152,10 +161,20 @@ class StageLogic:
 
     ``trace_mask(trace, config)`` returns the same verdict for every frame
     of a precomputed trace at once.
+
+    ``build_fused(bundles, zoo, config)``, when present, supports the
+    ``fused`` fan-in mode: called once per run with *all* streams' model
+    bundles, it returns ``fused_evaluate(pixels, stream_idx) ->
+    (passes, info)`` — an evaluator over cross-stream mega-batches whose
+    per-frame stream membership is given by the ``stream_idx`` vector.
+    Stages without one still work under ``fused`` fan-in: the runtime
+    falls back to grouping the mega-batch by stream and calling
+    ``evaluate`` per group.
     """
 
     evaluate: Callable
     trace_mask: Callable
+    build_fused: Callable | None = None
 
 
 @dataclass(frozen=True)
@@ -175,12 +194,19 @@ class StageSpec:
     #: for the simulator.  ``None`` means the stage is one of the paper's
     #: calibrated stages and the cost model resolves it by name.
     cost: tuple[float, float] | None = None
+    #: ``"thread"`` runs the stage's logic inline in its worker thread;
+    #: ``"process"`` ships batches to a :class:`repro.runtime.procpool.ProcPool`
+    #: over the shared-memory frame plane (CPU stages only — the flagship
+    #: user is SDD, which the GIL otherwise serializes across streams).
+    executor: str = "thread"
 
     def __post_init__(self) -> None:
         if not self.name or self.name in (ABORTED, DROPPED):
             raise ValueError(f"invalid stage name {self.name!r}")
         if self.fan_in not in _FAN_INS:
             raise ValueError(f"fan_in must be one of {_FAN_INS}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}")
         if self.cost is not None and (len(self.cost) != 2 or min(self.cost) < 0):
             raise ValueError("cost must be a (overhead >= 0, per_frame >= 0) pair")
 
@@ -310,16 +336,24 @@ def arbitration_batch(spec: StageSpec, config) -> int:
     return max(1, rule.size)
 
 
-def stage_service_time(spec: StageSpec, costs, batch_size: int) -> float:
+def stage_service_time(
+    spec: StageSpec, costs, batch_size: int, parallelism: int = 1
+) -> float:
     """Device busy time for one batch at ``spec``.
 
     The spec's own ``cost`` pair wins (custom stages); otherwise the
-    calibrated cost model resolves the stage by name.
+    calibrated cost model resolves the stage by name.  ``parallelism`` > 1
+    models a process-pool executor (``spec.executor == "process"``): N
+    worker processes drain the stage's batches concurrently, so the
+    simulator's single service event shrinks by that factor — an idealized
+    linear-scaling approximation of the pool (counters are unaffected).
     """
     if spec.cost is not None:
         overhead, per_frame = spec.cost
-        return overhead + batch_size * per_frame
-    return costs.service_time(spec.name, batch_size)
+        dt = overhead + batch_size * per_frame
+    else:
+        dt = costs.service_time(spec.name, batch_size)
+    return dt / max(1, parallelism)
 
 
 def stage_per_frame_time(spec: StageSpec, costs, batch_size: int) -> float:
@@ -346,6 +380,27 @@ def _snm_evaluate(pixels, bundles, zoo, config):
 
 def _snm_mask(trace, config):
     return trace.snm_pass(config.filter_degree)
+
+
+def _snm_build_fused(bundles, zoo, config):
+    """Cross-stream SNM evaluator: one weight-stacked forward per mega-batch.
+
+    Built once per run from every stream's SNM (paper Section 3.1.2: the
+    per-stream SNMs are all resident on GPU-0 and batched there).  The
+    returned callable is bit-identical to running each stream's
+    ``snm.predict_proba`` on its own frames of the batch — see
+    :class:`repro.models.snm.FusedSNM`.
+    """
+    from ..models.snm import FusedSNM
+
+    fused = FusedSNM([b.snm for b in bundles])
+    degree = config.filter_degree
+
+    def fused_evaluate(pixels, stream_idx):
+        probs = fused.predict_proba(pixels, stream_idx)
+        return fused.passes(probs, stream_idx, degree), None
+
+    return fused_evaluate
 
 
 def _tyolo_evaluate(pixels, bundles, zoo, config):
@@ -387,7 +442,7 @@ def snm_spec() -> StageSpec:
         device="gpu0",
         fan_in=PER_STREAM,
         batch=BatchRule("config"),
-        logic=StageLogic(_snm_evaluate, _snm_mask),
+        logic=StageLogic(_snm_evaluate, _snm_mask, build_fused=_snm_build_fused),
     )
 
 
@@ -417,6 +472,38 @@ def ref_spec() -> StageSpec:
 def ffs_va_graph() -> StageGraph:
     """The paper's full cascade: SDD → SNM → T-YOLO → reference."""
     return StageGraph([sdd_spec(), snm_spec(), tyolo_spec(), ref_spec()], name="ffs-va")
+
+
+def scaled_graph(
+    graph: StageGraph, *, executor: str = "thread", snm_fusion: bool = False
+) -> StageGraph:
+    """Apply the scale-out execution options of a config to a stage graph.
+
+    * ``executor="process"`` marks every CPU-hosted stage to run its batches
+      on a worker-process pool (the threaded runtime ignores the flag for
+      GPU stages, whose device lock already serializes them);
+    * ``snm_fusion=True`` switches the SNM stage's fan-in to ``fused``: one
+      worker pops all streams' queues into cross-stream mega-batches.
+
+    Returns the graph unchanged (same object) when neither option is active.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"executor must be one of {EXECUTORS}")
+    if executor == "thread" and not snm_fusion:
+        return graph
+    specs = []
+    changed = False
+    for spec in graph:
+        if executor == "process" and spec.device.startswith("cpu") and not spec.terminal:
+            spec = replace(spec, executor="process")
+            changed = True
+        if snm_fusion and spec.name == SNM and spec.fan_in == PER_STREAM:
+            spec = replace(spec, fan_in=FUSED)
+            changed = True
+        specs.append(spec)
+    if not changed:
+        return graph
+    return StageGraph(specs, name=graph.name)
 
 
 #: Named cascade compositions selectable via ``FFSVAConfig.cascade``.

@@ -35,13 +35,14 @@ from ..nn import (
     MaxPool2D,
     ReLU,
     Sequential,
+    StackedSequential,
     TrainConfig,
     softmax,
     train_classifier,
 )
 from ..video.ops import get_resize_plan, resize_bilinear
 
-__all__ = ["SNMConfig", "SNM", "train_snm"]
+__all__ = ["SNMConfig", "SNM", "FusedSNM", "train_snm"]
 
 
 @dataclass(frozen=True)
@@ -201,6 +202,65 @@ class SNM:
             c_low, c_high = mid - 1e-3, mid + 1e-3
         self.c_low = float(np.clip(c_low, 0.0, 1.0))
         self.c_high = float(np.clip(c_high, self.c_low + 1e-6, 1.0))
+
+
+class FusedSNM:
+    """All streams' SNMs evaluated as one cross-stream mega-batch.
+
+    The fused SNM stage (``fan_in="fused"``) pops frames from every stream's
+    queue into one batch; this wrapper runs the per-stream preprocessing,
+    executes the K three-layer CNNs as one weight-stacked forward pass
+    (:class:`repro.nn.StackedSequential`), and applies each stream's own
+    temperature and calibrated ``t_pre`` threshold.
+
+    Per-frame results are bit-identical to calling each stream's
+    :meth:`SNM.predict_proba` / :meth:`SNM.passes` on that stream's frames
+    alone: preprocessing, softmax, and thresholding are per-frame
+    operations, and the stacked forward pass self-checks its batched conv
+    path against the grouped per-model reference (falling back to it on any
+    mismatch), so batch composition can never change a verdict.
+    """
+
+    def __init__(self, snms: list[SNM]):
+        if not snms:
+            raise ValueError("FusedSNM needs at least one SNM")
+        self.snms = list(snms)
+        self.stacked = StackedSequential([s.network for s in snms])
+        # float32(temp) is the same cast NEP-50 applies when SNM divides its
+        # float32 logits by the python-float temperature.
+        self.temps = np.array(
+            [max(s.config.temperature, 1e-6) for s in snms], dtype=np.float32
+        )
+
+    def preprocess(self, frames: np.ndarray, stream_idx: np.ndarray) -> np.ndarray:
+        """Each stream's own background-deviation preprocessing, scattered
+        back into mega-batch order."""
+        stream_idx = np.asarray(stream_idx)
+        batch = np.asarray(frames, dtype=np.float32)
+        s = self.snms[0].config.input_size
+        x = np.empty((len(batch), 1, s, s), dtype=np.float32)
+        for k in np.unique(stream_idx):
+            sel = np.nonzero(stream_idx == k)[0]
+            x[sel] = self.snms[int(k)].preprocess(batch[sel])
+        return x
+
+    def predict_proba(self, frames: np.ndarray, stream_idx: np.ndarray) -> np.ndarray:
+        """Probability ``c`` per frame, each under its own stream's model."""
+        stream_idx = np.asarray(stream_idx)
+        x = self.preprocess(frames, stream_idx)
+        logits = self.stacked.forward(x, stream_idx)
+        logits /= self.temps[stream_idx][:, None]
+        return softmax(logits)[:, 1].astype(np.float32, copy=False)
+
+    def t_pre(self, filter_degree: float) -> np.ndarray:
+        """Per-stream operating thresholds (paper Eq. 2) as a vector."""
+        return np.array([s.t_pre(filter_degree) for s in self.snms])
+
+    def passes(
+        self, probs: np.ndarray, stream_idx: np.ndarray, filter_degree: float
+    ) -> np.ndarray:
+        """Mask of frames that continue to T-YOLO, per-stream thresholds."""
+        return np.asarray(probs) >= self.t_pre(filter_degree)[np.asarray(stream_idx)]
 
 
 def train_snm(

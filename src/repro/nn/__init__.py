@@ -11,6 +11,7 @@ from .losses import SigmoidBCE, SoftmaxCrossEntropy, softmax
 from .network import Sequential
 from .optim import SGD
 from .serialize import load_weights, save_weights
+from .stacked import StackedSequential
 from .train import TrainConfig, TrainResult, accuracy, train_classifier
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "Flatten",
     "Dropout",
     "Sequential",
+    "StackedSequential",
     "softmax",
     "SoftmaxCrossEntropy",
     "SigmoidBCE",

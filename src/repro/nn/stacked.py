@@ -1,0 +1,208 @@
+"""Weight-stacked evaluation of many architecturally-identical networks.
+
+FFS-VA keeps one tiny SNM per stream, all resident on the filter GPU
+(Section 3.1.2).  Executing them stream-by-stream wastes the batch
+efficiency the paper's GPU-0 batching buys, so the fused SNM stage forms
+*cross-stream mega-batches*: frames from every stream in one tensor, plus a
+``model_idx`` vector saying which network each frame belongs to.
+
+:class:`StackedSequential` evaluates such batches in one pass: the K
+networks' convolution weights are stacked into a single ``(K, C*k*k, OC)``
+tensor and the whole conv layer becomes one batched ``np.matmul`` over
+per-frame gathered weights; the FC layer and the (cheap) fallback path run
+grouped per-model GEMMs whose operands are exactly what per-network
+``Sequential.predict`` would see.
+
+Bit-identity contract
+---------------------
+``forward(x, model_idx)`` must equal running ``nets[k].predict`` on each
+model's slice of the batch, *bitwise* — the cascade's verdicts may not
+depend on whether fusion is enabled.  The grouped path guarantees this by
+construction (it literally calls ``predict`` per group, with the same
+256-row chunking ``SNM.predict_proba`` uses).  The batched conv path is
+bit-identical on the BLAS builds we target (per-frame GEMM slices of a
+batched matmul accumulate identically to one merged GEMM), but that is a
+library property, not an IEEE guarantee — so the first ``forward`` call
+self-checks the batched result against the grouped reference and silently
+falls back to grouped execution on any mismatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Conv2D, Dense, Dropout, Flatten, MaxPool2D, ReLU, _scratch, im2col
+from .network import Sequential
+
+__all__ = ["StackedSequential"]
+
+#: Chunk size used by the grouped reference path; matches the chunking of
+#: ``SNM.predict_proba`` so grouped execution is operand-identical to the
+#: per-stream sequential path even for very large groups.
+_GROUP_CHUNK = 256
+
+
+def _check_same(tag: str, *values) -> None:
+    if any(v != values[0] for v in values[1:]):
+        raise ValueError(f"stacked networks disagree on {tag}: {values}")
+
+
+class StackedSequential:
+    """Evaluate K same-architecture :class:`Sequential` nets as one batch.
+
+    Parameters
+    ----------
+    nets:
+        The networks, index ``k`` serving frames with ``model_idx == k``.
+        Supported layers: ``Conv2D``, ``ReLU``, ``MaxPool2D``, ``Flatten``,
+        ``Dense``, ``Dropout`` (identity at inference).
+    """
+
+    def __init__(self, nets: list[Sequential]):
+        if not nets:
+            raise ValueError("need at least one network to stack")
+        self.nets = list(nets)
+        n_layers = {len(net.layers) for net in nets}
+        if len(n_layers) != 1:
+            raise ValueError("stacked networks must have the same depth")
+        self._plan: list[tuple] = []
+        for i, layer in enumerate(nets[0].layers):
+            peers = [net.layers[i] for net in nets]
+            _check_same(f"layer {i} type", *(type(la).__name__ for la in peers))
+            if isinstance(layer, Conv2D):
+                _check_same(
+                    f"conv {i} geometry",
+                    *(
+                        (la.in_channels, la.out_channels, la.kernel_size, la.stride, la.pad)
+                        for la in peers
+                    ),
+                )
+                # One (K, C*k*k, OC) tensor: frame n multiplies its im2col
+                # rows by w_t[model_idx[n]] — the whole layer is one batched
+                # matmul over gathered weights.
+                w_t = np.ascontiguousarray(
+                    np.stack(
+                        [la.params["W"].reshape(la.out_channels, -1).T for la in peers]
+                    )
+                )
+                bias = np.stack([la.params["b"] for la in peers])
+                self._plan.append(("conv", layer, w_t, bias))
+            elif isinstance(layer, Dense):
+                _check_same(
+                    f"dense {i} shape", *(tuple(la.params["W"].shape) for la in peers)
+                )
+                w = np.ascontiguousarray(np.stack([la.params["W"] for la in peers]))
+                bias = np.stack([la.params["b"] for la in peers])
+                self._plan.append(("dense", layer, w, bias))
+            elif isinstance(layer, ReLU):
+                self._plan.append(("relu", layer, None, None))
+            elif isinstance(layer, MaxPool2D):
+                _check_same(f"pool {i} size", *(la.size for la in peers))
+                self._plan.append(("pool", layer, None, None))
+            elif isinstance(layer, (Flatten, Dropout)):
+                self._plan.append(("flatten", layer, None, None))
+            else:
+                raise ValueError(
+                    f"layer {type(layer).__name__} is not supported by StackedSequential"
+                )
+        self._bufs: dict[str, np.ndarray] = {}
+        #: "batched" = weight-stacked conv matmul; "grouped" = per-model
+        #: ``predict`` calls.  Demoted to "grouped" if the first-call
+        #: self-check sees any bitwise difference.
+        self.mode = "batched"
+        self._verified = False
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, model_idx: np.ndarray) -> np.ndarray:
+        """Logits for a mega-batch; ``model_idx[n]`` picks frame n's net.
+
+        Bit-identical to per-model ``Sequential.predict`` over each model's
+        slice (see the module docstring for how that is enforced).  Returns
+        a fresh array the caller owns.
+        """
+        x = np.asarray(x, dtype=np.float32)
+        model_idx = np.asarray(model_idx)
+        if x.ndim != 4:
+            raise ValueError(f"expected a (N, C, H, W) batch, got shape {x.shape}")
+        if model_idx.shape != (len(x),):
+            raise ValueError("model_idx must have one entry per frame")
+        if len(x) and (model_idx.min() < 0 or model_idx.max() >= len(self.nets)):
+            raise ValueError(f"model_idx out of range for {len(self.nets)} networks")
+        if self.mode == "grouped":
+            return self._forward_grouped(x, model_idx)
+        out = self._forward_batched(x, model_idx)
+        if not self._verified:
+            reference = self._forward_grouped(x, model_idx)
+            self._verified = True
+            if not np.array_equal(out, reference):
+                self.mode = "grouped"
+                return reference
+        return out
+
+    # ------------------------------------------------------------------
+    def _forward_grouped(self, x: np.ndarray, model_idx: np.ndarray) -> np.ndarray:
+        """Reference path: the per-stream sequential computation, regrouped."""
+        out: np.ndarray | None = None
+        for k in np.unique(model_idx):
+            sel = np.nonzero(model_idx == k)[0]
+            for i in range(0, len(sel), _GROUP_CHUNK):
+                idx = sel[i : i + _GROUP_CHUNK]
+                yk = self.nets[int(k)].predict(x[idx], copy=True)
+                if out is None:
+                    out = np.empty((len(x), yk.shape[1]), dtype=yk.dtype)
+                out[idx] = yk
+        if out is None:
+            first_dense = next(p for p in reversed(self._plan) if p[0] == "dense")
+            out = np.empty((0, first_dense[2].shape[2]), dtype=np.float32)
+        return out
+
+    def _forward_batched(self, x: np.ndarray, model_idx: np.ndarray) -> np.ndarray:
+        bufs = self._bufs
+        for li, (kind, layer, w, bias) in enumerate(self._plan):
+            if kind == "conv":
+                k, s, p = layer.kernel_size, layer.stride, layer.pad
+                n, c, h, wd = x.shape
+                oh = (h + 2 * p - k) // s + 1
+                ow = (wd + 2 * p - k) // s + 1
+                cols_buf = _scratch(bufs, f"cols{li}", (n * oh * ow, c * k * k))
+                cols, oh, ow = im2col(x, k, k, s, p, out=cols_buf)
+                cols3 = cols.reshape(n, oh * ow, c * k * k)
+                # The one weight-stacked batched matmul: frame n's receptive
+                # fields hit its own model's kernel matrix.
+                gemm = _scratch(bufs, f"gemm{li}", (n, oh * ow, w.shape[2]))
+                np.matmul(cols3, w[model_idx], out=gemm)
+                gemm += bias[model_idx][:, None, :]
+                y = _scratch(bufs, f"y{li}", (n, w.shape[2], oh, ow))
+                np.copyto(y, gemm.reshape(n, oh, ow, w.shape[2]).transpose(0, 3, 1, 2))
+                x = y
+            elif kind == "dense":
+                # The FC layer stays grouped per model: its tiny per-model
+                # GEMMs hit BLAS's gemv path at M=1, whose accumulation
+                # order differs from the batched 3-D matmul — grouping keeps
+                # the operands exactly those of the per-stream path.
+                n = x.shape[0]
+                y = _scratch(bufs, f"y{li}", (n, w.shape[2]))
+                for k in np.unique(model_idx):
+                    sel = np.nonzero(model_idx == k)[0]
+                    y[sel] = x[sel] @ w[k] + bias[k]
+                x = y
+            elif kind == "relu":
+                y = _scratch(bufs, f"y{li}", x.shape, x.dtype)
+                x = np.maximum(x, 0.0, out=y)
+            elif kind == "pool":
+                s = layer.size
+                n, c, h, wd = x.shape
+                oh, ow = h // s, wd // s
+                y = _scratch(bufs, f"y{li}", (n, c, oh, ow), x.dtype)
+                np.copyto(y, x[:, :, : oh * s : s, : ow * s : s])
+                for i in range(s):
+                    for j in range(s):
+                        if i == 0 and j == 0:
+                            continue
+                        np.maximum(
+                            y, x[:, :, i : i + oh * s : s, j : j + ow * s : s], out=y
+                        )
+                x = y
+            else:  # flatten / dropout
+                x = x.reshape(x.shape[0], -1)
+        return x.copy()

@@ -23,8 +23,11 @@ path pays a single ``is None`` branch per emission site.
 
 from __future__ import annotations
 
+import threading as _threading
+
 from .bus import EVENT_KINDS, NULL_BUS, EventBus, NullBus, TelemetryEvent
 from .export import TelemetryServer, render_prometheus, snapshot_json
+from .hist import DEFAULT_BUCKETS, LatencyHistogram
 from .sampler import Series, TimeSeriesSampler
 from .trace import FrameSpan, build_spans, chrome_trace, dump_chrome_trace
 
@@ -34,6 +37,8 @@ __all__ = [
     "EventBus",
     "NullBus",
     "NULL_BUS",
+    "DEFAULT_BUCKETS",
+    "LatencyHistogram",
     "Series",
     "TimeSeriesSampler",
     "FrameSpan",
@@ -60,6 +65,24 @@ class Telemetry:
     ):
         self.bus = EventBus(capacity, kinds=events)
         self.sampler = TimeSeriesSampler(sample_interval, series_capacity)
+        #: Classic histograms: family name -> {sorted label tuple -> hist}.
+        self.histograms: dict[str, dict[tuple, LatencyHistogram]] = {}
+        self._hist_lock = _threading.Lock()
+
+    def observe_latency(self, family: str, value: float, **labels) -> None:
+        """Record one observation into a labelled histogram family.
+
+        Families are created on first observation (bounds from
+        :data:`~repro.obs.hist.DEFAULT_BUCKETS`); one short lock serializes
+        concurrent stage workers.
+        """
+        key = tuple(sorted(labels.items()))
+        with self._hist_lock:
+            series = self.histograms.setdefault(family, {})
+            hist = series.get(key)
+            if hist is None:
+                hist = series[key] = LatencyHistogram()
+            hist.observe(value)
 
     @classmethod
     def from_config(cls, config) -> "Telemetry | None":

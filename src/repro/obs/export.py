@@ -89,6 +89,38 @@ def render_prometheus(metrics=None, telemetry=None) -> str:
             lines.append(_line(f"{family}_count", stats.count))
 
     if telemetry is not None:
+        # Classic histogram families (explicit buckets) complement the
+        # end-of-run summary quantiles above: buckets are cumulative
+        # counters, so they aggregate across runs and scrape incrementally —
+        # including per-stage exec latency for process-pool stages, whose
+        # busy time is measured inside the worker process.
+        with telemetry._hist_lock:
+            families = {
+                family: {key: hist.to_dict() for key, hist in series.items()}
+                for family, series in telemetry.histograms.items()
+            }
+        for family in sorted(families):
+            lines += _head(
+                f"{family}_hist", "histogram", f"Explicit-bucket histogram of {family}."
+            )
+            for key in sorted(families[family]):
+                hist = families[family][key]
+                labels = dict(key)
+                running = 0
+                for bound, n in zip(hist["bounds"], hist["counts"]):
+                    running += n
+                    lines.append(
+                        _line(
+                            f"{family}_hist_bucket",
+                            running,
+                            {**labels, "le": format(bound, "g")},
+                        )
+                    )
+                lines.append(
+                    _line(f"{family}_hist_bucket", hist["count"], {**labels, "le": "+Inf"})
+                )
+                lines.append(_line(f"{family}_hist_sum", hist["sum"], labels))
+                lines.append(_line(f"{family}_hist_count", hist["count"], labels))
         bus = telemetry.bus
         lines += _head("telemetry_events_total", "counter", "Events published per kind.")
         for kind, count in sorted(bus.counts.items()):
@@ -110,6 +142,14 @@ def snapshot_json(metrics=None, telemetry=None) -> dict:
     if telemetry is not None:
         snap["bus"] = telemetry.bus.stats()
         snap["series"] = telemetry.sampler.to_dict()
+        with telemetry._hist_lock:
+            snap["histograms"] = {
+                family: [
+                    {"labels": dict(key), **hist.to_dict()}
+                    for key, hist in sorted(series.items())
+                ]
+                for family, series in telemetry.histograms.items()
+            }
     return snap
 
 

@@ -1,0 +1,86 @@
+"""Explicit-bucket latency histograms for the Prometheus export plane.
+
+The summary quantiles already exported (``frame_latency_seconds{quantile=}``)
+are computed at end-of-run from retained samples and cannot be aggregated
+across runs or scraped incrementally.  Classic Prometheus histograms can:
+they are plain cumulative counters per bucket bound, cheap enough to update
+on the hot path (one ``bisect`` + two adds under a short lock), and they
+work for live scrapes of in-progress runs.
+
+Bucket bounds default to a log-ish ladder from 1 ms to 10 s, which spans
+everything the pipeline produces — sub-millisecond SDD batch executions land
+in the first bucket, multi-second end-to-end stragglers in the last.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["DEFAULT_BUCKETS", "LatencyHistogram"]
+
+#: Default bucket upper bounds in seconds (+Inf is implicit).
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class LatencyHistogram:
+    """One labelled series of a classic (cumulative-bucket) histogram.
+
+    ``counts[i]`` is the number of observations ``<= bounds[i]`` *in that
+    bucket alone*; rendering accumulates them into the cumulative ``le``
+    samples Prometheus expects, with the implicit ``+Inf`` bucket equal to
+    ``count``.  Not thread-safe by itself — the owning
+    :class:`~repro.obs.Telemetry` serializes observations.
+    """
+
+    __slots__ = ("bounds", "counts", "inf", "sum", "count")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram bounds must be strictly increasing")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * len(self.bounds)
+        self.inf = 0  # observations above the largest bound
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        i = bisect_left(self.bounds, value)
+        if i < len(self.counts):
+            self.counts[i] += 1
+        else:
+            self.inf += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        """``(le_label, cumulative_count)`` pairs ending with ``+Inf``."""
+        out = []
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((format(bound, "g"), running))
+        out.append(("+Inf", self.count))
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "inf": self.inf,
+            "sum": self.sum,
+            "count": self.count,
+        }

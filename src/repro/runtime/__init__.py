@@ -1,5 +1,6 @@
 """Threaded FFS-VA runtime with real model inference."""
 
 from .engine import FrameOutcome, ThreadedPipeline
+from .procpool import PoolStats, ProcPool
 
-__all__ = ["ThreadedPipeline", "FrameOutcome"]
+__all__ = ["ThreadedPipeline", "FrameOutcome", "ProcPool", "PoolStats"]

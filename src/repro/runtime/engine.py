@@ -35,11 +35,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.batching import decide_fused_batch, fused_pop_order
 from ..core.config import FFSVAConfig
 from ..core.metrics import LatencyStats, RunMetrics, StageCounters
 from ..core.pipeline import (
     ABORTED,
     DROPPED,
+    FUSED,
     MERGED,
     PER_STREAM,
     SHARED_RR,
@@ -51,6 +53,7 @@ from ..core.queues import FeedbackQueue, QueueClosed
 from ..devices.placement import Placement, ffs_va_placement
 from ..models.zoo import ModelZoo
 from ..obs import Telemetry
+from .procpool import ProcPool
 from ..video.stream import VideoStream
 
 __all__ = ["FrameOutcome", "ThreadedPipeline"]
@@ -126,13 +129,13 @@ class ThreadedPipeline:
                     FeedbackQueue(depth, f"{spec.name}[{i}]") for i in range(n)
                 ]
 
-        # Idle shared workers park on these instead of spin-polling;
+        # Idle shared/fused workers park on these instead of spin-polling;
         # producers set the event on every put into (or close of) one of
         # the stage's per-stream queues.
         self._wake = {
             spec.name: threading.Event()
             for spec in self.graph
-            if spec.fan_in == SHARED_RR
+            if spec.fan_in in (SHARED_RR, FUSED)
         }
         # A merged queue is closed by the *last* of its producers.
         self._producers_left = {
@@ -158,6 +161,14 @@ class ThreadedPipeline:
         self._stage_lock = threading.Lock()
         self._errors: list[BaseException] = []
         self._abort = threading.Event()
+        #: Process pools keyed by stage name, built in run() *before* any
+        #: runtime thread starts (fork-with-threads safety) for specs with
+        #: executor="process".
+        self._pools: dict[str, ProcPool] = {}
+        #: Cross-stream evaluators keyed by stage name for fused stages
+        #: whose logic provides build_fused; fused stages without one fall
+        #: back to grouping each mega-batch by stream.
+        self._fused_eval: dict = {}
 
     # ------------------------------------------------------------------
     # graph-driven construction helpers
@@ -229,6 +240,9 @@ class ThreadedPipeline:
         )
         with self._outcome_lock:
             self.outcomes.append(outcome)
+        tel = self.telemetry
+        if tel is not None:
+            tel.observe_latency("frame_latency_seconds", outcome.latency, stage=stage)
 
     def _count(self, stage: str, n_in: int, n_pass: int, busy: float = 0.0) -> None:
         with self._stage_lock:
@@ -263,7 +277,7 @@ class ThreadedPipeline:
         while not self._abort.is_set():
             try:
                 if queue.put(work, timeout=0.1):
-                    if spec.fan_in == SHARED_RR:
+                    if spec.fan_in in (SHARED_RR, FUSED):
                         self._wake[spec.name].set()
                     if tel is not None and tel.bus.enabled:
                         tel.bus.emit(
@@ -304,7 +318,7 @@ class ThreadedPipeline:
         targets = queues if stream_idx is None else [queues[stream_idx]]
         for q in targets:
             q.close()
-        if spec.fan_in == SHARED_RR:
+        if spec.fan_in in (SHARED_RR, FUSED):
             self._wake[spec.name].set()
 
     def _downstream_done(self, spec: StageSpec, stream_idx: int | None) -> None:
@@ -318,23 +332,23 @@ class ThreadedPipeline:
     def _stacked_pixels(self, works: list[_Work], scratch: dict | None) -> np.ndarray:
         """Batch pixel tensor for ``works``, reusing the worker's buffer.
 
-        The buffer is preallocated per worker thread (grown once to the
-        stage's batch cap) and overwritten on every batch; stage logic treats
-        its input as read-only and never retains it past ``evaluate``.
+        Buffers are preallocated per worker thread (grown once to the
+        stage's batch cap) and overwritten on every batch; stage logic
+        treats its input as read-only and never retains it past
+        ``evaluate``.  They are keyed by frame shape/dtype so a shared
+        stage round-robining over streams of different resolutions keeps
+        one steady-state buffer per resolution instead of reallocating
+        every time consecutive cycles alternate shapes.
         """
         first = works[0].pixels
         if scratch is None:
             return np.stack([w.pixels for w in works])
         n = len(works)
-        buf = scratch.get("pixels")
-        if (
-            buf is None
-            or buf.shape[0] < n
-            or buf.shape[1:] != first.shape
-            or buf.dtype != first.dtype
-        ):
+        key = ("pixels", first.shape, first.dtype.str)
+        buf = scratch.get(key)
+        if buf is None or buf.shape[0] < n:
             cap = max(n, int(scratch.get("cap", 0)))
-            buf = scratch["pixels"] = np.empty((cap, *first.shape), dtype=first.dtype)
+            buf = scratch[key] = np.empty((cap, *first.shape), dtype=first.dtype)
         out = buf[:n]
         np.stack([w.pixels for w in works], out=out)
         return out
@@ -357,26 +371,69 @@ class ThreadedPipeline:
                 pixels = works[0].pixels[None]
             else:
                 pixels = self._stacked_pixels(works, scratch)
-            if spec.fan_in == MERGED:
-                ctxs = self.ctxs
-                bundles = [ctxs[w.stream_idx].bundle for w in works]
-            else:
-                # per_stream / shared_rr batches always come from one
-                # stream's queue: one bundle lookup serves the whole batch.
-                bundles = [self.ctxs[works[0].stream_idx].bundle] * n
-            with self._locks[spec.name]:
+            pool = self._pools.get(spec.name)
+            if pool is not None:
+                # Process-pool path: the batch travels as a shared-memory
+                # descriptor; no device lock (pools host CPU stages) and no
+                # GIL contention — the busy time is the worker's own clock.
                 t_exec = self._now()
-                passes, info = spec.logic.evaluate(
-                    pixels, bundles, self.zoo, self.config
+                passes, info, busy = pool.run_batch(
+                    pixels, [w.stream_idx for w in works], self._abort
                 )
                 t_done = self._now()
+                if self._abort.is_set():
+                    for w in works:
+                        self._record(w, ABORTED)
+                    return False
+            elif spec.fan_in == FUSED:
+                sidx = np.fromiter((w.stream_idx for w in works), dtype=np.intp, count=n)
+                fused_fn = self._fused_eval.get(spec.name)
+                with self._locks[spec.name]:
+                    t_exec = self._now()
+                    if fused_fn is not None:
+                        passes, info = fused_fn(pixels, sidx)
+                    else:
+                        # Generic fused fallback: evaluate the mega-batch
+                        # grouped per stream (same results, no weight fusion).
+                        passes = np.empty(n, dtype=bool)
+                        info = None
+                        for k in np.unique(sidx):
+                            sel = np.nonzero(sidx == k)[0]
+                            p, _ = spec.logic.evaluate(
+                                pixels[sel],
+                                [self.ctxs[int(k)].bundle] * len(sel),
+                                self.zoo,
+                                self.config,
+                            )
+                            passes[sel] = np.asarray(p, dtype=bool)
+                    t_done = self._now()
+                busy = t_done - t_exec
+            else:
+                if spec.fan_in == MERGED:
+                    ctxs = self.ctxs
+                    bundles = [ctxs[w.stream_idx].bundle for w in works]
+                else:
+                    # per_stream / shared_rr batches always come from one
+                    # stream's queue: one bundle lookup serves the whole batch.
+                    bundles = [self.ctxs[works[0].stream_idx].bundle] * n
+                with self._locks[spec.name]:
+                    t_exec = self._now()
+                    passes, info = spec.logic.evaluate(
+                        pixels, bundles, self.zoo, self.config
+                    )
+                    t_done = self._now()
+                busy = t_done - t_exec
             passes = np.asarray(passes, dtype=bool)
-            self._count(spec.name, n, int(passes.sum()), busy=t_done - t_exec)
+            self._count(spec.name, n, int(passes.sum()), busy=busy)
+            if tel is not None:
+                tel.observe_latency("stage_exec_seconds", busy, stage=spec.name)
             if bus is not None and bus.enabled:
                 if bus.wants("batch_exec"):
                     bus.emit(
                         "batch_exec", t_done, spec.name,
-                        stream=works[0].stream_idx if spec.fan_in != MERGED else None,
+                        stream=works[0].stream_idx
+                        if spec.fan_in not in (MERGED, FUSED)
+                        else None,
                         t_start=t_exec, n=n,
                     )
                 # Hoisted per-kind check: a bus sampling only batch_exec
@@ -518,6 +575,54 @@ class ThreadedPipeline:
         finally:
             self._downstream_done(spec, None)
 
+    def _fused_worker(self, spec: StageSpec):
+        """Single worker pooling all streams' queues into mega-batches.
+
+        Batch formation is the shared :func:`decide_fused_batch` policy:
+        the configured BatchSize satisfied from the aggregate of the
+        per-stream queues, distributed round-robin so no stream can
+        monopolize a mega-batch.  The simulator's fused branch runs the
+        identical decision function over the identical queue state.
+        """
+        queues = self.stage_queues[spec.name]
+        wake = self._wake[spec.name]
+        cfg = self.config
+        depth = self._depth_for(spec)
+        scratch = {"cap": cfg.batch_size}
+        rr = 0
+        try:
+            while True:
+                # Only this worker pops these queues, so the observed
+                # lengths are lower bounds that cannot shrink under us.
+                eof = all(q.closed for q in queues)
+                lens = [len(q) for q in queues]
+                takes = decide_fused_batch(
+                    cfg.batch_policy, lens, cfg.batch_size, depth, eof=eof, start=rr
+                )
+                if sum(takes) == 0:
+                    if self._abort.is_set() or (eof and sum(lens) == 0):
+                        break
+                    wake.wait(timeout=0.05)
+                    wake.clear()
+                    continue
+                works: list[_Work] = []
+                for si in fused_pop_order(takes, rr):
+                    works.extend(queues[si].pop_batch(takes[si], min_n=1, timeout=0.0))
+                rr = (rr + 1) % len(queues)
+                # Streams can differ in resolution; a mega-batch tensor
+                # needs one shape, so serve one contiguous group per shape
+                # (single group in the homogeneous common case).
+                groups: dict[tuple, list[_Work]] = {}
+                for w in works:
+                    groups.setdefault(w.pixels.shape, []).append(w)
+                for group in groups.values():
+                    if not self._serve(spec, group, scratch):
+                        return
+        except BaseException as exc:
+            self._fail(exc)
+        finally:
+            self._downstream_done(spec, None)
+
     # ------------------------------------------------------------------
     # time-series sampling (telemetry only)
     # ------------------------------------------------------------------
@@ -586,6 +691,33 @@ class ThreadedPipeline:
         ]
         self.metrics.frames_offered = sum(counts)
 
+        bundles = [ctx.bundle for ctx in self.ctxs]
+        for spec in self.graph:
+            if spec.fan_in == FUSED and spec.logic.build_fused is not None:
+                self._fused_eval[spec.name] = spec.logic.build_fused(
+                    bundles, self.zoo, self.config
+                )
+        # Worker processes must fork before any runtime thread exists (a
+        # multi-threaded parent and the "fork" start method don't mix).
+        for spec in self.graph:
+            if spec.executor != "process":
+                continue
+            max_n, _ = self._batch_bounds(spec)
+            # 8 bytes/px accommodates float64 frames; synthetic streams
+            # render float32, so slabs are typically half-used.
+            slot_bytes = (
+                max_n * max(h * w for h, w in (c.stream.shape for c in self.ctxs)) * 8
+            )
+            self._pools[spec.name] = ProcPool(
+                spec.name,
+                spec.logic.evaluate,
+                bundles,
+                self.zoo,
+                self.config,
+                self.config.num_sdd_procs,
+                slot_bytes=slot_bytes,
+            )
+
         threads = []
         for i in range(len(self.ctxs)):
             threads.append(
@@ -604,6 +736,10 @@ class ThreadedPipeline:
             elif spec.fan_in == SHARED_RR:
                 threads.append(
                     threading.Thread(target=self._shared_worker, args=(spec,), daemon=True)
+                )
+            elif spec.fan_in == FUSED:
+                threads.append(
+                    threading.Thread(target=self._fused_worker, args=(spec,), daemon=True)
                 )
             else:
                 threads.append(
@@ -627,6 +763,10 @@ class ThreadedPipeline:
         if sampler_stop is not None:
             sampler_stop.set()
             sampler.join(timeout=2.0)
+        pool_stats = {
+            name: pool.shutdown().as_dict() for name, pool in self._pools.items()
+        }
+        self._pools.clear()
         if self._abort.is_set():
             self._drain_unfinished()
         if self._errors:
@@ -654,6 +794,8 @@ class ThreadedPipeline:
             m.device_utilization = {
                 dev: min(1.0, b / duration) for dev, b in self._busy.items()
             }
+        if pool_stats:
+            m.extra["procpool"] = pool_stats
         if self.telemetry is not None:
             m.extra["telemetry"] = self.telemetry.bus.stats()
             m.extra["queue_put_timeouts"] = {

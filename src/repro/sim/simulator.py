@@ -43,10 +43,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.batching import decide_batch
+from ..core.batching import decide_batch, decide_fused_batch, fused_pop_order
 from ..core.config import FFSVAConfig
 from ..core.metrics import LatencyStats, RunMetrics, StageCounters
 from ..core.pipeline import (
+    FUSED,
     MERGED,
     PER_STREAM,
     SHARED_RR,
@@ -357,7 +358,13 @@ class PipelineSimulator:
         passes = [bool(stg.passes[s][f]) for s, f in frames]
         for s, _ in frames:
             stg.in_flight[s] += 1
-        dt = stage_service_time(spec, self.costs, len(frames))
+        # Process-pool stages are modeled as idealized linear scaling across
+        # the configured worker processes (timing only; counters and
+        # verdicts are executor-independent).
+        parallelism = (
+            self.config.num_sdd_procs if spec.executor == "process" else 1
+        )
+        dt = stage_service_time(spec, self.costs, len(frames), parallelism=parallelism)
         self._start(
             device_name, _Service(spec.name, stream_idx, frames, passes, now, now + dt)
         )
@@ -375,6 +382,30 @@ class PipelineSimulator:
             if n_take == 0:
                 return False
             frames = [q.pop() for _ in range(n_take)]
+            self._begin(device_name, spec, None, frames, now)
+            return True
+
+        if spec.fan_in == FUSED:
+            if stg.out.get(device_name):
+                return False  # the fused worker is blocked downstream
+            lens = [len(q) for q in stg.queues]
+            eof = all(
+                self._upstream_drained(spec, i) for i in range(len(self.streams))
+            )
+            takes = decide_fused_batch(
+                self.config.batch_policy,
+                lens,
+                self.config.batch_size,
+                stg.queues[0].depth,
+                eof=eof,
+                start=stg.rr,
+            )
+            if sum(takes) == 0:
+                return False
+            frames = []
+            for si in fused_pop_order(takes, stg.rr):
+                frames.extend(stg.queues[si].pop() for _ in range(takes[si]))
+            stg.rr = (stg.rr + 1) % len(self.streams)
             self._begin(device_name, spec, None, frames, now)
             return True
 
@@ -463,6 +494,10 @@ class PipelineSimulator:
             )
         tel = self.telemetry
         emit = tel is not None and tel.bus.enabled
+        if tel is not None:
+            tel.observe_latency(
+                "stage_exec_seconds", svc.end - svc.start, stage=svc.stage
+            )
         if emit:
             tel.bus.emit(
                 "batch_exec", now, svc.stage,
@@ -483,7 +518,12 @@ class PipelineSimulator:
                 st.analyzed += 1
                 st.finish_time = max(st.finish_time, now)
                 self.metrics.frames_to_ref += 1
-                self._ref_latencies.append(now - self._latency_base(st, f_idx))
+                latency = now - self._latency_base(st, f_idx)
+                self._ref_latencies.append(latency)
+                if tel is not None:
+                    tel.observe_latency(
+                        "frame_latency_seconds", latency, stage=svc.stage
+                    )
             elif ok:
                 target = self._next_queue(spec, s_idx)
                 held = stg.out.get(out_key)
@@ -503,7 +543,7 @@ class PipelineSimulator:
                         )
                     stg.out.setdefault(out_key, deque()).append((s_idx, f_idx))
             else:
-                self._drop_frame(st, f_idx, now)
+                self._drop_frame(st, f_idx, now, stage=svc.stage)
 
     def _latency_base(self, st: _StreamState, f_idx: int) -> float:
         """Reference point for latency: arrival when online (the user's
@@ -514,10 +554,16 @@ class PipelineSimulator:
             return self._arrival_time(st, f_idx)
         return float(st.ingest_time[f_idx])
 
-    def _drop_frame(self, st: _StreamState, f_idx: int, now: float) -> None:
+    def _drop_frame(
+        self, st: _StreamState, f_idx: int, now: float, stage: str = "dropped"
+    ) -> None:
         st.dropped += 1
         st.finish_time = max(st.finish_time, now)
-        self._drop_latencies.append(now - self._latency_base(st, f_idx))
+        latency = now - self._latency_base(st, f_idx)
+        self._drop_latencies.append(latency)
+        tel = self.telemetry
+        if tel is not None:
+            tel.observe_latency("frame_latency_seconds", latency, stage=stage)
 
     # ------------------------------------------------------------------
     # time-series sampling (telemetry only)

@@ -21,8 +21,10 @@ from repro.core.pipeline import (
 from repro.models import ModelZoo
 from repro.nn import TrainConfig
 from repro.obs import (
+    DEFAULT_BUCKETS,
     EVENT_KINDS,
     EventBus,
+    LatencyHistogram,
     Series,
     Telemetry,
     TelemetryEvent,
@@ -214,7 +216,7 @@ class TestExport:
 
     def test_snapshot_json_shape(self):
         snap = snapshot_json(_sample_metrics(), Telemetry())
-        assert set(snap) == {"metrics", "bus", "series"}
+        assert set(snap) == {"metrics", "bus", "series", "histograms"}
         json.dumps(snap)  # fully serializable
 
     def test_http_endpoints(self):
@@ -231,6 +233,98 @@ class TestExport:
                 urllib.request.urlopen(f"{base}/nope")
         finally:
             server.stop()
+
+
+# ---------------------------------------------------------------------------
+# explicit-bucket histograms
+# ---------------------------------------------------------------------------
+class TestHistograms:
+    def test_bucket_placement_and_cumulative(self):
+        h = LatencyHistogram(bounds=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.01, 0.05, 0.5, 5.0):
+            h.observe(v)
+        # bisect_left: a value equal to a bound lands in that bound's bucket.
+        assert h.counts == [2, 1, 1]
+        assert h.inf == 1
+        assert h.count == 5
+        assert h.sum == pytest.approx(5.565)
+        assert h.cumulative() == [("0.01", 2), ("0.1", 3), ("1", 4), ("+Inf", 5)]
+
+    def test_default_bounds_span_pipeline_latencies(self):
+        h = LatencyHistogram()
+        assert h.bounds == DEFAULT_BUCKETS
+        h.observe(0.0004)  # sub-ms SDD batch -> first bucket
+        h.observe(30.0)  # straggler -> +Inf
+        assert h.counts[0] == 1 and h.inf == 1
+
+    def test_observe_latency_label_keying(self):
+        tel = Telemetry()
+        tel.observe_latency("stage_exec_seconds", 0.01, stage="sdd")
+        tel.observe_latency("stage_exec_seconds", 0.02, stage="sdd")
+        tel.observe_latency("stage_exec_seconds", 0.03, stage="snm")
+        series = tel.histograms["stage_exec_seconds"]
+        assert set(series) == {(("stage", "sdd"),), (("stage", "snm"),)}
+        assert series[(("stage", "sdd"),)].count == 2
+        assert series[(("stage", "snm"),)].count == 1
+
+    def test_prometheus_histogram_rendering(self):
+        tel = Telemetry()
+        for v in (0.0005, 0.03, 0.03, 7.0, 20.0):
+            tel.observe_latency("stage_exec_seconds", v, stage="sdd")
+        text = render_prometheus(None, tel)
+        assert "# TYPE ffsva_stage_exec_seconds_hist histogram" in text
+        # Cumulative le samples: the 0.05 bucket holds the first three
+        # observations, +Inf equals the total count.
+        assert 'ffsva_stage_exec_seconds_hist_bucket{le="0.001",stage="sdd"} 1' in text
+        assert 'ffsva_stage_exec_seconds_hist_bucket{le="0.05",stage="sdd"} 3' in text
+        assert 'ffsva_stage_exec_seconds_hist_bucket{le="10",stage="sdd"} 4' in text
+        assert 'ffsva_stage_exec_seconds_hist_bucket{le="+Inf",stage="sdd"} 5' in text
+        assert 'ffsva_stage_exec_seconds_hist_count{stage="sdd"} 5' in text
+        (sum_line,) = [
+            line for line in text.splitlines()
+            if line.startswith("ffsva_stage_exec_seconds_hist_sum")
+        ]
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(27.0605)
+
+    def test_cumulative_buckets_are_monotone(self):
+        tel = Telemetry()
+        rng = np.random.default_rng(0)
+        for v in rng.exponential(0.1, size=200):
+            tel.observe_latency("frame_latency_seconds", float(v), stage="ref")
+        text = render_prometheus(None, tel)
+        values = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("ffsva_frame_latency_seconds_hist_bucket")
+        ]
+        assert values == sorted(values)
+        assert values[-1] == 200  # +Inf == count
+
+    def test_snapshot_json_histograms(self):
+        tel = Telemetry()
+        tel.observe_latency("stage_exec_seconds", 0.02, stage="snm")
+        snap = snapshot_json(None, tel)
+        (entry,) = snap["histograms"]["stage_exec_seconds"]
+        assert entry["labels"] == {"stage": "snm"}
+        assert entry["count"] == 1
+        assert sum(entry["counts"]) + entry["inf"] == 1
+        json.dumps(snap)
+
+    def test_runtimes_populate_stage_exec_histograms(self, trained):
+        stream, trace, zoo = trained
+        tel_real = Telemetry()
+        ThreadedPipeline([stream], zoo, FFSVAConfig(), telemetry=tel_real).run()
+        tel_sim = Telemetry()
+        PipelineSimulator([trace], FFSVAConfig(), online=False, telemetry=tel_sim).run()
+        for tel in (tel_real, tel_sim):
+            assert set(tel.histograms) >= {"stage_exec_seconds", "frame_latency_seconds"}
+            stages = {dict(k)["stage"] for k in tel.histograms["stage_exec_seconds"]}
+            assert stages >= {"sdd", "snm", "tyolo", "ref"}
+            # Every frame gets exactly one terminal latency observation.
+            total = sum(
+                h.count for h in tel.histograms["frame_latency_seconds"].values()
+            )
+            assert total == len(stream)
 
 
 # ---------------------------------------------------------------------------
