@@ -42,7 +42,8 @@ def test_headline_offline_speedup(benchmark):
     # perturbing the timed lambda above.
     telemetry = Telemetry()
     m_ffs_acc = simulate_offline(traces, ACCURACY_POINT, telemetry=telemetry)
-    m_base = baseline_offline(traces)
+    tel_base = Telemetry()
+    m_base = baseline_offline(traces, telemetry=tel_base)
 
     speedup = m_ffs.throughput_fps / m_base.throughput_fps
     speedup_acc = m_ffs_acc.throughput_fps / m_base.throughput_fps
@@ -71,6 +72,10 @@ def test_headline_offline_speedup(benchmark):
     )
     record_metrics("headline/offline_accuracy_point", m_ffs_acc)
     record_timeseries("headline/offline_accuracy_point", telemetry)
+    # The baseline's series lands beside FFS-VA's, so the two runs' queue
+    # and utilization traces can be plotted on one time axis.
+    record_metrics("headline/offline_baseline", m_base)
+    record_timeseries("headline/offline_baseline", tel_base)
 
     # Shape: a multi-x offline win at low TOR at either operating point.
     assert speedup >= 2.5

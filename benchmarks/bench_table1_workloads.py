@@ -10,9 +10,11 @@ kernel is frame rendering, the substrate every other experiment stands on.
 import numpy as np
 import pytest
 
+from repro.baseline import baseline_online
+from repro.obs import Telemetry
 from repro.video import coral, jackson, make_stream
 
-from common import print_table, record
+from common import fleet, print_table, record, record_timeseries
 
 PAPER_ROWS = {
     "jackson": {"resolution": "600*400", "object": "Car", "fps": 30, "tor": 0.08},
@@ -63,3 +65,13 @@ def test_table1_workloads(benchmark, spec_fn):
     assert spec.kind == paper["object"].lower()
     assert spec.fps == paper["fps"]
     assert len(stream.scenes()) > 0
+
+    # A short telemetry-attached baseline run per workload leaves a
+    # queue/utilization time-series behind for the dashboard plane.
+    telemetry = Telemetry()
+    m_base = baseline_online(
+        fleet(2, spec.name, paper["tor"], n_frames=600), telemetry=telemetry
+    )
+    record_timeseries(f"table1/{spec.name}_baseline", telemetry)
+    assert m_base.frames_to_ref > 0
+    assert "stage_fps[ref]" in telemetry.sampler.names

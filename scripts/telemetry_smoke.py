@@ -9,6 +9,9 @@ every plane end to end:
 * the HTTP export plane serves ``/metrics`` (Prometheus text, per-stage
   counters matching the run) and ``/snapshot`` (JSON) over a real socket;
 * ``RunMetrics`` round-trips through its JSON form;
+* the YOLOv2-everywhere baseline emits the same event schema and serves the
+  same ``/metrics`` exposition over a real socket;
+* a long run segments into a rotated multi-file trace with a manifest;
 * the CLI accepts ``--telemetry``/``--metrics-json``/``--trace-json`` and
   writes loadable artifacts.
 
@@ -86,6 +89,61 @@ def check_simulator_run(tmp: Path) -> None:
     )
 
 
+def check_baseline_run(tmp: Path) -> None:
+    """The baseline runtime speaks the same telemetry dialect."""
+    from repro.baseline import BaselineSimulator  # noqa: E402
+
+    telemetry = Telemetry()
+    trace = workload_trace(jackson(), N_FRAMES, tor=0.3, seed=3)
+    sim = BaselineSimulator([trace], online=False, telemetry=telemetry)
+    metrics = sim.run()
+
+    events = telemetry.bus.events()
+    assert events, "baseline run produced no events"
+    kinds = {e.kind for e in events}
+    assert kinds <= set(EVENT_KINDS)
+    assert {"admission", "frame_enter", "batch_exec", "frame_pass"} <= kinds
+    spans = telemetry.spans(terminal="ref")
+    assert sum(1 for s in spans if s.disposition == "analyzed") == N_FRAMES
+
+    server = telemetry.serve(lambda: metrics, port=0)
+    try:
+        text = urllib.request.urlopen(f"{server.url}/metrics", timeout=5).read().decode()
+        needle = f'ffsva_stage_frames_entered_total{{stage="ref"}} {N_FRAMES}'
+        assert needle in text, f"missing {needle!r} in baseline /metrics"
+        assert "ffsva_telemetry_events_total" in text
+        assert 'ffsva_sample_gauge{series="stage_fps[ref]"}' in text
+    finally:
+        server.stop()
+    print(
+        f"baseline: {telemetry.bus.published} events, {len(spans)} spans, "
+        "/metrics served — ok"
+    )
+
+
+def check_rotating_trace(tmp: Path) -> None:
+    """A longer run rotates into bounded segments plus a manifest."""
+    max_bytes = 16384
+    telemetry = Telemetry()
+    trace = workload_trace(jackson(), 3 * N_FRAMES, tor=0.3, seed=9)
+    PipelineSimulator(
+        [trace], FFSVAConfig(telemetry=True), online=False, telemetry=telemetry
+    ).run()
+    out = tmp / "segments"
+    manifest = telemetry.dump_rotating_trace(out, max_bytes=max_bytes, label="ffsva")
+    segments = manifest["segments"]
+    assert len(segments) >= 2, "long run did not rotate into multiple segments"
+    for entry in segments:
+        path = out / entry["file"]
+        assert path.stat().st_size <= max_bytes, (
+            f"{entry['file']}: {path.stat().st_size} bytes > {max_bytes}"
+        )
+        assert json.loads(path.read_text())["traceEvents"]
+    on_disk = json.loads((out / "manifest.json").read_text())
+    assert on_disk == manifest
+    print(f"rotating trace: {len(segments)} segments, all <= {max_bytes} B — ok")
+
+
 def check_cli(tmp: Path) -> None:
     metrics_path = tmp / "metrics.json"
     trace_path = tmp / "cli_trace.json"
@@ -105,6 +163,8 @@ def main() -> int:
     with tempfile.TemporaryDirectory() as d:
         tmp = Path(d)
         check_simulator_run(tmp)
+        check_baseline_run(tmp)
+        check_rotating_trace(tmp)
         check_cli(tmp)
     print("telemetry smoke: all checks passed")
     return 0

@@ -1,0 +1,85 @@
+"""CI gate for the dashboard plane: panels vs metric families vs reality.
+
+Three checks, all in-process:
+
+1. **Registry check** — every panel query in the generated Grafana model
+   references only families registered in
+   ``repro.obs.export.METRIC_FAMILIES`` (``_bucket``/``_sum``/``_count``
+   derived series resolve to their parents).
+2. **Live check** — a short simulated run with telemetry attached renders a
+   real ``/metrics`` exposition, and every family a panel queries must be
+   present in it, so the dashboard is validated against what an instance
+   actually serves.
+3. **Drift check** — the committed ``dashboards/grafana_ffsva.json`` must
+   byte-match the generated model.  Regenerate with ``--write`` after
+   changing the panel catalog or the registry.
+
+Exit code 0 means the dashboard plane is coherent.
+"""
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core import FFSVAConfig, workload_trace  # noqa: E402
+from repro.obs import Telemetry, render_prometheus  # noqa: E402
+from repro.obs.dashboard import (  # noqa: E402
+    dashboard_json,
+    grafana_dashboard,
+    validate_dashboard,
+)
+from repro.sim import PipelineSimulator  # noqa: E402
+from repro.video import jackson  # noqa: E402
+
+DASHBOARD_PATH = ROOT / "dashboards" / "grafana_ffsva.json"
+
+
+def _live_exposition() -> str:
+    """A real /metrics rendering from a short telemetry-attached run."""
+    config = FFSVAConfig(telemetry=True)
+    telemetry = Telemetry.from_config(config)
+    trace = workload_trace(jackson(), 200, tor=0.3, seed=3)
+    metrics = PipelineSimulator(
+        [trace], config, online=False, telemetry=telemetry
+    ).run()
+    return render_prometheus(metrics, telemetry)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    write = "--write" in argv
+
+    dashboard = grafana_dashboard()
+    problems = validate_dashboard(dashboard)
+    rendered = _live_exposition()
+    problems += validate_dashboard(dashboard, rendered=rendered)
+    if problems:
+        for p in problems:
+            print(f"FAIL: {p}")
+        return 1
+    n_panels = len(dashboard["panels"])
+    print(f"dashboard: {n_panels} panels validated against registry + live /metrics")
+
+    generated = dashboard_json()
+    if write:
+        DASHBOARD_PATH.parent.mkdir(parents=True, exist_ok=True)
+        DASHBOARD_PATH.write_text(generated)
+        print(f"wrote {DASHBOARD_PATH}")
+        return 0
+    if not DASHBOARD_PATH.exists():
+        print(f"FAIL: {DASHBOARD_PATH} missing — run with --write")
+        return 1
+    if DASHBOARD_PATH.read_text() != generated:
+        print(
+            f"FAIL: {DASHBOARD_PATH} is stale — regenerate with "
+            "`python scripts/validate_dashboard.py --write`"
+        )
+        return 1
+    print("committed dashboard JSON matches the generated model")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,12 @@ around 112 FPS aggregate — enough for roughly four live 30 FPS streams
 ("the mainstream cost-effective servers ... can analyze up to four-way
 streams using YOLOv2 in real-time") and ~134 raw FPS offline.
 
-The baseline shares the FFS-VA cost model and metrics, so every comparison
-in the benchmark suite is apples-to-apples.
+The baseline shares the FFS-VA cost model, metrics, *and telemetry schema*,
+so every comparison in the benchmark suite is apples-to-apples: attach a
+:class:`~repro.obs.Telemetry` and the baseline emits the same six event
+kinds and samples the same gauge families as both FFS-VA runtimes, which is
+what lets :func:`~repro.obs.trace.overlay_chrome_trace` put a YOLOv2 run
+and an FFS-VA run on one timeline.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from ..core.queues import SimQueue
 from ..core.trace import FrameTrace
 from ..devices.costs import CostModel
 from ..devices.placement import Placement, baseline_placement
+from ..obs import Telemetry
 
 __all__ = ["BaselineSimulator", "baseline_offline", "baseline_online"]
 
@@ -40,6 +45,7 @@ class BaselineSimulator:
         *,
         online: bool = True,
         queue_depth: int = 8,
+        telemetry: Telemetry | None = None,
     ):
         if not traces:
             raise ValueError("need at least one stream trace")
@@ -58,18 +64,46 @@ class BaselineSimulator:
         self._busy: set[str] = set()
         self._latencies: list[float] = []
         self.metrics = RunMetrics(n_streams=len(traces))
+        #: Attached telemetry (None = disabled).  Timestamps are virtual
+        #: seconds; the schema is identical to both FFS-VA runtimes.
+        self.telemetry = (
+            telemetry if telemetry is not None else Telemetry.from_config(self.config)
+        )
+        self._prev_sample = {"t": 0.0, "done": 0, "busy": {}}
+        # queue_block dedup: _top_up runs repeatedly inside fixed-point
+        # loops, so a blocked head-of-line frame is reported at most once.
+        self._blocked = [-1] * len(traces)
 
     def _arrival(self, s: int, i: int) -> float:
         return i / self.config.stream_fps if self.online else 0.0
 
     def _top_up(self, now: float) -> None:
         eps = 1e-12
+        tel = self.telemetry
+        emit = tel is not None and tel.bus.enabled
         for s, n in enumerate(self.n_per_stream):
             while self.admitted[s] < n and self.ref_q.has_room(1):
-                if self._arrival(s, self.admitted[s]) > now + eps:
+                i = self.admitted[s]
+                if self._arrival(s, i) > now + eps:
                     break
-                self.ref_q.put((s, self.admitted[s]))
+                self.ref_q.put((s, i))
+                if emit:
+                    t_in = max(now, self._arrival(s, i))
+                    tel.bus.emit("admission", t_in, REF, stream=s, frame=i)
+                    tel.bus.emit("frame_enter", t_in, REF, stream=s, frame=i)
                 self.admitted[s] += 1
+            if (
+                emit
+                and self.admitted[s] < n
+                and self._arrival(s, self.admitted[s]) <= now + eps
+                and not self.ref_q.has_room(1)
+                and self._blocked[s] != self.admitted[s]
+            ):
+                self._blocked[s] = self.admitted[s]
+                tel.bus.emit(
+                    "queue_block", now, REF,
+                    stream=s, frame=self.admitted[s], n=len(self.ref_q),
+                )
 
     def _next_arrival(self, now: float) -> float | None:
         best = None
@@ -92,15 +126,19 @@ class BaselineSimulator:
                 dt = self.costs.service_time(REF, 1)
                 end = now + dt
                 self.placement.devices[name].busy_time += dt
-                heapq.heappush(self._heap, (end, next(self._seq), name, s, i))
+                heapq.heappush(self._heap, (end, next(self._seq), name, s, i, now))
                 self._busy.add(name)
                 progress = True
 
     def run(self, max_virtual_time: float | None = None) -> RunMetrics:
         now = 0.0
         inf = float("inf")
+        tel = self.telemetry
+        sample = tel is not None
         while True:
             self._start_all(now)
+            if sample and tel.sampler.due(now):
+                self._sample(now)
             if all(d == n for d, n in zip(self.done, self.n_per_stream)):
                 break
             t_heap = self._heap[0][0] if self._heap else inf
@@ -113,11 +151,41 @@ class BaselineSimulator:
                 break
             now = t_next
             while self._heap and self._heap[0][0] <= now + 1e-15:
-                _, _, name, s, i = heapq.heappop(self._heap)
+                _, _, name, s, i, start = heapq.heappop(self._heap)
                 self._busy.discard(name)
                 self.done[s] += 1
-                self._latencies.append(now - self._arrival(s, i))
+                latency = now - self._arrival(s, i)
+                self._latencies.append(latency)
+                if tel is not None:
+                    tel.observe_latency("stage_exec_seconds", now - start, stage=REF)
+                    tel.observe_latency("frame_latency_seconds", latency, stage=REF)
+                    if tel.bus.enabled:
+                        tel.bus.emit(
+                            "batch_exec", now, REF, stream=s, t_start=start, n=1
+                        )
+                        tel.bus.emit(
+                            "frame_pass", now, REF, stream=s, frame=i, t_start=start
+                        )
         return self._finalize(now)
+
+    # ------------------------------------------------------------------
+    # time-series sampling (telemetry only)
+    # ------------------------------------------------------------------
+    def _sample(self, now: float, *, force: bool = False) -> None:
+        tel = self.telemetry
+        gauges: dict[str, float] = {f"queue_depth[{REF}]": len(self.ref_q)}
+        done = sum(self.done)
+        busy = {name: dev.busy_time for name, dev in self.placement.devices.items()}
+        prev = self._prev_sample
+        dt = now - prev["t"]
+        if dt > 0:
+            gauges[f"stage_fps[{REF}]"] = (done - prev["done"]) / dt
+            for device, b in busy.items():
+                gauges[f"device_utilization[{device}]"] = min(
+                    1.0, (b - prev["busy"].get(device, 0.0)) / dt
+                )
+        tel.sampler.observe_many(now, gauges, force=force)
+        self._prev_sample = {"t": now, "done": done, "busy": busy}
 
     def _finalize(self, now: float) -> RunMetrics:
         m = self.metrics
@@ -134,6 +202,9 @@ class BaselineSimulator:
         }
         m.extra["per_stream_ingested"] = list(self.admitted)
         m.extra["per_stream_done"] = list(self.done)
+        if self.telemetry is not None:
+            self._sample(now, force=True)
+            m.extra["telemetry"] = self.telemetry.bus.stats()
         return m
 
 
@@ -141,9 +212,13 @@ def baseline_offline(
     traces: list[FrameTrace],
     config: FFSVAConfig | None = None,
     cost_model: CostModel | None = None,
+    *,
+    telemetry: Telemetry | None = None,
 ) -> RunMetrics:
     """Offline YOLOv2-on-everything across both GPUs."""
-    return BaselineSimulator(traces, config, cost_model, online=False).run()
+    return BaselineSimulator(
+        traces, config, cost_model, online=False, telemetry=telemetry
+    ).run()
 
 
 def baseline_online(
@@ -152,9 +227,10 @@ def baseline_online(
     cost_model: CostModel | None = None,
     *,
     horizon_slack: float = 2.0,
+    telemetry: Telemetry | None = None,
 ) -> RunMetrics:
     """Online YOLOv2-on-everything across both GPUs (bounded horizon)."""
     config = config or FFSVAConfig()
-    sim = BaselineSimulator(traces, config, cost_model, online=True)
+    sim = BaselineSimulator(traces, config, cost_model, online=True, telemetry=telemetry)
     n_max = max(len(t) for t in traces)
     return sim.run(max_virtual_time=n_max / config.stream_fps + horizon_slack)

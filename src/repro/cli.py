@@ -95,6 +95,19 @@ def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
         help="write a Chrome trace_event JSON (chrome://tracing) to PATH; "
              "requires --telemetry",
     )
+    p.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write a rotated/segmented Chrome trace (trace-NNNNN.json files "
+             "plus manifest.json) into DIR for long runs; implies --telemetry",
+    )
+    p.add_argument(
+        "--trace-segment-kb", type=int, default=1024, metavar="KB",
+        help="max serialized size of one trace segment (with --trace-dir)",
+    )
+    p.add_argument(
+        "--trace-segments", type=int, default=None, metavar="N",
+        help="keep at most N newest trace segments on disk (with --trace-dir)",
+    )
 
 
 def _config_from(args) -> FFSVAConfig:
@@ -102,6 +115,7 @@ def _config_from(args) -> FFSVAConfig:
         getattr(args, "telemetry", False)
         or getattr(args, "telemetry_port", None) is not None
         or getattr(args, "trace_json", None)
+        or getattr(args, "trace_dir", None)
     )
     return FFSVAConfig(
         filter_degree=args.filter_degree,
@@ -150,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_args(p)
     p.add_argument("--streams", type=int, default=1)
     p.add_argument("--mode", choices=["offline", "online"], default="offline")
+    p.add_argument(
+        "--baseline", action="store_true",
+        help="run the YOLOv2-on-everything baseline instead of the FFS-VA "
+             "cascade (same telemetry schema, so traces overlay)",
+    )
 
     p = sub.add_parser("plan", help="analytic capacity plan for a workload")
     _add_stream_args(p)
@@ -188,6 +207,15 @@ def _write_artifacts(args, metrics, telemetry, terminal: str) -> None:
     if getattr(args, "trace_json", None) and telemetry is not None:
         telemetry.dump_chrome_trace(args.trace_json, terminal=terminal)
         print(f"chrome trace written to {args.trace_json} (open in chrome://tracing)")
+    if getattr(args, "trace_dir", None) and telemetry is not None:
+        manifest = telemetry.dump_rotating_trace(
+            args.trace_dir,
+            terminal=terminal,
+            max_bytes=max(4096, getattr(args, "trace_segment_kb", 1024) * 1024),
+            max_segments=getattr(args, "trace_segments", None),
+        )
+        print(f"rotated trace: {len(manifest['segments'])} segment(s) in "
+              f"{args.trace_dir} (manifest.json indexes them)")
     if telemetry is not None:
         stats = telemetry.bus.stats()
         print(f"telemetry: {stats['published']} events "
@@ -235,9 +263,16 @@ def _cmd_simulate(args) -> int:
     )
     traces = [base.rotated(997 * i).renamed(f"stream-{i}") for i in range(args.streams)]
     telemetry = Telemetry.from_config(config)
-    sim = PipelineSimulator(
-        traces, config, online=(args.mode == "online"), telemetry=telemetry
-    )
+    if args.baseline:
+        from .baseline import BaselineSimulator
+
+        sim = BaselineSimulator(
+            traces, config, online=(args.mode == "online"), telemetry=telemetry
+        )
+    else:
+        sim = PipelineSimulator(
+            traces, config, online=(args.mode == "online"), telemetry=telemetry
+        )
     server = None
     if telemetry is not None and config.telemetry_port is not None:
         # Serve live state: scraping /metrics mid-run sees the run so far.

@@ -11,19 +11,24 @@ The paper's rules:
   stream is re-forwarded to another FFS-VA instance with spare capacity
   immediately."
 
-:class:`AdmissionController` turns raw observations (T-YOLO processing rate
-samples, queue depths) into those two signals.  :func:`max_realtime_streams`
-searches for the largest stream count an instance sustains in real time —
-the quantity Figures 3, 4, and 6a report.  :class:`InstanceGroup` applies
-the re-forwarding rule across several simulated instances.
+:class:`AdmissionController` turns those two rules into signals — but it
+holds **no measurement state of its own**.  Both the throughput window and
+the queue depths are read from the ``repro.obs`` time-series sampler
+through :class:`~repro.obs.control.SignalReader`, so the threaded engine,
+the simulator, and any offline replay of a recorded series all make the
+*same* decision from the same data (the closed loop).
+:func:`max_realtime_streams` searches for the largest stream count an
+instance sustains in real time — the quantity Figures 3, 4, and 6a report.
+:class:`InstanceGroup` applies the re-forwarding rule across several
+simulated instances.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..obs.control import Hysteresis, SignalReader
+from ..obs.sampler import TimeSeriesSampler
 from .config import FFSVAConfig
 from .metrics import RunMetrics
 from .trace import FrameTrace
@@ -31,54 +36,123 @@ from .trace import FrameTrace
 __all__ = ["AdmissionController", "max_realtime_streams", "InstanceGroup"]
 
 
-@dataclass
 class AdmissionController:
-    """Sliding-window admission / overload signals for one instance."""
+    """Sampler-driven admission / overload signals for one instance.
 
-    config: FFSVAConfig = field(default_factory=FFSVAConfig)
-    _samples: deque = field(default_factory=deque)  # (time, tyolo_fps)
+    Decisions are a pure function of the sampled series: ``can_admit``
+    reads ``stage_fps[<rate_stage>]`` (T-YOLO in the paper's cascade) and
+    ``overloaded`` reads the ``queue_depth[...]`` gauges both runtimes
+    sweep into the same sampler.  ``poll`` combines them into a debounced
+    admit/hold/shed state machine and logs only the *transitions*, so two
+    runs that saw equivalent series produce identical decision logs even
+    when their clocks differ.
+    """
 
-    def observe_tyolo_rate(self, time: float, fps: float) -> None:
-        """Record a T-YOLO throughput sample and trim the window."""
-        self._samples.append((time, fps))
-        horizon = time - self.config.admission_window
-        while self._samples and self._samples[0][0] < horizon:
-            self._samples.popleft()
-
-    def can_admit(self) -> bool:
-        """Spare capacity: T-YOLO stayed under the threshold all window long.
-
-        Requires the window to actually span ``admission_window`` seconds of
-        samples; a half-empty window is not yet evidence.
-        """
-        if len(self._samples) < 2:
-            return False
-        span = self._samples[-1][0] - self._samples[0][0]
-        if span < self.config.admission_window * 0.9:
-            return False
-        return all(fps < self.config.admission_tyolo_fps for _, fps in self._samples)
-
-    def overloaded(self, queue_depths: dict[str, int]) -> bool:
-        """Any mid-cascade queue beyond its threshold means overload.
-
-        The paper watches "any queue of T-YOLO or SNM": the queues *between*
-        filters, whose growth signals internal imbalance.  Generalized to
-        the configured cascade, that is every stage except the first (its
-        queue only back-pressures the prefetcher) and the terminal stage
-        (whose overflow policy is handled separately).  Queue names are the
-        runtimes' ``stage[i]`` / ``stage`` forms.
-        """
-        graph = self.config.graph()
-        monitored = {
+    def __init__(
+        self,
+        config: FFSVAConfig | None = None,
+        sampler: TimeSeriesSampler | None = None,
+        *,
+        graph=None,
+        rate_stage: str | None = None,
+    ):
+        self.config = config or FFSVAConfig()
+        self.sampler = sampler or TimeSeriesSampler(
+            interval=self.config.telemetry_sample_interval
+        )
+        self.reader = SignalReader(self.sampler)
+        if graph is None:
+            graph = self.config.graph()
+        if rate_stage is None:
+            # The paper watches T-YOLO — the last filter before the
+            # reference model.  Generalized: the non-terminal stage closest
+            # to the terminal one (the terminal itself for ref-only).
+            non_terminal = [spec.name for spec in graph if not spec.terminal]
+            rate_stage = non_terminal[-1] if non_terminal else graph.terminal.name
+        self.rate_stage = rate_stage
+        self.rate_series = f"stage_fps[{rate_stage}]"
+        # Monitored queues: every stage except the first (its queue only
+        # back-pressures the prefetcher) and the terminal stage (whose
+        # overflow policy is handled separately).  Queue names arrive in the
+        # runtimes' ``stage[i]`` / ``stage`` forms.
+        self._monitored = {
             spec.name: self.config.queue_depth(spec.depth_key)
             for spec in graph
             if spec.name != graph.first.name and not spec.terminal
         }
+        self._shed = Hysteresis(up=self.config.admission_hysteresis, down=1)
+        #: Decision transitions: ``{"t": float, "state": "admit|hold|shed"}``.
+        self.decisions: list[dict] = []
+        self.state = "hold"
+
+    def observe_tyolo_rate(self, time: float, fps: float) -> None:
+        """Record a throughput sample *into the shared series*.
+
+        Compatibility shim for callers that measured the rate themselves;
+        runtimes normally feed the series via their sampler sweeps.
+        """
+        self.sampler.observe(self.rate_series, time, fps, force=True)
+
+    def can_admit(self, now: float | None = None) -> bool:
+        """Spare capacity: the rate stage stayed under the threshold all
+        window long.
+
+        Requires the retained points to actually cover ``admission_window``
+        seconds; a half-empty window is not yet evidence.
+        """
+        return self.reader.all_below(
+            self.rate_series,
+            self.config.admission_tyolo_fps,
+            self.config.admission_window,
+            now,
+        )
+
+    def overloaded(self, queue_depths: dict[str, int] | None = None) -> bool:
+        """Any mid-cascade queue beyond its threshold means overload.
+
+        With no explicit depths, the latest ``queue_depth[...]`` gauges are
+        read from the sampler (the closed-loop path); passing a dict keeps
+        the raw-signal form available for tests and external monitors.
+        """
+        if queue_depths is None:
+            queue_depths = self.reader.latest_map("queue_depth")
         for name, depth in queue_depths.items():
-            threshold = monitored.get(name.split("[")[0])
+            threshold = self._monitored.get(name.split("[")[0])
             if threshold is not None and depth > threshold:
                 return True
         return False
+
+    def poll(self, now: float) -> str:
+        """One control sweep: debounce overload, combine with admission.
+
+        Returns the current state and appends to :attr:`decisions` only on
+        transitions.  Shed dominates admit; overload must persist for
+        ``config.admission_hysteresis`` consecutive polls before the state
+        trips (one calm poll clears it).
+        """
+        shed = self._shed.update(self.overloaded())
+        if shed:
+            state = "shed"
+        elif self.can_admit(now):
+            state = "admit"
+        else:
+            state = "hold"
+        if state != self.state:
+            self.decisions.append({"t": float(now), "state": state})
+            self.state = state
+        return state
+
+    def decision_labels(self) -> list[str]:
+        """Just the transition labels — clock-free, cross-runtime comparable."""
+        return [d["state"] for d in self.decisions]
+
+    def summary(self) -> dict:
+        """JSON-able record for ``RunMetrics.extra["admission"]``."""
+        return {
+            "rate_stage": self.rate_stage,
+            "state": self.state,
+            "decisions": [dict(d) for d in self.decisions],
+        }
 
 
 def max_realtime_streams(

@@ -75,6 +75,10 @@ class FFSVAConfig:
     # seconds; a stream is re-forwarded away when queues overflow.
     admission_tyolo_fps: float = 140.0
     admission_window: float = 5.0
+    # Consecutive overloaded sweeps required before the shed signal trips
+    # (and a single calm sweep clears it).  >= 2 means one noisy queue-depth
+    # sample can never flap a shed decision.
+    admission_hysteresis: int = 2
 
     # Frames per second each live stream delivers.
     stream_fps: float = 30.0
@@ -137,6 +141,8 @@ class FFSVAConfig:
         for key, depth in self.queue_depths.items():
             if depth < 1:
                 raise ValueError(f"queue depth for {key!r} must be >= 1")
+        if self.admission_hysteresis < 1:
+            raise ValueError("admission_hysteresis must be >= 1")
         if self.stream_fps <= 0:
             raise ValueError("stream_fps must be positive")
         if self.telemetry_port is not None and not 0 <= self.telemetry_port <= 65535:

@@ -108,6 +108,12 @@ class SNM:
         self.network = network
         self.c_low = 0.0
         self.c_high = 1.0
+        #: Monotonic revision of decision-relevant state (thresholds,
+        #: background, weights).  :class:`FusedSNM` keys its cached stacked
+        #: tensors on the member versions, so bumping this (automatic on
+        #: recalibration / background change, via :meth:`mark_retrained`
+        #: after in-place weight updates) invalidates every fused cache.
+        self.version = 0
         self._bg_small: np.ndarray | None = None
         self._bg_med: float = 1.0
         self._resized: np.ndarray | None = None  # steady-state resize buffer
@@ -121,6 +127,11 @@ class SNM:
             np.asarray(background, dtype=np.float32), (s, s), copy=True
         )
         self._bg_med = float(np.median(self._bg_small)) or 1.0
+        self.version += 1
+
+    def mark_retrained(self) -> None:
+        """Signal that the network's weights changed in place."""
+        self.version += 1
 
     # ------------------------------------------------------------------
     def preprocess(self, frames: np.ndarray) -> np.ndarray:
@@ -202,6 +213,7 @@ class SNM:
             c_low, c_high = mid - 1e-3, mid + 1e-3
         self.c_low = float(np.clip(c_low, 0.0, 1.0))
         self.c_high = float(np.clip(c_high, self.c_low + 1e-6, 1.0))
+        self.version += 1
 
 
 class FusedSNM:
@@ -219,18 +231,52 @@ class FusedSNM:
     operations, and the stacked forward pass self-checks its batched conv
     path against the grouped per-model reference (falling back to it on any
     mismatch), so batch composition can never change a verdict.
+
+    The stacked weight tensors, the per-stream temperature vector, and the
+    per-degree ``t_pre`` threshold vectors are cached keyed on the member
+    SNMs' :attr:`~SNM.version` counters: recalibrating or retraining any
+    member (which bumps its version) rebuilds them on next use, and
+    :meth:`invalidate` forces a rebuild explicitly.
     """
 
     def __init__(self, snms: list[SNM]):
         if not snms:
             raise ValueError("FusedSNM needs at least one SNM")
         self.snms = list(snms)
-        self.stacked = StackedSequential([s.network for s in snms])
+        self._cache_key: tuple | None = None
+        self._t_pre_cache: dict[float, np.ndarray] = {}
+        self._refresh()
+
+    def _versions(self) -> tuple:
+        return tuple(s.version for s in self.snms)
+
+    def _refresh(self) -> None:
+        self._stacked = StackedSequential([s.network for s in self.snms])
         # float32(temp) is the same cast NEP-50 applies when SNM divides its
         # float32 logits by the python-float temperature.
-        self.temps = np.array(
-            [max(s.config.temperature, 1e-6) for s in snms], dtype=np.float32
+        self._temps = np.array(
+            [max(s.config.temperature, 1e-6) for s in self.snms], dtype=np.float32
         )
+        self._t_pre_cache = {}
+        self._cache_key = self._versions()
+
+    def _ensure_current(self) -> None:
+        if self._cache_key != self._versions():
+            self._refresh()
+
+    def invalidate(self) -> None:
+        """Drop every cached tensor; the next use rebuilds from the SNMs."""
+        self._cache_key = None
+
+    @property
+    def stacked(self) -> StackedSequential:
+        self._ensure_current()
+        return self._stacked
+
+    @property
+    def temps(self) -> np.ndarray:
+        self._ensure_current()
+        return self._temps
 
     def preprocess(self, frames: np.ndarray, stream_idx: np.ndarray) -> np.ndarray:
         """Each stream's own background-deviation preprocessing, scattered
@@ -253,8 +299,18 @@ class FusedSNM:
         return softmax(logits)[:, 1].astype(np.float32, copy=False)
 
     def t_pre(self, filter_degree: float) -> np.ndarray:
-        """Per-stream operating thresholds (paper Eq. 2) as a vector."""
-        return np.array([s.t_pre(filter_degree) for s in self.snms])
+        """Per-stream operating thresholds (paper Eq. 2) as a vector.
+
+        Cached per degree (``passes`` calls this once per mega-batch) and
+        returned read-only; invalidated when any member SNM recalibrates.
+        """
+        self._ensure_current()
+        cached = self._t_pre_cache.get(filter_degree)
+        if cached is None:
+            cached = np.array([s.t_pre(filter_degree) for s in self.snms])
+            cached.setflags(write=False)
+            self._t_pre_cache[filter_degree] = cached
+        return cached
 
     def passes(
         self, probs: np.ndarray, stream_idx: np.ndarray, filter_degree: float

@@ -26,10 +26,19 @@ from __future__ import annotations
 import threading as _threading
 
 from .bus import EVENT_KINDS, NULL_BUS, EventBus, NullBus, TelemetryEvent
-from .export import TelemetryServer, render_prometheus, snapshot_json
+from .control import Hysteresis, SignalReader
+from .export import METRIC_FAMILIES, TelemetryServer, render_prometheus, snapshot_json
 from .hist import DEFAULT_BUCKETS, LatencyHistogram
 from .sampler import Series, TimeSeriesSampler
-from .trace import FrameSpan, build_spans, chrome_trace, dump_chrome_trace
+from .trace import (
+    FrameSpan,
+    RotatingTraceWriter,
+    build_spans,
+    chrome_trace,
+    dump_chrome_trace,
+    dump_rotating_trace,
+    overlay_chrome_trace,
+)
 
 __all__ = [
     "EVENT_KINDS",
@@ -41,10 +50,16 @@ __all__ = [
     "LatencyHistogram",
     "Series",
     "TimeSeriesSampler",
+    "SignalReader",
+    "Hysteresis",
     "FrameSpan",
     "build_spans",
     "chrome_trace",
     "dump_chrome_trace",
+    "overlay_chrome_trace",
+    "RotatingTraceWriter",
+    "dump_rotating_trace",
+    "METRIC_FAMILIES",
     "render_prometheus",
     "snapshot_json",
     "TelemetryServer",
@@ -102,6 +117,26 @@ class Telemetry:
 
     def dump_chrome_trace(self, path, *, terminal: str | None = None) -> None:
         dump_chrome_trace(path, self.spans(terminal=terminal))
+
+    def dump_rotating_trace(
+        self,
+        directory,
+        *,
+        terminal: str | None = None,
+        max_bytes: int = 1_000_000,
+        max_span: float | None = None,
+        max_segments: int | None = None,
+        label: str | None = None,
+    ) -> dict:
+        """Segmented trace export for long runs; returns the manifest."""
+        return dump_rotating_trace(
+            directory,
+            self.spans(terminal=terminal),
+            max_bytes=max_bytes,
+            max_span=max_span,
+            max_segments=max_segments,
+            label=label,
+        )
 
     # -- export plane --------------------------------------------------
     def prometheus(self, metrics=None) -> str:

@@ -1,0 +1,163 @@
+"""Signal readers over the telemetry time-series (the control half of obs).
+
+PR 2's sampler records what the system *did*; this module is how policy
+code asks what the system *is doing*.  :class:`SignalReader` wraps a
+:class:`~repro.obs.sampler.TimeSeriesSampler` with the windowed queries an
+admission or shedding policy needs — latest values, windowed means and
+all-below predicates with coverage requirements, irregular-interval EWMA —
+and :class:`Hysteresis` debounces any boolean signal so a single noisy
+sample can never flap a control decision.
+
+The contract that makes closed-loop control testable: every reader method
+is a *pure function of the sampled series*.  Replaying a run's series into
+a fresh reader reproduces the exact same answers, so control decisions made
+through this API are reproducible from the telemetry artifact alone.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .sampler import TimeSeriesSampler
+
+__all__ = ["SignalReader", "Hysteresis"]
+
+
+class SignalReader:
+    """Windowed queries over a sampler's named series.
+
+    All ``now`` arguments default to the newest timestamp in the queried
+    series, so callers on either clock domain (wall or virtual) can omit it
+    when they only care about "as of the latest sweep".
+    """
+
+    def __init__(self, sampler: TimeSeriesSampler):
+        self.sampler = sampler
+
+    # -- point queries --------------------------------------------------
+    def latest(self, name: str, default: float | None = None) -> float | None:
+        """Most recent value of ``name`` (or ``default`` if never sampled)."""
+        return self.sampler.latest().get(name, default)
+
+    def latest_map(self, prefix: str) -> dict[str, float]:
+        """Latest value of every ``prefix[label]`` series, keyed by label.
+
+        ``latest_map("queue_depth")`` returns e.g. ``{"snm[0]": 3.0,
+        "ref": 1.0}`` — the same keyed-gauge shape both runtimes feed into
+        ``observe_many``.
+        """
+        want = prefix + "["
+        out: dict[str, float] = {}
+        for name, value in self.sampler.latest().items():
+            if name.startswith(want) and name.endswith("]"):
+                out[name[len(want):-1]] = value
+        return out
+
+    # -- window queries -------------------------------------------------
+    def window(self, name: str, span: float, now: float | None = None) -> list[tuple[float, float]]:
+        """All retained ``(t, value)`` points with ``t >= now - span``."""
+        points = self.sampler.points(name)
+        if not points:
+            return []
+        if now is None:
+            now = points[-1][0]
+        horizon = now - span
+        return [(t, v) for t, v in points if horizon <= t <= now]
+
+    def window_mean(self, name: str, span: float, now: float | None = None) -> float | None:
+        """Arithmetic mean over the window (None when the window is empty)."""
+        pts = self.window(name, span, now)
+        if not pts:
+            return None
+        return sum(v for _, v in pts) / len(pts)
+
+    def window_span(self, name: str, span: float, now: float | None = None) -> float:
+        """Seconds actually covered by retained points inside the window."""
+        pts = self.window(name, span, now)
+        if len(pts) < 2:
+            return 0.0
+        return pts[-1][0] - pts[0][0]
+
+    def all_below(
+        self,
+        name: str,
+        threshold: float,
+        span: float,
+        now: float | None = None,
+        *,
+        min_coverage: float = 0.9,
+        min_points: int = 2,
+    ) -> bool:
+        """Did ``name`` stay strictly below ``threshold`` for the whole window?
+
+        This is the paper's admission predicate ("speed lower than 140 FPS
+        for 5 s").  A half-empty window is not evidence: the retained points
+        must span at least ``min_coverage * span`` seconds (less one sampler
+        interval of slack, because points land on the sweep grid rather than
+        the window horizon) and number at least ``min_points``, otherwise
+        the answer is False.
+        """
+        pts = self.window(name, span, now)
+        if len(pts) < min_points:
+            return False
+        required = max(0.0, span * min_coverage - self.sampler.interval)
+        if pts[-1][0] - pts[0][0] < required:
+            return False
+        return all(v < threshold for _, v in pts)
+
+    def ewma(self, name: str, tau: float, now: float | None = None) -> float | None:
+        """Exponentially-weighted mean with time constant ``tau`` seconds.
+
+        Handles the sampler's irregular spacing (decimation doubles the
+        interval mid-series) by weighting each step with
+        ``exp(-dt / tau)`` rather than assuming a fixed alpha.
+        """
+        if tau <= 0:
+            raise ValueError("ewma time constant must be positive")
+        points = self.sampler.points(name)
+        if not points:
+            return None
+        if now is not None:
+            points = [(t, v) for t, v in points if t <= now]
+            if not points:
+                return None
+        acc = points[0][1]
+        t_prev = points[0][0]
+        for t, v in points[1:]:
+            a = math.exp(-(t - t_prev) / tau)
+            acc = a * acc + (1.0 - a) * v
+            t_prev = t
+        return acc
+
+
+class Hysteresis:
+    """K-consecutive-sample debouncer for a boolean control signal.
+
+    The state only rises after ``up`` consecutive True observations and only
+    falls after ``down`` consecutive False observations, so with
+    ``up >= 2`` a single noisy sample can never flip the output — the
+    anti-flap invariant the admission property tests pin down.
+    """
+
+    def __init__(self, up: int = 2, down: int = 1, initial: bool = False):
+        if up < 1 or down < 1:
+            raise ValueError("hysteresis counts must be >= 1")
+        self.up = up
+        self.down = down
+        self.state = initial
+        self._streak = 0  # consecutive observations disagreeing with state
+
+    def update(self, raw: bool) -> bool:
+        """Feed one observation; returns the debounced state."""
+        if raw == self.state:
+            self._streak = 0
+            return self.state
+        self._streak += 1
+        if self._streak >= (self.up if raw else self.down):
+            self.state = raw
+            self._streak = 0
+        return self.state
+
+    def reset(self, state: bool = False) -> None:
+        self.state = state
+        self._streak = 0

@@ -21,9 +21,97 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-__all__ = ["render_prometheus", "snapshot_json", "TelemetryServer"]
+__all__ = [
+    "METRIC_FAMILIES",
+    "family_names",
+    "render_prometheus",
+    "snapshot_json",
+    "TelemetryServer",
+]
 
 _PREFIX = "ffsva"
+
+#: The live metric-family registry: every family the export plane can emit,
+#: with its Prometheus type, help text, and label keys.  ``render_prometheus``
+#: reads HELP/TYPE lines from here, so the registry cannot drift from the
+#: exposition — and the dashboard plane (``repro.obs.dashboard``) validates
+#: its panel queries against exactly this catalog.
+METRIC_FAMILIES: dict[str, dict] = {
+    "stage_frames_entered_total": {
+        "kind": "counter", "labels": ("stage",),
+        "help": "Frames entering each stage.",
+    },
+    "stage_frames_passed_total": {
+        "kind": "counter", "labels": ("stage",),
+        "help": "Frames passing each stage.",
+    },
+    "stage_frames_filtered_total": {
+        "kind": "counter", "labels": ("stage",),
+        "help": "Frames filtered at each stage.",
+    },
+    "frames_offered_total": {
+        "kind": "counter", "labels": (),
+        "help": "Frames produced by the sources.",
+    },
+    "frames_ingested_total": {
+        "kind": "counter", "labels": (),
+        "help": "Frames admitted into the pipeline.",
+    },
+    "frames_to_ref_total": {
+        "kind": "counter", "labels": (),
+        "help": "Frames reaching the reference model.",
+    },
+    "run_duration_seconds": {
+        "kind": "gauge", "labels": (),
+        "help": "Run makespan (wall or virtual).",
+    },
+    "throughput_fps": {
+        "kind": "gauge", "labels": (),
+        "help": "Aggregate processed frames per second.",
+    },
+    "queue_high_water": {
+        "kind": "gauge", "labels": ("queue",),
+        "help": "Highest observed depth per queue.",
+    },
+    "device_utilization": {
+        "kind": "gauge", "labels": ("device",),
+        "help": "Busy fraction per device.",
+    },
+    "frame_latency_seconds": {
+        "kind": "summary", "labels": ("quantile",),
+        "help": "Per-frame latency summary.",
+    },
+    "ref_latency_seconds": {
+        "kind": "summary", "labels": ("quantile",),
+        "help": "Per-frame latency summary.",
+    },
+    "frame_latency_seconds_hist": {
+        "kind": "histogram", "labels": ("stage",),
+        "help": "Explicit-bucket histogram of frame_latency_seconds.",
+    },
+    "stage_exec_seconds_hist": {
+        "kind": "histogram", "labels": ("stage",),
+        "help": "Explicit-bucket histogram of stage_exec_seconds.",
+    },
+    "telemetry_events_total": {
+        "kind": "counter", "labels": ("kind",),
+        "help": "Events published per kind.",
+    },
+    "telemetry_events_dropped_total": {
+        "kind": "counter", "labels": (),
+        "help": "Events evicted from the full ring buffer.",
+    },
+    "sample_gauge": {
+        "kind": "gauge", "labels": ("series",),
+        "help": "Latest value of each sampled time-series.",
+    },
+}
+
+
+def family_names(*, prefixed: bool = True) -> list[str]:
+    """All registered family names (``ffsva_``-prefixed by default)."""
+    names = sorted(METRIC_FAMILIES)
+    return [f"{_PREFIX}_{n}" for n in names] if prefixed else names
 
 
 def _escape(value: str) -> str:
@@ -37,8 +125,13 @@ def _line(name: str, value, labels: dict | None = None) -> str:
     return f"{_PREFIX}_{name} {value}"
 
 
-def _head(name: str, kind: str, help_text: str) -> list[str]:
-    return [f"# HELP {_PREFIX}_{name} {help_text}", f"# TYPE {_PREFIX}_{name} {kind}"]
+def _head(name: str) -> list[str]:
+    """HELP/TYPE preamble for one registered family."""
+    fam = METRIC_FAMILIES[name]
+    return [
+        f"# HELP {_PREFIX}_{name} {fam['help']}",
+        f"# TYPE {_PREFIX}_{name} {fam['kind']}",
+    ]
 
 
 def render_prometheus(metrics=None, telemetry=None) -> str:
@@ -50,31 +143,31 @@ def render_prometheus(metrics=None, telemetry=None) -> str:
     """
     lines: list[str] = []
     if metrics is not None:
-        lines += _head("stage_frames_entered_total", "counter", "Frames entering each stage.")
+        lines += _head("stage_frames_entered_total")
         for stage, c in metrics.stages.items():
             lines.append(_line("stage_frames_entered_total", c.entered, {"stage": stage}))
-        lines += _head("stage_frames_passed_total", "counter", "Frames passing each stage.")
+        lines += _head("stage_frames_passed_total")
         for stage, c in metrics.stages.items():
             lines.append(_line("stage_frames_passed_total", c.passed, {"stage": stage}))
-        lines += _head("stage_frames_filtered_total", "counter", "Frames filtered at each stage.")
+        lines += _head("stage_frames_filtered_total")
         for stage, c in metrics.stages.items():
             lines.append(_line("stage_frames_filtered_total", c.filtered, {"stage": stage}))
 
-        lines += _head("frames_offered_total", "counter", "Frames produced by the sources.")
+        lines += _head("frames_offered_total")
         lines.append(_line("frames_offered_total", metrics.frames_offered))
-        lines += _head("frames_ingested_total", "counter", "Frames admitted into the pipeline.")
+        lines += _head("frames_ingested_total")
         lines.append(_line("frames_ingested_total", metrics.frames_ingested))
-        lines += _head("frames_to_ref_total", "counter", "Frames reaching the reference model.")
+        lines += _head("frames_to_ref_total")
         lines.append(_line("frames_to_ref_total", metrics.frames_to_ref))
-        lines += _head("run_duration_seconds", "gauge", "Run makespan (wall or virtual).")
+        lines += _head("run_duration_seconds")
         lines.append(_line("run_duration_seconds", metrics.duration))
-        lines += _head("throughput_fps", "gauge", "Aggregate processed frames per second.")
+        lines += _head("throughput_fps")
         lines.append(_line("throughput_fps", metrics.throughput_fps))
 
-        lines += _head("queue_high_water", "gauge", "Highest observed depth per queue.")
+        lines += _head("queue_high_water")
         for queue, depth in sorted(metrics.queue_high_water.items()):
             lines.append(_line("queue_high_water", depth, {"queue": queue}))
-        lines += _head("device_utilization", "gauge", "Busy fraction per device.")
+        lines += _head("device_utilization")
         for device, util in sorted(metrics.device_utilization.items()):
             lines.append(_line("device_utilization", util, {"device": device}))
 
@@ -82,7 +175,7 @@ def render_prometheus(metrics=None, telemetry=None) -> str:
             ("frame_latency_seconds", metrics.frame_latency),
             ("ref_latency_seconds", metrics.ref_latency),
         ):
-            lines += _head(family, "summary", "Per-frame latency summary.")
+            lines += _head(family)
             for q, v in (("0.5", stats.p50), ("0.95", stats.p95), ("0.99", stats.p99)):
                 lines.append(_line(family, v, {"quantile": q}))
             lines.append(_line(f"{family}_sum", stats.mean * stats.count))
@@ -100,9 +193,14 @@ def render_prometheus(metrics=None, telemetry=None) -> str:
                 for family, series in telemetry.histograms.items()
             }
         for family in sorted(families):
-            lines += _head(
-                f"{family}_hist", "histogram", f"Explicit-bucket histogram of {family}."
-            )
+            hist_name = f"{family}_hist"
+            if hist_name in METRIC_FAMILIES:
+                lines += _head(hist_name)
+            else:  # ad-hoc family observed at runtime but not registered
+                lines += [
+                    f"# HELP {_PREFIX}_{hist_name} Explicit-bucket histogram of {family}.",
+                    f"# TYPE {_PREFIX}_{hist_name} histogram",
+                ]
             for key in sorted(families[family]):
                 hist = families[family][key]
                 labels = dict(key)
@@ -122,13 +220,12 @@ def render_prometheus(metrics=None, telemetry=None) -> str:
                 lines.append(_line(f"{family}_hist_sum", hist["sum"], labels))
                 lines.append(_line(f"{family}_hist_count", hist["count"], labels))
         bus = telemetry.bus
-        lines += _head("telemetry_events_total", "counter", "Events published per kind.")
+        lines += _head("telemetry_events_total")
         for kind, count in sorted(bus.counts.items()):
             lines.append(_line("telemetry_events_total", count, {"kind": kind}))
-        lines += _head("telemetry_events_dropped_total", "counter",
-                       "Events evicted from the full ring buffer.")
+        lines += _head("telemetry_events_dropped_total")
         lines.append(_line("telemetry_events_dropped_total", bus.dropped))
-        lines += _head("sample_gauge", "gauge", "Latest value of each sampled time-series.")
+        lines += _head("sample_gauge")
         for name, value in sorted(telemetry.sampler.latest().items()):
             lines.append(_line("sample_gauge", value, {"series": name}))
     return "\n".join(lines) + "\n"

@@ -104,6 +104,19 @@ class TimeSeriesSampler:
         with self._lock:
             return self._series[name]
 
+    def points(self, name: str) -> list[tuple[float, float]]:
+        """Copied ``(t, value)`` points of one series ([] if never sampled).
+
+        The copy is taken under the lock so readers (e.g. the admission
+        controller's :class:`~repro.obs.control.SignalReader`) never see a
+        series mid-decimation.
+        """
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                return []
+            return list(zip(series.t, series.v))
+
     def latest(self) -> dict[str, float]:
         """Most recent value of every series (for gauge export)."""
         with self._lock:

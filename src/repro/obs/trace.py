@@ -7,16 +7,35 @@ ended, and how the visit ended (passed on, filtered, or analyzed at the
 terminal stage).  The spans render to Chrome's JSON ``trace_event`` format
 — load the dump in ``chrome://tracing`` (or Perfetto) to see queue waits
 and device busy windows per stream and stage.
+
+Two export shapes beyond the single-file dump:
+
+* :func:`overlay_chrome_trace` merges several runs (e.g. an FFS-VA run and
+  the YOLOv2 baseline) into one trace with disjoint pid ranges, so Perfetto
+  shows them stacked on a single timeline;
+* :class:`RotatingTraceWriter` segments long online runs into bounded,
+  self-contained trace files plus a ``manifest.json``, deleting the oldest
+  segments once ``max_segments`` is reached so disk usage stays bounded.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
 from .bus import TelemetryEvent
 
-__all__ = ["FrameSpan", "build_spans", "chrome_trace", "dump_chrome_trace"]
+__all__ = [
+    "FrameSpan",
+    "build_spans",
+    "chrome_trace",
+    "dump_chrome_trace",
+    "overlay_chrome_trace",
+    "RotatingTraceWriter",
+    "dump_rotating_trace",
+]
 
 #: Span dispositions.
 PASSED = "pass"
@@ -89,13 +108,77 @@ def build_spans(
     return spans
 
 
-def chrome_trace(spans: list[FrameSpan]) -> dict:
+def _span_events(span: FrameSpan, tid: int, pid: int) -> list[dict]:
+    """The complete ("X") slices one span renders to."""
+    events = []
+    if span.queue_wait > 0:
+        events.append(
+            {
+                "name": f"{span.stage}:wait",
+                "cat": "queue",
+                "ph": "X",
+                "ts": span.t_enter * 1e6,
+                "dur": span.queue_wait * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {"frame": span.frame},
+            }
+        )
+    events.append(
+        {
+            "name": span.stage,
+            "cat": span.disposition,
+            "ph": "X",
+            "ts": span.t_start * 1e6,
+            "dur": span.exec_time * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": {"frame": span.frame, "disposition": span.disposition},
+        }
+    )
+    return events
+
+
+def _metadata_events(
+    streams, stage_tids: dict[str, int], *, label: str | None, pid_base: int
+) -> list[dict]:
+    """process_name / thread_name metadata ("M") records for one run."""
+    prefix = f"{label}:" if label else ""
+    out = []
+    for stream in sorted(streams):
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid_base + stream,
+                "tid": 0,
+                "args": {"name": f"{prefix}stream-{stream}"},
+            }
+        )
+        for stage, t in stage_tids.items():
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid_base + stream,
+                    "tid": t,
+                    "args": {"name": stage},
+                }
+            )
+    return out
+
+
+def chrome_trace(
+    spans: list[FrameSpan], *, label: str | None = None, pid_base: int = 0
+) -> dict:
     """Render spans as a Chrome ``trace_event`` JSON object.
 
     Streams map to processes and stages to threads; every span emits a
     complete ("X") slice for its service window plus an optional
     ``<stage>:wait`` slice covering the queue wait.  Timestamps are
-    microseconds, as the format requires.
+    microseconds, as the format requires.  ``label`` prefixes the process
+    names and ``pid_base`` offsets the pids — together they let several
+    runs share one trace (see :func:`overlay_chrome_trace`).
     """
     stage_tids: dict[str, int] = {}
     trace_events: list[dict] = []
@@ -106,54 +189,34 @@ def chrome_trace(spans: list[FrameSpan]) -> dict:
         return stage_tids[stage]
 
     for span in spans:
-        t = tid(span.stage)
-        if span.queue_wait > 0:
-            trace_events.append(
-                {
-                    "name": f"{span.stage}:wait",
-                    "cat": "queue",
-                    "ph": "X",
-                    "ts": span.t_enter * 1e6,
-                    "dur": span.queue_wait * 1e6,
-                    "pid": span.stream,
-                    "tid": t,
-                    "args": {"frame": span.frame},
-                }
-            )
-        trace_events.append(
-            {
-                "name": span.stage,
-                "cat": span.disposition,
-                "ph": "X",
-                "ts": span.t_start * 1e6,
-                "dur": span.exec_time * 1e6,
-                "pid": span.stream,
-                "tid": t,
-                "args": {"frame": span.frame, "disposition": span.disposition},
-            }
+        trace_events.extend(_span_events(span, tid(span.stage), pid_base + span.stream))
+    trace_events.extend(
+        _metadata_events(
+            {s.stream for s in spans}, stage_tids, label=label, pid_base=pid_base
         )
+    )
+    return {"displayTimeUnit": "ms", "traceEvents": trace_events}
 
-    streams = sorted({s.stream for s in spans})
-    for stream in streams:
-        trace_events.append(
-            {
-                "name": "process_name",
-                "ph": "M",
-                "pid": stream,
-                "tid": 0,
-                "args": {"name": f"stream-{stream}"},
-            }
-        )
-        for stage, t in stage_tids.items():
-            trace_events.append(
-                {
-                    "name": "thread_name",
-                    "ph": "M",
-                    "pid": stream,
-                    "tid": t,
-                    "args": {"name": stage},
-                }
-            )
+
+def overlay_chrome_trace(runs: dict[str, list[FrameSpan]]) -> dict:
+    """Merge several runs' spans into one trace on a single timeline.
+
+    ``runs`` maps a run label (e.g. ``"ffsva"``, ``"baseline"``) to that
+    run's spans.  Each run gets a disjoint pid range and its label as the
+    process-name prefix, so Perfetto / chrome://tracing shows
+    ``ffsva:stream-0`` above ``baseline:stream-0`` against one clock —
+    both runtimes stamp times relative to run start, which makes the
+    timelines directly comparable.
+    """
+    trace_events: list[dict] = []
+    pid_base = 0
+    for run_label, spans in runs.items():
+        sub = chrome_trace(spans, label=run_label, pid_base=pid_base)
+        trace_events.extend(sub["traceEvents"])
+        if spans:
+            pid_base += max(s.stream for s in spans) + 1
+        else:
+            pid_base += 1
     return {"displayTimeUnit": "ms", "traceEvents": trace_events}
 
 
@@ -161,3 +224,179 @@ def dump_chrome_trace(path, spans: list[FrameSpan]) -> None:
     """Write the Chrome trace JSON for ``spans`` to ``path``."""
     with open(path, "w") as fh:
         json.dump(chrome_trace(spans), fh)
+
+
+class RotatingTraceWriter:
+    """Segmented Chrome-trace export with bounded disk usage.
+
+    Spans are appended in (roughly) time order; whenever the serialized
+    segment would exceed ``max_bytes``, or the segment's time extent would
+    exceed ``max_span`` virtual/wall seconds, the segment is flushed to
+    ``trace-NNNNN.json`` inside ``directory`` and a new one begins.  Every
+    segment is a *self-contained* trace (its own metadata records), so any
+    one file loads in Perfetto on its own.
+
+    ``manifest.json`` lists segments oldest-first with their time bounds,
+    span counts, and byte sizes — the index a dashboard or a pruning job
+    reads.  When ``max_segments`` is set, the oldest segment file is deleted
+    once the count would exceed it (counted in ``dropped_segments``), which
+    bounds total disk for arbitrarily long online runs.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        max_bytes: int = 1_000_000,
+        max_span: float | None = None,
+        max_segments: int | None = None,
+        label: str | None = None,
+    ):
+        if max_bytes < 4096:
+            raise ValueError("max_bytes must be >= 4096")
+        if max_span is not None and max_span <= 0:
+            raise ValueError("max_span must be positive")
+        if max_segments is not None and max_segments < 1:
+            raise ValueError("max_segments must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.max_span = max_span
+        self.max_segments = max_segments
+        self.label = label
+        self.segments: list[dict] = []
+        self.dropped_segments = 0
+        self._seq = 0
+        self._closed = False
+        self._stage_tids: dict[str, int] = {}
+        self._reset_segment()
+
+    #: Generous serialized size of one flush-time metadata record, charged
+    #: against the byte budget per (stream, stage) pair so the written file
+    #: stays under ``max_bytes`` even though metadata is appended at flush.
+    _META_EVENT_BYTES = 120
+
+    def _reset_segment(self) -> None:
+        self._events: list[dict] = []
+        self._bytes = len('{"displayTimeUnit": "ms", "traceEvents": []}')
+        self._streams: set[int] = set()
+        self._t_lo: float | None = None
+        self._t_hi: float | None = None
+        self._n_spans = 0
+
+    def _tid(self, stage: str) -> int:
+        if stage not in self._stage_tids:
+            self._stage_tids[stage] = len(self._stage_tids) + 1
+        return self._stage_tids[stage]
+
+    def add(self, span: FrameSpan) -> None:
+        """Append one span, rolling the segment first if it would overflow."""
+        if self._closed:
+            raise RuntimeError("writer is closed")
+        events = _span_events(span, self._tid(span.stage), span.stream)
+        nbytes = sum(len(json.dumps(e)) + 2 for e in events)
+        meta_bytes = (
+            len(self._streams | {span.stream})
+            * (1 + len(self._stage_tids))
+            * self._META_EVENT_BYTES
+        )
+        if self._n_spans and (
+            self._bytes + nbytes + meta_bytes > self.max_bytes
+            or (
+                self.max_span is not None
+                and self._t_lo is not None
+                and span.t_end - self._t_lo > self.max_span
+            )
+        ):
+            self.flush()
+        self._events.extend(events)
+        self._bytes += nbytes
+        self._streams.add(span.stream)
+        lo, hi = span.t_enter, span.t_end
+        self._t_lo = lo if self._t_lo is None else min(self._t_lo, lo)
+        self._t_hi = hi if self._t_hi is None else max(self._t_hi, hi)
+        self._n_spans += 1
+
+    def add_spans(self, spans: list[FrameSpan]) -> None:
+        """Append many spans in time order (sorted here for convenience)."""
+        for span in sorted(spans, key=lambda s: (s.t_start, s.t_end)):
+            self.add(span)
+
+    def flush(self) -> dict | None:
+        """Write the current segment (if non-empty); returns its manifest entry."""
+        if not self._n_spans:
+            return None
+        events = list(self._events)
+        events.extend(
+            _metadata_events(
+                self._streams,
+                {s: t for s, t in self._stage_tids.items()},
+                label=self.label,
+                pid_base=0,
+            )
+        )
+        name = f"trace-{self._seq:05d}.json"
+        self._seq += 1
+        path = self.directory / name
+        with open(path, "w") as fh:
+            json.dump({"displayTimeUnit": "ms", "traceEvents": events}, fh)
+        entry = {
+            "file": name,
+            "t_start": self._t_lo,
+            "t_end": self._t_hi,
+            "spans": self._n_spans,
+            "bytes": path.stat().st_size,
+        }
+        self.segments.append(entry)
+        while self.max_segments is not None and len(self.segments) > self.max_segments:
+            oldest = self.segments.pop(0)
+            try:
+                os.remove(self.directory / oldest["file"])
+            except FileNotFoundError:
+                pass
+            self.dropped_segments += 1
+        self._reset_segment()
+        self._write_manifest()
+        return entry
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "label": self.label,
+            "max_bytes": self.max_bytes,
+            "max_span": self.max_span,
+            "max_segments": self.max_segments,
+            "dropped_segments": self.dropped_segments,
+            "segments": self.segments,
+        }
+        with open(self.directory / "manifest.json", "w") as fh:
+            json.dump(manifest, fh, indent=2)
+
+    def close(self) -> dict:
+        """Flush the tail segment and return the final manifest dict."""
+        if not self._closed:
+            self.flush()
+            self._write_manifest()
+            self._closed = True
+        with open(self.directory / "manifest.json") as fh:
+            return json.load(fh)
+
+
+def dump_rotating_trace(
+    directory,
+    spans: list[FrameSpan],
+    *,
+    max_bytes: int = 1_000_000,
+    max_span: float | None = None,
+    max_segments: int | None = None,
+    label: str | None = None,
+) -> dict:
+    """Write ``spans`` as a rotated segment directory; returns the manifest."""
+    writer = RotatingTraceWriter(
+        directory,
+        max_bytes=max_bytes,
+        max_span=max_span,
+        max_segments=max_segments,
+        label=label,
+    )
+    writer.add_spans(spans)
+    return writer.close()

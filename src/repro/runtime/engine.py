@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.admission import AdmissionController
 from ..core.batching import decide_fused_batch, fused_pop_order
 from ..core.config import FFSVAConfig
 from ..core.metrics import LatencyStats, RunMetrics, StageCounters
@@ -150,6 +151,13 @@ class ThreadedPipeline:
         #: Attached telemetry (None = disabled; every emission site guards
         #: on that with a single branch).
         self.telemetry = telemetry if telemetry is not None else Telemetry.from_config(cfg)
+        #: Closed-loop admission: decisions are read off the telemetry
+        #: sampler's series (None when telemetry is disabled).
+        self.admission = (
+            AdmissionController(cfg, sampler=self.telemetry.sampler, graph=self.graph)
+            if self.telemetry is not None
+            else None
+        )
         self._t0 = 0.0  # run-start monotonic reference for telemetry stamps
         self._busy: dict[str, float] = {}  # per-device lock-held seconds
         self.outcomes: list[FrameOutcome] = []
@@ -657,8 +665,12 @@ class ThreadedPipeline:
         interval = self.telemetry.sampler.interval
         prev = {"t": 0.0, "entered": {}, "busy": {}}
         while not stop.wait(interval):
-            prev = self._sample(self._now(), prev)
-        self._sample(self._now(), prev, force=True)
+            t = self._now()
+            prev = self._sample(t, prev)
+            self.admission.poll(t)
+        t = self._now()
+        self._sample(t, prev, force=True)
+        self.admission.poll(t)
 
     # ------------------------------------------------------------------
     def _drain_unfinished(self) -> None:
@@ -798,6 +810,7 @@ class ThreadedPipeline:
             m.extra["procpool"] = pool_stats
         if self.telemetry is not None:
             m.extra["telemetry"] = self.telemetry.bus.stats()
+            m.extra["admission"] = self.admission.summary()
             m.extra["queue_put_timeouts"] = {
                 q.name: q.put_timeouts for q in self._all_queues()
             }

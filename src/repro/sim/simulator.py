@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.admission import AdmissionController
 from ..core.batching import decide_batch, decide_fused_batch, fused_pop_order
 from ..core.config import FFSVAConfig
 from ..core.metrics import LatencyStats, RunMetrics, StageCounters
@@ -197,6 +198,13 @@ class PipelineSimulator:
         #: Attached telemetry (None = disabled).  Event timestamps are
         #: *virtual* seconds — the same schema the threaded runtime emits.
         self.telemetry = telemetry if telemetry is not None else Telemetry.from_config(cfg)
+        #: Closed-loop admission: reads the same sampled series the threaded
+        #: runtime reads, on this runtime's virtual clock.
+        self.admission = (
+            AdmissionController(cfg, sampler=self.telemetry.sampler, graph=self.graph)
+            if self.telemetry is not None
+            else None
+        )
         self._prev_sample = {"t": 0.0, "done": {}, "busy": {}}
         # Downstream stage names, precomputed so disabled-telemetry event
         # sites pay only their guard branch (no graph lookups on the hot path).
@@ -605,6 +613,7 @@ class PipelineSimulator:
             self._start_all(now)
             if sample and self.telemetry.sampler.due(now):
                 self._sample(now)
+                self.admission.poll(now)
             if all(st.finished for st in self.streams):
                 break
             t_heap = self._heap[0][0] if self._heap else inf
@@ -664,7 +673,9 @@ class PipelineSimulator:
         )
         if self.telemetry is not None:
             self._sample(now, force=True)
+            self.admission.poll(now)
             m.extra["telemetry"] = self.telemetry.bus.stats()
+            m.extra["admission"] = self.admission.summary()
         return m
 
 

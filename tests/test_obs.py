@@ -125,6 +125,60 @@ class TestSampler:
         assert s.to_dict() == {"x": {"t": [0.0], "v": [5.0]}}
 
 
+class TestSeriesEdgeCases:
+    def test_min_interval_gates_then_doubles_on_decimation(self):
+        series = Series(capacity=4, min_interval=1.0)
+        assert series.add(0.0, 0.0)
+        assert not series.add(0.5, 1.0)  # inside min_interval: dropped
+        assert series.add(1.0, 1.0)  # exactly one interval later: kept
+        for t in (2.0, 3.0, 4.0):
+            series.add(t, t)
+        # The fifth retained point overflowed capacity=4: every other point
+        # is kept and the effective interval doubles.
+        assert series.t == [0.0, 2.0, 4.0]
+        assert series.min_interval == 2.0
+        assert not series.add(5.0, 5.0)  # old cadence now below the bar
+        assert series.add(6.0, 6.0)
+
+    def test_force_overrides_interval_but_not_capacity(self):
+        series = Series(capacity=4, min_interval=10.0)
+        for i in range(5):
+            assert series.add(float(i), float(i), force=True)
+        # force= bypasses the interval gate yet still triggers decimation.
+        assert len(series) <= 4
+        assert series.min_interval == 20.0
+
+    def test_decimation_keeps_even_indices_including_endpoints(self):
+        series = Series(capacity=8, min_interval=0.0)
+        for i in range(9):
+            series.add(float(i), float(i) * 10.0)
+        # Length hit capacity+1 (odd) -> even indices keep both endpoints,
+        # and (t, v) pairs stay aligned.
+        assert series.t == [0.0, 2.0, 4.0, 6.0, 8.0]
+        assert series.v == [0.0, 20.0, 40.0, 60.0, 80.0]
+        assert series.last() == (8.0, 80.0)
+
+    def test_repeated_decimation_stays_bounded_and_ordered(self):
+        series = Series(capacity=8, min_interval=0.0)
+        for i in range(10_000):
+            series.add(float(i), float(i))
+        assert len(series) <= 8
+        assert series.t == sorted(series.t)
+        # The retained record always includes the newest sample's epoch.
+        assert series.t[-1] >= 10_000 - series.min_interval
+        assert all(t == v for t, v in zip(series.t, series.v))
+
+    def test_empty_series_accessors(self):
+        series = Series(capacity=4)
+        assert series.last() is None
+        assert len(series) == 0
+        assert series.to_dict() == {"t": [], "v": []}
+
+    def test_capacity_floor_enforced(self):
+        with pytest.raises(ValueError):
+            Series(capacity=3)
+
+
 # ---------------------------------------------------------------------------
 # trace spans and chrome export
 # ---------------------------------------------------------------------------

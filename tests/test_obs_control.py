@@ -1,0 +1,296 @@
+"""Tests for the obs control plane: SignalReader, Hysteresis, admission loop.
+
+The contract under test is the one DESIGN.md calls the closed loop: every
+control decision is a pure function of the sampled time-series, hysteresis
+makes single noisy samples powerless, and replaying a recorded series into
+a fresh controller reproduces the exact transition log.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import AdmissionController
+from repro.core.config import FFSVAConfig
+from repro.obs import Hysteresis, SignalReader, TimeSeriesSampler
+
+
+def reader_with(points, name="x", interval=0.05):
+    sampler = TimeSeriesSampler(interval=interval)
+    for t, v in points:
+        sampler.observe(name, t, v, force=True)
+    return SignalReader(sampler)
+
+
+# ---------------------------------------------------------------------------
+# SignalReader
+# ---------------------------------------------------------------------------
+class TestSignalReader:
+    def test_latest_and_default(self):
+        r = reader_with([(0.0, 1.0), (1.0, 3.0)])
+        assert r.latest("x") == 3.0
+        assert r.latest("missing") is None
+        assert r.latest("missing", 7.0) == 7.0
+
+    def test_latest_map_parses_keyed_gauges(self):
+        sampler = TimeSeriesSampler(interval=0.05)
+        sampler.observe_many(
+            1.0,
+            {
+                "queue_depth[snm[0]]": 3.0,
+                "queue_depth[ref]": 1.0,
+                "stage_fps[tyolo]": 120.0,
+                "queue_depth": 9.0,  # no label -> not part of the map
+            },
+        )
+        assert SignalReader(sampler).latest_map("queue_depth") == {
+            "snm[0]": 3.0,
+            "ref": 1.0,
+        }
+
+    def test_window_clips_to_span_and_now(self):
+        r = reader_with([(float(t), float(t)) for t in range(10)])
+        assert r.window("x", 3.0, now=9.0) == [
+            (6.0, 6.0),
+            (7.0, 7.0),
+            (8.0, 8.0),
+            (9.0, 9.0),
+        ]
+        # now defaults to the newest point
+        assert r.window("x", 0.0) == [(9.0, 9.0)]
+        # explicit now excludes later points (replay semantics)
+        assert r.window("x", 1.0, now=5.0) == [(4.0, 4.0), (5.0, 5.0)]
+        assert r.window("missing", 1.0) == []
+
+    def test_window_mean_and_span(self):
+        r = reader_with([(0.0, 2.0), (1.0, 4.0), (2.0, 6.0)])
+        assert r.window_mean("x", 10.0) == 4.0
+        assert r.window_span("x", 10.0) == 2.0
+        assert r.window_mean("missing", 10.0) is None
+        assert r.window_span("missing", 10.0) == 0.0
+
+    def test_all_below_requires_coverage(self):
+        # Two points spanning 1s cannot answer a 5s question.
+        r = reader_with([(0.0, 10.0), (1.0, 10.0)])
+        assert not r.all_below("x", 100.0, 5.0)
+        # Full coverage, all strictly under.
+        r = reader_with([(float(t), 10.0) for t in range(7)])
+        assert r.all_below("x", 100.0, 5.0)
+        # Strict inequality at the threshold.
+        assert not r.all_below("x", 10.0, 5.0)
+
+    def test_all_below_one_spike_breaks_window(self):
+        pts = [(float(t), 10.0) for t in range(7)]
+        pts[3] = (3.0, 1000.0)
+        assert not reader_with(pts).all_below("x", 100.0, 5.0)
+
+    def test_ewma_constant_series_is_identity(self):
+        r = reader_with([(float(t), 42.0) for t in range(5)])
+        assert r.ewma("x", tau=1.0) == pytest.approx(42.0)
+
+    def test_ewma_converges_toward_recent_values(self):
+        pts = [(float(t), 0.0) for t in range(5)] + [
+            (float(t), 100.0) for t in range(5, 10)
+        ]
+        r = reader_with(pts)
+        est = r.ewma("x", tau=1.0)
+        assert 90.0 < est < 100.0
+        # A long time constant remembers the old regime more.
+        assert r.ewma("x", tau=10.0) < est
+
+    def test_ewma_respects_now_and_validates_tau(self):
+        r = reader_with([(0.0, 1.0), (1.0, 100.0)])
+        assert r.ewma("x", tau=1.0, now=0.5) == 1.0
+        assert r.ewma("x", tau=1.0, now=-1.0) is None
+        assert r.ewma("missing", tau=1.0) is None
+        with pytest.raises(ValueError):
+            r.ewma("x", tau=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Hysteresis
+# ---------------------------------------------------------------------------
+class TestHysteresis:
+    def test_rises_only_after_up_consecutive(self):
+        h = Hysteresis(up=3, down=1)
+        assert [h.update(True) for _ in range(3)] == [False, False, True]
+
+    def test_interrupted_streak_restarts(self):
+        h = Hysteresis(up=2, down=1)
+        assert not h.update(True)
+        assert not h.update(False)  # streak broken
+        assert not h.update(True)
+        assert h.update(True)
+
+    def test_falls_after_down_consecutive(self):
+        h = Hysteresis(up=2, down=2, initial=True)
+        assert h.update(False)
+        assert not h.update(False)
+
+    def test_reset(self):
+        h = Hysteresis(up=2, down=1, initial=True)
+        h.update(False)
+        h.reset(True)
+        assert h.state
+        assert not h.update(False)  # down=1 trips immediately after reset
+
+    def test_validates_counts(self):
+        with pytest.raises(ValueError):
+            Hysteresis(up=0)
+        with pytest.raises(ValueError):
+            Hysteresis(down=0)
+
+    @given(
+        noise=st.lists(st.booleans(), min_size=1, max_size=200),
+        up=st.integers(2, 5),
+        down=st.integers(1, 5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_single_noisy_sample_never_flips(self, noise, up, down):
+        """Anti-flap invariant: with up >= 2 and down >= 2 no isolated
+        sample (one observation disagreeing with both neighbours) changes
+        the state; with down == 1 an isolated False may drop the state but
+        an isolated True still never raises it."""
+        h = Hysteresis(up=up, down=max(down, 1))
+        prev_state = h.state
+        for i, raw in enumerate(noise):
+            isolated = (
+                (i == 0 or noise[i - 1] != raw)
+                and (i + 1 >= len(noise) or noise[i + 1] != raw)
+            )
+            state = h.update(raw)
+            if isolated and raw and not prev_state:
+                assert not state, "isolated True sample raised the state"
+            if isolated and not raw and prev_state and down >= 2:
+                assert state, "isolated False sample dropped the state"
+            prev_state = state
+
+    @given(seq=st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_steady_input_reaches_steady_state(self, seq):
+        h = Hysteresis(up=2, down=2)
+        for raw in seq:
+            h.update(raw)
+        final = seq[-1]
+        for _ in range(2):
+            h.update(final)
+        assert h.state == final
+
+
+# ---------------------------------------------------------------------------
+# AdmissionController on the shared sampler
+# ---------------------------------------------------------------------------
+class TestAdmissionLoop:
+    def make(self, **overrides):
+        cfg = FFSVAConfig(**overrides)
+        sampler = TimeSeriesSampler(interval=cfg.telemetry_sample_interval)
+        return AdmissionController(cfg, sampler=sampler), sampler
+
+    def test_no_internal_rate_window(self):
+        # The tentpole: all measurement state lives in the sampler.
+        ctrl, sampler = self.make()
+        assert ctrl.sampler is sampler
+        internal = [
+            k
+            for k, v in vars(ctrl).items()
+            if isinstance(v, (list, tuple)) and k != "decisions" and v
+        ]
+        assert internal == [], f"controller holds measurement state: {internal}"
+
+    def test_rate_stage_defaults_to_last_filter(self):
+        ctrl, _ = self.make()
+        assert ctrl.rate_stage == "tyolo"
+        assert ctrl.rate_series == "stage_fps[tyolo]"
+        ctrl_ref, _ = self.make(cascade="ref-only")
+        assert ctrl_ref.rate_stage == "ref"
+
+    def test_can_admit_reads_sampled_series(self):
+        ctrl, sampler = self.make()
+        for t in range(7):
+            sampler.observe("stage_fps[tyolo]", float(t), 100.0, force=True)
+        assert ctrl.can_admit()
+
+    def test_overloaded_reads_queue_gauges(self):
+        ctrl, sampler = self.make()
+        sampler.observe_many(1.0, {"queue_depth[snm[0]]": 3.0, "queue_depth[tyolo]": 1.0})
+        assert not ctrl.overloaded()
+        sampler.observe_many(2.0, {"queue_depth[tyolo]": 5.0}, force=True)
+        assert ctrl.overloaded()  # tyolo threshold is 2
+
+    def test_overloaded_ignores_unmonitored_queues(self):
+        ctrl, sampler = self.make()
+        # First (sdd) and terminal (ref) queues are not shed triggers.
+        sampler.observe_many(1.0, {"queue_depth[sdd]": 99.0, "queue_depth[ref]": 99.0})
+        assert not ctrl.overloaded()
+
+    def test_poll_transitions_and_hysteresis(self):
+        ctrl, sampler = self.make(admission_hysteresis=2)
+        for t in range(7):
+            sampler.observe("stage_fps[tyolo]", float(t), 100.0, force=True)
+        assert ctrl.poll(6.0) == "admit"
+        # One deep-queue sample: debounced, still admitting.
+        sampler.observe_many(
+            7.0, {"stage_fps[tyolo]": 100.0, "queue_depth[tyolo]": 50.0}, force=True
+        )
+        assert ctrl.poll(7.0) == "admit"
+        # Queue recovers before the second poll: no shed ever happens.
+        sampler.observe_many(
+            8.0, {"stage_fps[tyolo]": 100.0, "queue_depth[tyolo]": 0.0}, force=True
+        )
+        assert ctrl.poll(8.0) == "admit"
+        # Sustained overload for two polls trips the shed state.
+        sampler.observe_many(
+            9.0, {"stage_fps[tyolo]": 100.0, "queue_depth[tyolo]": 50.0}, force=True
+        )
+        ctrl.poll(9.0)
+        sampler.observe_many(
+            10.0, {"stage_fps[tyolo]": 100.0, "queue_depth[tyolo]": 50.0}, force=True
+        )
+        assert ctrl.poll(10.0) == "shed"
+        assert ctrl.decision_labels() == ["admit", "shed"]
+
+    def test_decisions_log_transitions_only(self):
+        ctrl, sampler = self.make()
+        for t in range(20):
+            sampler.observe("stage_fps[tyolo]", float(t), 100.0, force=True)
+            ctrl.poll(float(t))
+        assert ctrl.decision_labels() == ["admit"]
+        summary = ctrl.summary()
+        assert summary["state"] == "admit"
+        assert summary["rate_stage"] == "tyolo"
+        assert len(summary["decisions"]) == 1
+
+    def test_replay_determinism(self):
+        """Decisions are a pure function of the series: replaying one run's
+        sampled points into a fresh controller reproduces the transitions."""
+        ctrl, sampler = self.make(admission_hysteresis=2)
+        poll_times = []
+        for i in range(40):
+            t = i * 0.5
+            fps = 100.0 if i < 25 else 150.0
+            depth = 50.0 if 12 <= i < 18 else 0.0
+            sampler.observe_many(
+                t,
+                {"stage_fps[tyolo]": fps, "queue_depth[tyolo]": depth},
+                force=True,
+            )
+            poll_times.append(t)
+            ctrl.poll(t)
+        assert len(ctrl.decision_labels()) >= 2  # admit and shed both occurred
+
+        replay = TimeSeriesSampler(interval=0.05)
+        fresh = AdmissionController(FFSVAConfig(admission_hysteresis=2), sampler=replay)
+        recorded = sampler.to_dict()
+        for t in poll_times:
+            for name, data in recorded.items():
+                for pt, pv in zip(data["t"], data["v"]):
+                    if pt == t:
+                        replay.observe(name, pt, pv, force=True)
+            fresh.poll(t)
+        assert fresh.decision_labels() == ctrl.decision_labels()
+        assert [d["t"] for d in fresh.decisions] == [d["t"] for d in ctrl.decisions]
+
+    def test_observe_tyolo_rate_shim_feeds_series(self):
+        ctrl, sampler = self.make()
+        ctrl.observe_tyolo_rate(1.0, 123.0)
+        assert sampler.latest()["stage_fps[tyolo]"] == 123.0

@@ -218,6 +218,50 @@ class TestFusedSNM:
         assert t[0] == snms[0].t_pre(0.5)
         assert t[1] == snms[1].t_pre(0.5)
 
+    def test_stacked_weights_cached_across_calls(self):
+        fused = FusedSNM(_toy_snms(2))
+        stacked = fused.stacked
+        temps = fused.temps
+        t_pre = fused.t_pre(0.5)
+        # No member changed: repeated access returns the same objects.
+        assert fused.stacked is stacked
+        assert fused.temps is temps
+        assert fused.t_pre(0.5) is t_pre
+        assert not t_pre.flags.writeable
+
+    def test_member_version_bump_invalidates_cache(self):
+        snms = _toy_snms(2)
+        fused = FusedSNM(snms)
+        stacked = fused.stacked
+        old_t = fused.t_pre(0.5)
+        snms[0].calibrate_thresholds(
+            np.linspace(0, 1, 64, dtype=np.float32).reshape(-1, 1, 1)
+            * np.ones((64, 60, 80), dtype=np.float32),
+            np.arange(64) % 2 == 0,
+        )
+        assert fused.stacked is not stacked
+        assert fused.t_pre(0.5) is not old_t
+        assert fused.t_pre(0.5)[0] == snms[0].t_pre(0.5)
+
+    def test_mark_retrained_and_explicit_invalidate(self):
+        snms = _toy_snms(2)
+        fused = FusedSNM(snms)
+        stacked = fused.stacked
+        snms[1].mark_retrained()
+        rebuilt = fused.stacked
+        assert rebuilt is not stacked
+        fused.invalidate()
+        assert fused.stacked is not rebuilt
+        # Cached prediction path stays bit-identical after a rebuild.
+        rng = np.random.default_rng(9)
+        frames = rng.random((8, 60, 80), dtype=np.float32)
+        sidx = rng.integers(0, 2, size=8)
+        probs = fused.predict_proba(frames, sidx)
+        for k, snm in enumerate(snms):
+            sel = np.nonzero(sidx == k)[0]
+            if len(sel):
+                assert np.array_equal(probs[sel], snm.predict_proba(frames[sel]))
+
 
 # ---------------------------------------------------------------------------
 # process pool
