@@ -1,0 +1,184 @@
+"""Cluster serving-plane sweep: instances x streams under a skewed load.
+
+Runs the simulated cluster (:class:`repro.sim.ClusterSimulator` — virtual
+clocks, so the numbers are host-independent and the sweep is cheap) over
+fleets that cycle hot / idle / warm / idle streams, with the T-YOLO cost
+pinned so that any two hot-or-warm streams overload one instance but each
+alone fits.  Round-robin placement therefore concentrates load on the
+low-index instances and the router must shed/re-forward to finish.
+
+Per cell the sweep records the router's work (moves, vetoes, epochs), the
+virtual makespan, and the final per-instance offered-frame spread — the
+quantity the paper's Figure 6b balance experiment reports.  Shape
+assertions, not absolute numbers, gate the run:
+
+* frame conservation holds in every cell (offered == planned);
+* a single instance never moves anything (there is nowhere to go);
+* one stream per instance never moves anything (nothing may leave an
+  instance streamless);
+* every overloaded multi-instance cell re-forwards at least once.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_cluster            # full run
+    PYTHONPATH=src python -m benchmarks.bench_cluster --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+
+import numpy as np
+
+from repro.core import FFSVAConfig
+from repro.devices.costs import CostModel
+from repro.sim import ClusterSimulator
+
+from .common import print_table, record_bench
+
+sys.path.insert(0, str(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))))
+from tests.helpers import make_synth_trace  # noqa: E402
+
+#: Cumulative (sdd, snm, tyolo) survival fractions, cycled over the fleet.
+#: Two hot-or-warm streams exceed a 35 frames/s T-YOLO; each alone fits.
+PATTERN = (
+    ("hot", (0.95, 0.9, 0.4)),
+    ("idle", (0.05, 0.02, 0.01)),
+    ("warm", (0.55, 0.5, 0.2)),
+    ("idle", (0.05, 0.02, 0.01)),
+)
+
+SLOW_TYOLO = CostModel(tyolo_infer=1.0 / 35)
+
+#: (instances, streams) cells.  Cells where round-robin pairs two busy
+#: streams on instance 0 are expected to re-forward.
+CELLS = ((1, 4), (2, 4), (2, 8), (4, 4), (4, 8))
+
+
+def skewed_fleet(n_streams: int, n_frames: int):
+    return [
+        make_synth_trace(
+            n_frames,
+            *PATTERN[i % len(PATTERN)][1],
+            seed=1 + i,
+            stream_id=f"s{i}-{PATTERN[i % len(PATTERN)][0]}",
+        )
+        for i in range(n_streams)
+    ]
+
+
+def cluster_config(n_instances: int) -> FFSVAConfig:
+    return FFSVAConfig(
+        telemetry=True,
+        telemetry_sample_interval=0.02,
+        cluster_instances=n_instances,
+        cluster_reserve_slots=2,
+        router_epoch=0.25,
+        admission_depth_fraction=0.4,
+        admission_window=0.4,
+        admission_hysteresis=2,
+        admission_tyolo_fps=60.0,
+        stream_fps=30.0,
+    )
+
+
+def expect_moves(n_instances: int, n_streams: int) -> bool:
+    """Does round-robin pair two busy streams on some instance, with a
+    second stream left to keep the shedder non-empty and a target to admit?"""
+    if n_instances < 2 or n_streams // n_instances < 2:
+        return False
+    busy_per_inst0 = sum(
+        1
+        for i in range(0, n_streams, n_instances)
+        if PATTERN[i % len(PATTERN)][0] != "idle"
+    )
+    return busy_per_inst0 >= 2
+
+
+def run_cell(n_instances: int, n_streams: int, n_frames: int) -> dict:
+    traces = skewed_fleet(n_streams, n_frames)
+    sim = ClusterSimulator(traces, cluster_config(n_instances), SLOW_TYOLO)
+    res = sim.run()
+    planned = n_streams * n_frames
+    offered = [m.frames_offered for m in res.instances]
+    summary = sim.router.summary()
+    return {
+        "instances": n_instances,
+        "streams": n_streams,
+        "planned": planned,
+        "offered": offered,
+        "conserved": res.total_offered == planned,
+        "moves": len(res.moves),
+        "move_labels": [list(m) for m in res.moves],
+        "vetoed": summary["vetoed"],
+        "epochs": summary["epochs"],
+        "virtual_time": round(res.virtual_time, 2),
+        "spread": max(offered) - min(offered),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="CI smoke: fewer frames")
+    ap.add_argument("--out", default=None, help="override the BENCH_cluster.json path")
+    args = ap.parse_args(argv)
+    n_frames = 240 if args.quick else 600
+
+    cells, rows, failures = [], [], []
+    for n_instances, n_streams in CELLS:
+        cell = run_cell(n_instances, n_streams, n_frames)
+        cells.append(cell)
+        rows.append(
+            [
+                f"{n_instances}x{n_streams}",
+                cell["moves"],
+                cell["vetoed"],
+                cell["virtual_time"],
+                cell["spread"],
+                "yes" if cell["conserved"] else "NO",
+            ]
+        )
+        if not cell["conserved"]:
+            failures.append(
+                f"{n_instances}x{n_streams}: offered {sum(cell['offered'])} "
+                f"!= planned {cell['planned']}"
+            )
+        want_moves = expect_moves(n_instances, n_streams)
+        if want_moves and cell["moves"] == 0:
+            failures.append(f"{n_instances}x{n_streams}: overloaded but never moved")
+        if not want_moves and cell["moves"] > 0:
+            failures.append(
+                f"{n_instances}x{n_streams}: moved {cell['move_labels']} "
+                "with no legal shed available"
+            )
+
+    print_table(
+        f"cluster sweep, {n_frames} frames/stream (virtual clocks)",
+        ["inst x streams", "moves", "vetoed", "v-time", "spread", "conserved"],
+        rows,
+    )
+    if failures:
+        print(f"FAIL: {failures}", file=sys.stderr)
+        return 1
+
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+            "mode": "quick" if args.quick else "full",
+            "n_frames": n_frames,
+        },
+        "cells": cells,
+    }
+    path = record_bench("cluster", payload, path=args.out)
+    print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

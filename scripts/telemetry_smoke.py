@@ -11,7 +11,11 @@ every plane end to end:
 * ``RunMetrics`` round-trips through its JSON form;
 * the YOLOv2-everywhere baseline emits the same event schema and serves the
   same ``/metrics`` exposition over a real socket;
-* a long run segments into a rotated multi-file trace with a manifest;
+* a long run segments into a rotated multi-file trace with a manifest, and
+  the ``/traces`` endpoint serves those segments back by time range over a
+  real socket (retention-aware: rotated-out files are reported, not 500s);
+* two instances' ``/metrics`` aggregate into one labeled exposition whose
+  ``ffsva_cluster_*`` sums match the per-instance ledgers;
 * the CLI accepts ``--telemetry``/``--metrics-json``/``--trace-json`` and
   writes loadable artifacts.
 
@@ -143,6 +147,94 @@ def check_rotating_trace(tmp: Path) -> None:
     assert on_disk == manifest
     print(f"rotating trace: {len(segments)} segments, all <= {max_bytes} B — ok")
 
+    # /traces endpoint: the manifest, a time-ranged merge, and retention.
+    from repro.obs import TelemetryServer  # noqa: E402
+
+    server = TelemetryServer(
+        lambda: (RunMetrics(), Telemetry()), port=0, trace_dir=str(out)
+    ).start()
+    try:
+        served = json.loads(
+            urllib.request.urlopen(f"{server.url}/traces", timeout=5).read()
+        )
+        assert served["segments"] == segments
+        t0, t1 = segments[0]["t_start"], segments[0]["t_end"]
+        ranged = json.loads(
+            urllib.request.urlopen(
+                f"{server.url}/traces?t0={t0}&t1={t1}&merge=1", timeout=5
+            ).read()
+        )
+        assert ranged["segments"], "time range matched no segments"
+        assert ranged["traceEvents"], "merged trace is empty"
+        assert ranged["missing"] == []
+        # Simulate retention: delete the oldest segment file and re-query.
+        (out / segments[0]["file"]).unlink()
+        ranged = json.loads(
+            urllib.request.urlopen(
+                f"{server.url}/traces?t0=0&t1=1e9", timeout=5
+            ).read()
+        )
+        assert ranged["missing"] == [segments[0]["file"]]
+    finally:
+        server.stop()
+    print("traces endpoint: manifest, time-range merge, retention — ok")
+
+
+def check_aggregated_metrics(tmp: Path) -> None:
+    """Two instance endpoints roll up into one cluster exposition."""
+    from repro.obs import (  # noqa: E402
+        ClusterMetricsServer,
+        MetricsAggregator,
+        TelemetryServer,
+        parse_prometheus,
+    )
+
+    config = FFSVAConfig(telemetry=True)
+    runs = []
+    for seed in (3, 5):
+        telemetry = Telemetry.from_config(config)
+        trace = workload_trace(jackson(), N_FRAMES, tor=0.3, seed=seed)
+        metrics = PipelineSimulator(
+            [trace], config, online=False, telemetry=telemetry
+        ).run()
+        runs.append((metrics, telemetry))
+
+    servers = [
+        TelemetryServer(lambda m=m, t=t: (m, t), port=0).start() for m, t in runs
+    ]
+    try:
+        aggregator = MetricsAggregator(
+            {str(i): s.url for i, s in enumerate(servers)}
+        )
+        with ClusterMetricsServer(aggregator, port=0) as cluster:
+            text = urllib.request.urlopen(
+                f"{cluster.url}/metrics", timeout=5
+            ).read().decode()
+            instances = json.loads(
+                urllib.request.urlopen(f"{cluster.url}/instances", timeout=5).read()
+            )
+        assert instances["errors"] == {}, instances["errors"]
+        samples = parse_prometheus(text)
+        per_instance = {
+            labels["instance"]: value
+            for name, labels, value in samples
+            if name == "ffsva_frames_offered_total"
+        }
+        for i, (metrics, _) in enumerate(runs):
+            assert per_instance[str(i)] == metrics.frames_offered
+        sums = [v for n, _, v in samples if n == "ffsva_cluster_frames_offered_total"]
+        expected = float(sum(m.frames_offered for m, _ in runs))
+        assert sums == [expected], f"cluster sum {sums} != {expected}"
+        errors = [v for n, _, v in samples if n == "ffsva_cluster_scrape_errors_total"]
+        assert errors == [0.0]
+    finally:
+        for s in servers:
+            s.stop()
+    print(
+        f"aggregated metrics: {len(servers)} instances, cluster sum "
+        f"{int(expected)} frames — ok"
+    )
+
 
 def check_cli(tmp: Path) -> None:
     metrics_path = tmp / "metrics.json"
@@ -165,6 +257,7 @@ def main() -> int:
         check_simulator_run(tmp)
         check_baseline_run(tmp)
         check_rotating_trace(tmp)
+        check_aggregated_metrics(tmp)
         check_cli(tmp)
     print("telemetry smoke: all checks passed")
     return 0

@@ -173,6 +173,33 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("plan", help="analytic capacity plan for a workload")
     _add_stream_args(p)
     _add_config_args(p)
+
+    p = sub.add_parser(
+        "cluster",
+        help="N pipeline instances behind a live stream router (shed/re-forward)",
+    )
+    _add_stream_args(p)
+    _add_config_args(p)
+    p.add_argument("--streams", type=int, default=4)
+    p.add_argument("--instances", type=int, default=2)
+    p.add_argument(
+        "--mode", choices=["sim", "threaded"], default="sim",
+        help="sim: virtual-clock ClusterSimulator over workload traces; "
+             "threaded: real forked pipeline instances (trains models first)",
+    )
+    p.add_argument("--router-epoch", type=float, default=0.25, metavar="SECONDS")
+    p.add_argument(
+        "--depth-fraction", type=float, default=0.5,
+        help="admission_depth_fraction: queue fill fraction that arms the "
+             "overload signal (1.0 can never trip on bounded queues)",
+    )
+    p.add_argument("--reserve-slots", type=int, default=2)
+    p.add_argument(
+        "--admission-fps", type=float, default=140.0,
+        help="rate-stage FPS threshold below which an instance can admit",
+    )
+    p.add_argument("--train-frames", type=int, default=200,
+                   help="training frames per stream (threaded mode)")
     return parser
 
 
@@ -316,12 +343,65 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    config = _config_from(args).with_(
+        telemetry=True,
+        cluster_instances=args.instances,
+        router_epoch=args.router_epoch,
+        admission_depth_fraction=args.depth_fraction,
+        cluster_reserve_slots=args.reserve_slots,
+        admission_tyolo_fps=args.admission_fps,
+    )
+    moves: list
+    if args.mode == "sim":
+        from .sim.cluster import ClusterSimulator
+
+        base = workload_trace(
+            _WORKLOADS[args.workload](), args.frames, tor=args.tor, seed=args.seed
+        )
+        traces = [
+            base.rotated(997 * i).renamed(f"stream-{i}") for i in range(args.streams)
+        ]
+        result = ClusterSimulator(traces, config, online=True).run()
+        metrics, moves = result.instances, result.moves
+        print(f"simulated cluster: {args.instances} instance(s), "
+              f"{args.streams} stream(s), virtual time {result.virtual_time:.2f}s")
+    else:
+        from .runtime.cluster import ClusterSupervisor
+
+        spec = _WORKLOADS[args.workload]()
+        streams = [
+            make_stream(spec, args.frames, tor=args.tor, seed=args.seed + i)
+            for i in range(args.streams)
+        ]
+        zoo = ModelZoo()
+        for s in streams:
+            zoo.train_for_stream(s, n_train_frames=args.train_frames)
+        result = ClusterSupervisor(streams, zoo, config).run(args.frames, online=True)
+        metrics, moves = result.instances, result.moves
+        print(f"threaded cluster: {args.instances} instance(s), "
+              f"{args.streams} stream(s)")
+    for i, m in enumerate(metrics):
+        print(f"  instance {i}: streams {m.n_streams}  offered {m.frames_offered}  "
+              f"ingested {m.frames_ingested}  to-ref {m.frames_to_ref}")
+    if moves:
+        for stream, src, dst in moves:
+            print(f"  re-forwarded {stream}: instance {src} -> {dst}")
+    else:
+        print("  no shed/re-forward was needed")
+    total = sum(m.frames_offered for m in metrics)
+    print(f"  cluster total: {total} frames offered across "
+          f"{sum(m.n_streams for m in metrics)} placements")
+    return 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "train": _cmd_train,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
     "plan": _cmd_plan,
+    "cluster": _cmd_cluster,
 }
 
 

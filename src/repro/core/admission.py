@@ -19,13 +19,22 @@ the simulator, and any offline replay of a recorded series all make the
 *same* decision from the same data (the closed loop).
 :func:`max_realtime_streams` searches for the largest stream count an
 instance sustains in real time — the quantity Figures 3, 4, and 6a report.
-:class:`InstanceGroup` applies the re-forwarding rule across several
-simulated instances.
+
+The *cluster policy core* lives here too, deliberately free of any runtime
+machinery so the threaded serving plane (``repro.runtime.router``), the
+simulated one (``repro.sim.cluster``), and the offline
+:class:`InstanceGroup` all share one decision function:
+:func:`pick_move` maps a vector of :class:`InstanceView` reports to at most
+one :class:`Move` per epoch, and :func:`estimate_headroom` turns a sampled
+rate series into the spare-capacity scalar those views carry (via
+:meth:`~repro.obs.control.SignalReader.ewma`, so irregular sampling
+intervals are weighted correctly).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
 
 from ..obs.control import Hysteresis, SignalReader
 from ..obs.sampler import TimeSeriesSampler
@@ -33,7 +42,15 @@ from .config import FFSVAConfig
 from .metrics import RunMetrics
 from .trace import FrameTrace
 
-__all__ = ["AdmissionController", "max_realtime_streams", "InstanceGroup"]
+__all__ = [
+    "AdmissionController",
+    "max_realtime_streams",
+    "InstanceGroup",
+    "InstanceView",
+    "Move",
+    "pick_move",
+    "estimate_headroom",
+]
 
 
 class AdmissionController:
@@ -77,6 +94,7 @@ class AdmissionController:
         # runtimes' ``stage[i]`` / ``stage`` forms.
         self._monitored = {
             spec.name: self.config.queue_depth(spec.depth_key)
+            * self.config.admission_depth_fraction
             for spec in graph
             if spec.name != graph.first.name and not spec.terminal
         }
@@ -196,12 +214,94 @@ def max_realtime_streams(
     return lo, runs
 
 
+# ---------------------------------------------------------------------------
+# cluster policy core (pure; shared by runtime.router, sim.cluster, and
+# InstanceGroup)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InstanceView:
+    """One instance's state as the router sees it at an epoch boundary.
+
+    ``state`` is the instance's admission state (``admit``/``hold``/
+    ``shed``), ``headroom`` its spare-capacity estimate (higher = more
+    spare; only the relative order matters to the policy), and ``costs``
+    maps each *re-forwardable* stream to its observed expense (frames that
+    passed the first filter, in the live runtimes).  Streams that already
+    delivered every frame must not appear in ``costs``.
+    """
+
+    state: str
+    headroom: float
+    costs: Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class Move:
+    """One re-forwarding decision: ``stream`` leaves ``src`` for ``dst``."""
+
+    stream: str
+    src: int
+    dst: int
+
+
+def pick_move(views: Sequence[InstanceView]) -> Move | None:
+    """The paper's re-forwarding rule as a pure function of instance views.
+
+    At most one move per epoch: the most-pressed overloaded instance (state
+    ``shed``, more than one live stream, lowest headroom — ties to the
+    lowest index) sheds its most expensive stream (ties to the smallest
+    stream id) to the spare-capacity instance (state ``admit``) with the
+    most headroom (ties to the lowest index).  Returns ``None`` when no
+    instance is shedding, the shedder serves a single stream (nothing may
+    leave an instance streamless), or nowhere reports spare capacity.
+    """
+    sources = [
+        i for i, v in enumerate(views) if v.state == "shed" and len(v.costs) > 1
+    ]
+    if not sources:
+        return None
+    src = min(sources, key=lambda i: (views[i].headroom, i))
+    targets = [i for i, v in enumerate(views) if i != src and v.state == "admit"]
+    if not targets:
+        return None
+    dst = min(targets, key=lambda i: (-views[i].headroom, i))
+    costs = views[src].costs
+    stream = min(costs, key=lambda sid: (-costs[sid], sid))
+    return Move(stream=stream, src=src, dst=dst)
+
+
+def estimate_headroom(
+    reader: SignalReader,
+    config: FFSVAConfig,
+    rate_series: str,
+    *,
+    now: float | None = None,
+) -> float:
+    """Spare rate capacity of one instance, from its sampled series.
+
+    The admission threshold minus the EWMA-smoothed observed rate of the
+    rate stage (T-YOLO in the paper's cascade): an instance running well
+    under the "140 FPS" level has headroom in proportion.  The EWMA's time
+    constant is the admission window, and its irregular-interval weighting
+    means sampler decimation cannot bias the estimate.  No samples yet —
+    or a rate at/over the threshold — mean zero claimed headroom.
+    """
+    rate = reader.ewma(rate_series, config.admission_window, now)
+    if rate is None:
+        return 0.0
+    return max(0.0, config.admission_tyolo_fps - rate)
+
+
 class InstanceGroup:
     """A set of FFS-VA instances with re-forwarding between them.
 
     The group assigns streams greedily and applies the paper's rules after
     each evaluation epoch: overloaded instances shed their most expensive
-    stream to the instance with the most headroom.
+    stream to the instance with the most headroom.  The decision itself is
+    :func:`pick_move` over ingest-ratio views — the same policy core the
+    live cluster router and the simulated cluster run every epoch.
     """
 
     def __init__(
@@ -228,28 +328,39 @@ class InstanceGroup:
             self.run_instance(traces) if traces else RunMetrics(n_streams=0)
             for traces in self.assignments
         ]
-        # Ingest ratio is the headroom signal (1.0 = keeping up).
+        # Ingest ratio is the headroom signal (1.0 = keeping up).  Ratios
+        # map onto admission states: an instance dropping >2% of its input
+        # is shedding, one ingesting everything has spare capacity, and
+        # the band between is "hold".  Stream cost is the assignment
+        # position, so the most expensive stream is the most recently
+        # placed one — the paper re-forwards the stream whose addition
+        # tipped the instance over.
         ratios = [
             (m.frames_ingested / m.frames_offered) if m.frames_offered else 1.0
             for m in results
         ]
-        worst = min(range(len(ratios)), key=lambda i: ratios[i])
-        best = max(range(len(ratios)), key=lambda i: ratios[i])
+        views = [
+            InstanceView(
+                state="shed" if r < 0.98 else ("admit" if r >= 0.999 else "hold"),
+                headroom=r,
+                costs={tr.stream_id: pos for pos, tr in enumerate(traces)},
+            )
+            for r, traces in zip(ratios, self.assignments)
+        ]
+        move = pick_move(views)
         moved = None
-        if (
-            ratios[worst] < 0.98
-            and ratios[best] >= 0.999
-            and len(self.assignments[worst]) > 1
-            and worst != best
-        ):
-            moved = self.assignments[worst].pop()
-            self.assignments[best].append(moved)
+        if move is not None:
+            src = self.assignments[move.src]
+            moved = src.pop(
+                next(i for i, tr in enumerate(src) if tr.stream_id == move.stream)
+            )
+            self.assignments[move.dst].append(moved)
         self.history.append(
             {
                 "ratios": ratios,
                 "moved": None if moved is None else moved.stream_id,
-                "from": worst if moved is not None else None,
-                "to": best if moved is not None else None,
+                "from": move.src if moved is not None else None,
+                "to": move.dst if moved is not None else None,
             }
         )
         return results

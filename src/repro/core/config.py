@@ -79,6 +79,33 @@ class FFSVAConfig:
     # (and a single calm sweep clears it).  >= 2 means one noisy queue-depth
     # sample can never flap a shed decision.
     admission_hysteresis: int = 2
+    # Fraction of a queue's depth threshold at which the overload signal
+    # arms.  At the default 1.0 a queue must exceed its full threshold —
+    # which a *bounded* queue (capacity == threshold) can never do, so the
+    # paper's re-forwarding rule only fires under static (unbounded)
+    # batching.  Cluster configs lower this so a bounded queue sitting near
+    # capacity counts as overload and a live shed can actually trip.
+    admission_depth_fraction: float = 1.0
+
+    # --- cluster serving plane (repro.runtime.cluster) -------------------
+    # Pipeline instances the ClusterSupervisor forks; each runs the full
+    # threaded engine on its assigned streams.
+    cluster_instances: int = 2
+    # Seconds between router control epochs (wall seconds for the threaded
+    # cluster, virtual seconds for the simulated one).  Each epoch polls
+    # every instance and applies at most one shed/re-forward move.
+    router_epoch: float = 1.0
+    # TCP port for the supervisor's instance control channel; None or 0
+    # binds an ephemeral local port.
+    router_port: int | None = None
+    # Extra single-use stream slots each instance pre-builds so a stream
+    # can be re-forwarded *to* it mid-run (queues and workers must exist
+    # before the run starts; a used slot is not recycled).
+    cluster_reserve_slots: int = 2
+    # Frames the shedding instance renders into the shared-memory handoff
+    # plane so the receiving instance starts without re-rendering the
+    # frames that were already in flight at the boundary.
+    cluster_handoff_window: int = 8
 
     # Frames per second each live stream delivers.
     stream_fps: float = 30.0
@@ -143,6 +170,18 @@ class FFSVAConfig:
                 raise ValueError(f"queue depth for {key!r} must be >= 1")
         if self.admission_hysteresis < 1:
             raise ValueError("admission_hysteresis must be >= 1")
+        if not 0.0 < self.admission_depth_fraction <= 1.0:
+            raise ValueError("admission_depth_fraction must be in (0, 1]")
+        if self.cluster_instances < 1:
+            raise ValueError("cluster_instances must be >= 1")
+        if self.router_epoch <= 0:
+            raise ValueError("router_epoch must be positive")
+        if self.router_port is not None and not 0 <= self.router_port <= 65535:
+            raise ValueError("router_port must be in [0, 65535] or None")
+        if self.cluster_reserve_slots < 0:
+            raise ValueError("cluster_reserve_slots must be >= 0")
+        if self.cluster_handoff_window < 0:
+            raise ValueError("cluster_handoff_window must be >= 0")
         if self.stream_fps <= 0:
             raise ValueError("stream_fps must be positive")
         if self.telemetry_port is not None and not 0 <= self.telemetry_port <= 65535:

@@ -27,7 +27,15 @@ import threading as _threading
 
 from .bus import EVENT_KINDS, NULL_BUS, EventBus, NullBus, TelemetryEvent
 from .control import Hysteresis, SignalReader
-from .export import METRIC_FAMILIES, TelemetryServer, render_prometheus, snapshot_json
+from .export import (
+    METRIC_FAMILIES,
+    ClusterMetricsServer,
+    MetricsAggregator,
+    TelemetryServer,
+    parse_prometheus,
+    render_prometheus,
+    snapshot_json,
+)
 from .hist import DEFAULT_BUCKETS, LatencyHistogram
 from .sampler import Series, TimeSeriesSampler
 from .trace import (
@@ -62,7 +70,10 @@ __all__ = [
     "METRIC_FAMILIES",
     "render_prometheus",
     "snapshot_json",
+    "parse_prometheus",
     "TelemetryServer",
+    "MetricsAggregator",
+    "ClusterMetricsServer",
     "Telemetry",
 ]
 
@@ -145,10 +156,16 @@ class Telemetry:
     def snapshot(self, metrics=None) -> dict:
         return snapshot_json(metrics, self)
 
-    def serve(self, metrics_provider, port: int = 0) -> TelemetryServer:
+    def serve(
+        self, metrics_provider, port: int = 0, *, trace_dir: str | None = None
+    ) -> TelemetryServer:
         """Start an HTTP endpoint exposing this telemetry (caller stops it).
 
         ``metrics_provider`` is a zero-argument callable returning the
-        current :class:`~repro.core.metrics.RunMetrics` (or None).
+        current :class:`~repro.core.metrics.RunMetrics` (or None).  With
+        ``trace_dir``, the endpoint also serves that directory's rotating
+        trace segments under ``/traces``.
         """
-        return TelemetryServer(lambda: (metrics_provider(), self), port=port).start()
+        return TelemetryServer(
+            lambda: (metrics_provider(), self), port=port, trace_dir=trace_dir
+        ).start()

@@ -10,7 +10,17 @@ the runtimes, so scraping *during* a run observes the run in progress.
 
 * ``GET /metrics``  — Prometheus text format 0.0.4;
 * ``GET /snapshot`` — the full JSON snapshot (metrics, time-series, bus
-  statistics).
+  statistics);
+* ``GET /traces``   — with ``trace_dir`` set, rotating-trace segments by
+  time range (retention-aware: the ``manifest.json`` is re-read per
+  request, so rotated-out segments disappear from listings).
+
+The cluster layer adds a second surface: :class:`MetricsAggregator`
+scrapes several instances' ``/metrics`` and :class:`ClusterMetricsServer`
+re-exposes them as **one** exposition where every sample carries an
+``instance`` label plus ``ffsva_cluster_*`` sums over the registered
+counter families.  :func:`parse_prometheus` is the (own-format) text
+parser both the aggregator and the smoke checks use.
 
 No third-party client library is required on either side.
 """
@@ -18,15 +28,21 @@ No third-party client library is required on either side.
 from __future__ import annotations
 
 import json
+import os
 import threading
+import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
 
 __all__ = [
     "METRIC_FAMILIES",
     "family_names",
     "render_prometheus",
     "snapshot_json",
+    "parse_prometheus",
     "TelemetryServer",
+    "MetricsAggregator",
+    "ClusterMetricsServer",
 ]
 
 _PREFIX = "ffsva"
@@ -250,23 +266,142 @@ def snapshot_json(metrics=None, telemetry=None) -> dict:
     return snap
 
 
+def parse_prometheus(text: str) -> list[tuple[str, dict, float]]:
+    """Parse *our own* exposition format back into ``(name, labels, value)``.
+
+    Deliberately minimal — it round-trips what :func:`render_prometheus`
+    (and :class:`MetricsAggregator`) emit, which is all the aggregator and
+    the smoke checks need.  Comment lines are skipped; labels come back as
+    a plain dict.
+    """
+    samples: list[tuple[str, dict, float]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, value = line.rpartition(" ")
+        labels: dict = {}
+        if head.endswith("}"):
+            name, _, inner = head.partition("{")
+            for part in _split_labels(inner[:-1]):
+                k, _, v = part.partition("=")
+                labels[k] = v.strip('"').replace('\\"', '"').replace("\\\\", "\\")
+        else:
+            name = head
+        samples.append((name, labels, float(value)))
+    return samples
+
+
+def _split_labels(inner: str) -> list[str]:
+    """Split ``k1="v1",k2="v2"`` on commas outside quoted values."""
+    parts, buf, quoted, prev = [], [], False, ""
+    for ch in inner:
+        if ch == '"' and prev != "\\":
+            quoted = not quoted
+        if ch == "," and not quoted:
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+        prev = ch
+    if buf:
+        parts.append("".join(buf))
+    return [p for p in parts if p]
+
+
+def _load_manifest(trace_dir: str) -> dict | None:
+    path = os.path.join(trace_dir, "manifest.json")
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def _traces_reply(trace_dir: str, query: dict) -> tuple[int, str, bytes]:
+    """Build the ``/traces`` response: manifest or time-ranged segment set.
+
+    ``?t0=&t1=`` selects segments overlapping ``[t0, t1]``; segments named
+    in the manifest but already rotated off disk are reported under
+    ``"missing"`` instead of erroring (retention-aware).  ``&merge=1``
+    additionally concatenates the surviving segments' ``traceEvents`` into
+    one trace object.
+    """
+    manifest = _load_manifest(trace_dir)
+    if manifest is None:
+        return 404, "application/json", b'{"error": "no trace manifest"}'
+    if "t0" not in query and "t1" not in query:
+        return 200, "application/json", json.dumps(manifest).encode()
+    t0 = float(query.get("t0", ["-inf"])[0])
+    t1 = float(query.get("t1", ["inf"])[0])
+    selected = [
+        seg
+        for seg in manifest.get("segments", [])
+        if seg["t_end"] >= t0 and seg["t_start"] <= t1
+    ]
+    out: dict = {"t0": t0, "t1": t1, "segments": [], "missing": []}
+    merged: list = []
+    for seg in selected:
+        path = os.path.join(trace_dir, seg["file"])
+        if not os.path.exists(path):
+            out["missing"].append(seg["file"])
+            continue
+        out["segments"].append(seg)
+        if query.get("merge", ["0"])[0] == "1":
+            try:
+                with open(path) as fh:
+                    merged.extend(json.load(fh).get("traceEvents", []))
+            except (OSError, ValueError):
+                out["missing"].append(seg["file"])
+    if query.get("merge", ["0"])[0] == "1":
+        out["traceEvents"] = merged
+    return 200, "application/json", json.dumps(out).encode()
+
+
+def _trace_segment_reply(trace_dir: str, filename: str) -> tuple[int, str, bytes]:
+    """Serve one raw segment, but only names the manifest vouches for."""
+    manifest = _load_manifest(trace_dir)
+    known = (
+        {seg["file"] for seg in manifest.get("segments", [])} if manifest else set()
+    )
+    if filename not in known:
+        return 404, "application/json", b'{"error": "unknown segment"}'
+    path = os.path.join(trace_dir, filename)
+    try:
+        with open(path, "rb") as fh:
+            return 200, "application/json", fh.read()
+    except OSError:
+        return 410, "application/json", b'{"error": "segment rotated out"}'
+
+
 class TelemetryServer:
-    """Stdlib HTTP endpoint exposing ``/metrics`` and ``/snapshot``.
+    """Stdlib HTTP endpoint exposing ``/metrics``, ``/snapshot``, ``/traces``.
 
     ``provider`` is a zero-argument callable returning the current
     ``(metrics, telemetry)`` pair; it is invoked per request so scrapes see
     live state.  ``port=0`` binds an ephemeral port (see :attr:`port`).
+    With ``trace_dir`` set, ``/traces`` serves that directory's
+    :class:`~repro.obs.trace.RotatingTraceWriter` output by time range.
     """
 
-    def __init__(self, provider, port: int = 0, host: str = "127.0.0.1"):
+    def __init__(
+        self,
+        provider,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        *,
+        trace_dir: str | None = None,
+    ):
         self._provider = provider
         self._requested = (host, port)
+        self._trace_dir = trace_dir
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "TelemetryServer":
         provider = self._provider
+        trace_dir = self._trace_dir
 
         class Handler(BaseHTTPRequestHandler):
             def log_message(self, fmt, *args):  # keep scrapes silent
@@ -280,15 +415,22 @@ class TelemetryServer:
                 self.wfile.write(body)
 
             def do_GET(self):
-                metrics, telemetry = provider()
-                if self.path.split("?")[0] == "/metrics":
+                parsed = urlparse(self.path)
+                route = parsed.path
+                if route == "/metrics":
+                    metrics, telemetry = provider()
                     body = render_prometheus(metrics, telemetry).encode()
                     self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
-                elif self.path.split("?")[0] == "/snapshot":
+                elif route == "/snapshot":
+                    metrics, telemetry = provider()
                     body = json.dumps(snapshot_json(metrics, telemetry)).encode()
                     self._send(200, "application/json", body)
+                elif route == "/traces" and trace_dir is not None:
+                    self._send(*_traces_reply(trace_dir, parse_qs(parsed.query)))
+                elif route.startswith("/traces/") and trace_dir is not None:
+                    self._send(*_trace_segment_reply(trace_dir, route[len("/traces/"):]))
                 else:
-                    self._send(404, "text/plain", b"try /metrics or /snapshot\n")
+                    self._send(404, "text/plain", b"try /metrics, /snapshot, /traces\n")
 
         self._httpd = ThreadingHTTPServer(self._requested, Handler)
         self._thread = threading.Thread(
@@ -313,6 +455,174 @@ class TelemetryServer:
         self.stop()
 
     # -- addressing ----------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, _ = self._requested
+        return f"http://{host}:{self.port}"
+
+
+# ---------------------------------------------------------------------------
+# cluster aggregation
+# ---------------------------------------------------------------------------
+
+#: Counter families the aggregator additionally sums across instances into
+#: ``ffsva_cluster_<family>`` series (kept out of METRIC_FAMILIES so the
+#: dashboard plane's per-run catalog does not grow cluster-only names).
+_CLUSTER_SUMMED = (
+    "frames_offered_total",
+    "frames_ingested_total",
+    "frames_to_ref_total",
+    "stage_frames_entered_total",
+    "stage_frames_passed_total",
+    "stage_frames_filtered_total",
+)
+
+
+class MetricsAggregator:
+    """Scrape several instances' ``/metrics`` into one labeled exposition.
+
+    ``targets`` maps an instance label to its metrics URL.  :meth:`render`
+    re-emits every scraped sample with an ``instance`` label injected and
+    appends cluster-wide sums for the frame/stage counter families, so one
+    scrape answers both "what is instance 2 doing" and "what has the
+    cluster processed".  Unreachable instances are reported via
+    ``ffsva_cluster_scrape_errors_total`` rather than failing the scrape.
+    """
+
+    def __init__(self, targets: dict[str, str], timeout: float = 5.0):
+        self.targets = dict(targets)
+        self.timeout = timeout
+        self.errors: dict[str, str] = {}
+
+    def scrape(self) -> dict[str, list[tuple[str, dict, float]]]:
+        """Fetch and parse every target; errors are recorded, not raised."""
+        out: dict[str, list[tuple[str, dict, float]]] = {}
+        self.errors = {}
+        for label, url in self.targets.items():
+            try:
+                with urllib.request.urlopen(
+                    url.rstrip("/") + "/metrics", timeout=self.timeout
+                ) as resp:
+                    out[label] = parse_prometheus(resp.read().decode())
+            except Exception as exc:  # noqa: BLE001 - any scrape failure counts
+                self.errors[label] = repr(exc)
+        return out
+
+    def render(self) -> str:
+        """One exposition: per-instance samples plus cluster sums."""
+        per_instance = self.scrape()
+        lines: list[str] = []
+        sums: dict[tuple[str, tuple], float] = {}
+        for label in sorted(per_instance):
+            for name, labels, value in per_instance[label]:
+                inner = ",".join(
+                    f'{k}="{_escape(str(v))}"'
+                    for k, v in sorted({**labels, "instance": label}.items())
+                )
+                lines.append(f"{name}{{{inner}}} {value:g}")
+                short = name[len(_PREFIX) + 1:] if name.startswith(f"{_PREFIX}_") else name
+                if short in _CLUSTER_SUMMED:
+                    key = (short, tuple(sorted(labels.items())))
+                    sums[key] = sums.get(key, 0.0) + value
+        for short in _CLUSTER_SUMMED:
+            keyed = {k: v for k, v in sums.items() if k[0] == short}
+            if not keyed:
+                continue
+            lines.append(
+                f"# HELP {_PREFIX}_cluster_{short} Sum of {_PREFIX}_{short} over instances."
+            )
+            lines.append(f"# TYPE {_PREFIX}_cluster_{short} counter")
+            for (name, labelkey), value in sorted(keyed.items()):
+                if labelkey:
+                    inner = ",".join(
+                        f'{k}="{_escape(str(v))}"' for k, v in labelkey
+                    )
+                    lines.append(f"{_PREFIX}_cluster_{name}{{{inner}}} {value:g}")
+                else:
+                    lines.append(f"{_PREFIX}_cluster_{name} {value:g}")
+        lines.append(
+            f"# HELP {_PREFIX}_cluster_scrape_errors_total Instances whose last scrape failed."
+        )
+        lines.append(f"# TYPE {_PREFIX}_cluster_scrape_errors_total gauge")
+        lines.append(f"{_PREFIX}_cluster_scrape_errors_total {len(self.errors)}")
+        return "\n".join(lines) + "\n"
+
+    def instances_json(self) -> dict:
+        return {
+            "targets": dict(self.targets),
+            "errors": dict(self.errors),
+        }
+
+
+class ClusterMetricsServer:
+    """HTTP surface for a :class:`MetricsAggregator`.
+
+    * ``GET /metrics``   — the aggregated exposition (scraped live);
+    * ``GET /instances`` — the target map and last scrape errors as JSON.
+    """
+
+    def __init__(self, aggregator: MetricsAggregator, port: int = 0, host: str = "127.0.0.1"):
+        self._aggregator = aggregator
+        self._requested = (host, port)
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "ClusterMetricsServer":
+        aggregator = self._aggregator
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):
+                pass
+
+            def _send(self, status: int, content_type: str, body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self):
+                route = urlparse(self.path).path
+                if route == "/metrics":
+                    body = aggregator.render().encode()
+                    self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
+                elif route == "/instances":
+                    self._send(
+                        200,
+                        "application/json",
+                        json.dumps(aggregator.instances_json()).encode(),
+                    )
+                else:
+                    self._send(404, "text/plain", b"try /metrics or /instances\n")
+
+        self._httpd = ThreadingHTTPServer(self._requested, Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="cluster-metrics-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    def __enter__(self) -> "ClusterMetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
     @property
     def port(self) -> int:
         if self._httpd is None:

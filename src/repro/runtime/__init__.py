@@ -1,6 +1,17 @@
 """Threaded FFS-VA runtime with real model inference."""
 
+from .cluster import ClusterResult, ClusterSupervisor
 from .engine import FrameOutcome, ThreadedPipeline
 from .procpool import PoolStats, ProcPool
+from .router import InstanceReport, StreamRouter
 
-__all__ = ["ThreadedPipeline", "FrameOutcome", "ProcPool", "PoolStats"]
+__all__ = [
+    "ThreadedPipeline",
+    "FrameOutcome",
+    "ProcPool",
+    "PoolStats",
+    "StreamRouter",
+    "InstanceReport",
+    "ClusterSupervisor",
+    "ClusterResult",
+]

@@ -86,12 +86,53 @@ class _Work:
 
 @dataclass
 class _StreamCtx:
-    stream: VideoStream
-    bundle: object
+    stream: VideoStream | None
+    bundle: object | None
+
+
+@dataclass
+class _Feed:
+    """Control block for one stream slot's prefetcher.
+
+    ``start``/``count`` bound the frame range this slot offers (global
+    stream indices ``[start, start + count)``); ``offered`` counts frames
+    that actually received a disposition path (admitted, dropped, or
+    aborted).  Setting ``stop`` asks the prefetcher to halt at the next
+    frame boundary; ``boundary`` is set once the prefetcher has left its
+    loop, at which point ``start + offered`` is the exact handoff index —
+    no frame before it can ever be offered elsewhere, no frame at or after
+    it was offered here.
+    """
+
+    start: int
+    count: int
+    preloaded: list | None = None  # handoff-window pixels for leading frames
+    offered: int = 0
+    stop: threading.Event = None  # type: ignore[assignment]
+    boundary: threading.Event = None  # type: ignore[assignment]
+
+    def __post_init__(self):
+        self.stop = threading.Event()
+        self.boundary = threading.Event()
+
+    @property
+    def active(self) -> bool:
+        """Still offering frames here (re-forwardable)."""
+        return not self.stop.is_set() and self.offered < self.count
 
 
 class ThreadedPipeline:
-    """Run a stage graph end-to-end with real inference on a set of streams."""
+    """Run a stage graph end-to-end with real inference on a set of streams.
+
+    With ``reserve_slots > 0`` the pipeline becomes a *cluster instance*:
+    it pre-builds that many extra single-use stream slots (queues and
+    per-stream workers must exist before any thread starts), so a stream
+    can be attached mid-run via :meth:`attach_stream` after another
+    instance detached it at a frame boundary with :meth:`detach_stream`.
+    In that mode :meth:`run` does not return until :meth:`seal` closes the
+    never-used slots — the supervisor seals once every frame in the cluster
+    has an outcome.
+    """
 
     def __init__(
         self,
@@ -101,8 +142,10 @@ class ThreadedPipeline:
         placement: Placement | None = None,
         graph: StageGraph | str | None = None,
         telemetry: Telemetry | None = None,
+        *,
+        reserve_slots: int = 0,
     ):
-        if not streams:
+        if not streams and reserve_slots <= 0:
             raise ValueError("need at least one stream")
         for s in streams:
             if s.stream_id not in zoo:
@@ -114,8 +157,16 @@ class ThreadedPipeline:
         self.graph = cascade(graph) if graph is not None else cfg.graph()
         self.zoo = zoo
         self.placement = placement or ffs_va_placement()
+        if reserve_slots:
+            # Process pools and fused evaluators capture the bundle roster at
+            # fork/build time, before a mid-run attach could fill a slot.
+            if any(spec.executor == "process" for spec in self.graph):
+                raise ValueError("reserve_slots is incompatible with executor='process'")
+            if any(spec.fan_in == FUSED for spec in self.graph):
+                raise ValueError("reserve_slots is incompatible with fused stages")
         self.ctxs = [_StreamCtx(stream=s, bundle=zoo[s.stream_id]) for s in streams]
-        n = len(streams)
+        self.ctxs += [_StreamCtx(stream=None, bundle=None) for _ in range(reserve_slots)]
+        n = len(self.ctxs)
 
         #: Per-stage input queues: one per stream for per_stream/shared_rr
         #: stages, a single merged queue otherwise.
@@ -163,9 +214,20 @@ class ThreadedPipeline:
         self.outcomes: list[FrameOutcome] = []
         self._outcome_lock = threading.Lock()
         self.metrics = RunMetrics(
-            n_streams=n,
+            n_streams=len(streams),
             stages={spec.name: StageCounters() for spec in self.graph},
         )
+        #: Per-slot prefetch control blocks (None = reserve slot, unused).
+        self._feeds: list[_Feed | None] = [None] * n
+        self._feed_lock = threading.Lock()
+        self._dyn_threads: list[threading.Thread] = []
+        self._sealed = reserve_slots == 0
+        self._paced_fps: float | None = None
+        self._running = False
+        #: Per-slot frames that passed the first stage — the live "cost"
+        #: signal the router ranks streams by when choosing what to shed
+        #: (the simulator counts the identical quantity in ``_complete``).
+        self._first_pass = [0] * n
         self._stage_lock = threading.Lock()
         self._errors: list[BaseException] = []
         self._abort = threading.Event()
@@ -433,6 +495,11 @@ class ThreadedPipeline:
                 busy = t_done - t_exec
             passes = np.asarray(passes, dtype=bool)
             self._count(spec.name, n, int(passes.sum()), busy=busy)
+            if spec.name == self.graph.first.name:
+                with self._stage_lock:
+                    for k, w in enumerate(works):
+                        if passes[k]:
+                            self._first_pass[w.stream_idx] += 1
             if tel is not None:
                 tel.observe_latency("stage_exec_seconds", busy, stage=spec.name)
             if bus is not None and bus.enabled:
@@ -480,31 +547,45 @@ class ThreadedPipeline:
     # ------------------------------------------------------------------
     # workers
     # ------------------------------------------------------------------
-    def _prefetch_worker(self, idx: int, n_frames: int, paced_fps: float | None):
+    def _prefetch_worker(self, idx: int):
         ctx = self.ctxs[idx]
+        feed = self._feeds[idx]
         first = self.graph.first
         target = self._input_queue(first, idx)
         tel = self.telemetry
+        paced_fps = self._paced_fps
         t0 = time.monotonic()
         try:
-            for i in range(n_frames):
+            for j in range(feed.count):
+                if feed.stop.is_set():
+                    # Detach request: halt at the frame boundary.  Frames
+                    # [start + offered, start + count) were never offered
+                    # here and belong to whichever instance attaches next.
+                    return
+                i = feed.start + j
                 if paced_fps is not None:
-                    delay = t0 + i / paced_fps - time.monotonic()
+                    delay = t0 + j / paced_fps - time.monotonic()
                     if delay > 0:
                         time.sleep(delay)
-                pixels = ctx.stream.pixels(i)
+                if feed.preloaded is not None and j < len(feed.preloaded):
+                    pixels = feed.preloaded[j]
+                else:
+                    pixels = ctx.stream.pixels(i)
                 work = _Work(idx, i, pixels, time.monotonic())
                 status = self._put(first, target, work)
                 if status == "dropped":
+                    feed.offered = j + 1
                     self._record(work, DROPPED)
                     continue
                 if status != "ok":
                     # The pipeline is aborting: frames never admitted still
                     # get a terminal disposition.
                     now = time.monotonic()
-                    for j in range(i, n_frames):
-                        self._record(_Work(idx, j, pixels, now), ABORTED)
+                    for jj in range(j, feed.count):
+                        self._record(_Work(idx, feed.start + jj, pixels, now), ABORTED)
+                    feed.offered = feed.count
                     return
+                feed.offered = j + 1
                 if tel is not None and tel.bus.enabled:
                     tel.bus.emit(
                         "admission", self._now(), first.name, stream=idx, frame=i
@@ -512,6 +593,7 @@ class ThreadedPipeline:
         except BaseException as exc:  # pragma: no cover - defensive
             self._fail(exc)
         finally:
+            feed.boundary.set()
             self._close_input(first, idx)
 
     def _stream_worker(self, spec: StageSpec, idx: int):
@@ -673,6 +755,133 @@ class ThreadedPipeline:
         self.admission.poll(t)
 
     # ------------------------------------------------------------------
+    # cluster-instance control (attach / detach / seal)
+    # ------------------------------------------------------------------
+    def free_slots(self) -> int:
+        """Reserve slots still able to accept a re-forwarded stream."""
+        with self._feed_lock:
+            if self._sealed:
+                return 0
+            return sum(
+                1
+                for i, c in enumerate(self.ctxs)
+                if c.stream is None and self._feeds[i] is None
+            )
+
+    def active_streams(self) -> dict[str, int]:
+        """stream_id -> slot for streams still offering frames here."""
+        with self._feed_lock:
+            return {
+                self.ctxs[i].stream.stream_id: i
+                for i, f in enumerate(self._feeds)
+                if f is not None and f.active and self.ctxs[i].stream is not None
+            }
+
+    def stream_costs(self) -> dict[str, int]:
+        """stream_id -> frames past the first stage, for active streams only.
+
+        This is the live analogue of the position-cost the offline
+        :class:`~repro.core.admission.InstanceGroup` ranks by: the stream
+        that has pushed the most work into the cascade is the most
+        expensive one to keep.
+        """
+        with self._stage_lock:
+            first_pass = list(self._first_pass)
+        with self._feed_lock:
+            return {
+                self.ctxs[i].stream.stream_id: first_pass[i]
+                for i, f in enumerate(self._feeds)
+                if f is not None and f.active and self.ctxs[i].stream is not None
+            }
+
+    def outcome_count(self) -> int:
+        with self._outcome_lock:
+            return len(self.outcomes)
+
+    def attach_stream(
+        self,
+        stream: VideoStream,
+        *,
+        start: int = 0,
+        n_frames: int | None = None,
+        preloaded: list | None = None,
+    ) -> int:
+        """Attach a re-forwarded stream to a free reserve slot mid-run.
+
+        Offers frames ``[start, end)`` where ``end`` is ``len(stream)``
+        capped by ``n_frames``; ``preloaded`` optionally supplies pixel
+        arrays for the leading frames (the shared-memory handoff window) so
+        the first offers need no re-render.  Returns the slot index.
+        """
+        if stream.stream_id not in self.zoo:
+            raise ValueError(f"stream {stream.stream_id} has no trained models")
+        end = len(stream) if n_frames is None else min(n_frames, len(stream))
+        if start >= end:
+            raise ValueError(f"attach range [{start}, {end}) is empty")
+        with self._feed_lock:
+            if self._abort.is_set():
+                raise RuntimeError("pipeline is aborting")
+            if not self._running:
+                raise RuntimeError("attach_stream requires a running pipeline")
+            if self._sealed:
+                raise RuntimeError("pipeline is sealed")
+            slot = next(
+                (
+                    i
+                    for i, c in enumerate(self.ctxs)
+                    if c.stream is None and self._feeds[i] is None
+                ),
+                None,
+            )
+            if slot is None:
+                raise RuntimeError("no free reserve slot")
+            # Context first, then feed, then thread: the prefetcher and
+            # stage workers read ctx/bundle through the slot index.
+            self.ctxs[slot] = _StreamCtx(stream=stream, bundle=self.zoo[stream.stream_id])
+            self._feeds[slot] = _Feed(start=start, count=end - start, preloaded=preloaded)
+            self.metrics.frames_offered += end - start
+            self.metrics.n_streams += 1
+            t = threading.Thread(
+                target=self._prefetch_worker, args=(slot,),
+                name=f"prefetch-attach-{slot}", daemon=True,
+            )
+            self._dyn_threads.append(t)
+        t.start()
+        return slot
+
+    def detach_stream(self, slot: int, timeout: float = 10.0) -> int:
+        """Stop offering a stream's frames at the next frame boundary.
+
+        Returns the first frame index *not* offered here — the exact index
+        the receiving instance must attach at.  Frames already offered keep
+        their in-flight path to an outcome on this instance; the unoffered
+        remainder is subtracted from ``frames_offered`` so the
+        per-instance invariant ``frames_offered == len(outcomes)`` holds on
+        both sides of the handoff.
+        """
+        feed = self._feeds[slot]
+        if feed is None:
+            raise ValueError(f"slot {slot} has no active feed")
+        feed.stop.set()
+        if not feed.boundary.wait(timeout):
+            raise RuntimeError(f"slot {slot} prefetcher missed the frame boundary")
+        with self._feed_lock:
+            self.metrics.frames_offered -= feed.count - feed.offered
+        return feed.start + feed.offered
+
+    def seal(self) -> None:
+        """Close every never-used reserve slot; no further attach is
+        possible and :meth:`run` can complete once in-flight work drains."""
+        with self._feed_lock:
+            if self._sealed:
+                return
+            self._sealed = True
+            unused = [i for i, f in enumerate(self._feeds) if f is None]
+        first = self.graph.first
+        for i in unused:
+            self._close_input(first, i)
+
+    # ------------------------------------------------------------------
     def _drain_unfinished(self) -> None:
         """After an abort, give every still-queued frame a terminal record."""
         leftovers: list[_Work] = []
@@ -697,11 +906,17 @@ class ThreadedPipeline:
         config's ``stream_fps``); offline mode renders as fast as possible.
         """
         fps = (paced_fps or self.config.stream_fps) if online else None
+        self._paced_fps = fps
         counts = [
-            len(ctx.stream) if n_frames is None else min(n_frames, len(ctx.stream))
+            0
+            if ctx.stream is None
+            else (len(ctx.stream) if n_frames is None else min(n_frames, len(ctx.stream)))
             for ctx in self.ctxs
         ]
         self.metrics.frames_offered = sum(counts)
+        for i, ctx in enumerate(self.ctxs):
+            if ctx.stream is not None:
+                self._feeds[i] = _Feed(start=0, count=counts[i])
 
         bundles = [ctx.bundle for ctx in self.ctxs]
         for spec in self.graph:
@@ -718,7 +933,12 @@ class ThreadedPipeline:
             # 8 bytes/px accommodates float64 frames; synthetic streams
             # render float32, so slabs are typically half-used.
             slot_bytes = (
-                max_n * max(h * w for h, w in (c.stream.shape for c in self.ctxs)) * 8
+                max_n
+                * max(
+                    h * w
+                    for h, w in (c.stream.shape for c in self.ctxs if c.stream is not None)
+                )
+                * 8
             )
             self._pools[spec.name] = ProcPool(
                 spec.name,
@@ -732,10 +952,10 @@ class ThreadedPipeline:
 
         threads = []
         for i in range(len(self.ctxs)):
+            if self._feeds[i] is None:
+                continue  # reserve slot: its queue closes at attach-exhaust or seal()
             threads.append(
-                threading.Thread(
-                    target=self._prefetch_worker, args=(i, counts[i], fps), daemon=True
-                )
+                threading.Thread(target=self._prefetch_worker, args=(i,), daemon=True)
             )
         for spec in self.graph:
             if spec.fan_in == PER_STREAM:
@@ -759,6 +979,7 @@ class ThreadedPipeline:
                 )
 
         self._t0 = t0 = time.monotonic()
+        self._running = True
         sampler_stop = None
         if self.telemetry is not None:
             sampler_stop = threading.Event()
@@ -771,6 +992,13 @@ class ThreadedPipeline:
             t.start()
         for t in threads:
             t.join()
+        # Prefetchers spawned by attach_stream() after the static set was
+        # launched.  Stage workers only exit once *every* first-stage queue
+        # has closed (including reserve slots, closed by attach-exhaust or
+        # seal()), so by now no further dynamic thread can appear.
+        for t in list(self._dyn_threads):
+            t.join()
+        self._running = False
         duration = time.monotonic() - t0
         if sampler_stop is not None:
             sampler_stop.set()
@@ -789,7 +1017,11 @@ class ThreadedPipeline:
         terminal = self.graph.terminal.name
         m = self.metrics
         m.duration = duration
-        m.frames_ingested = sum(counts)
+        # frames_offered is adjusted live by attach (+count) and detach
+        # (-unoffered), so its final value is exactly the frames this
+        # instance gave a disposition path; without attach/detach it equals
+        # the static sum(counts).
+        m.frames_ingested = self.metrics.frames_offered
         m.frames_to_ref = sum(1 for o in self.outcomes if o.stage == terminal)
         ref_lat = [o.latency for o in self.outcomes if o.stage == terminal]
         m.ref_latency = LatencyStats.from_samples(ref_lat)

@@ -1,0 +1,131 @@
+"""Live stream router for the cluster serving plane.
+
+The router is the *actuation-free* half of cluster load balancing: every
+epoch it receives one :class:`InstanceReport` per pipeline instance (state
+from that instance's :class:`~repro.core.admission.AdmissionController`,
+EWMA-smoothed headroom, live per-stream costs) and asks the pure policy
+core :func:`~repro.core.admission.pick_move` for at most one shed /
+re-forward move.  Whether the move is applied to threads
+(:mod:`repro.runtime.cluster`) or to virtual clocks
+(:mod:`repro.sim.cluster`) is the caller's business — which is exactly why
+the decision log replays deterministically across both runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.admission import InstanceView, Move, pick_move
+
+__all__ = ["InstanceReport", "StreamRouter"]
+
+
+@dataclass(frozen=True)
+class InstanceReport:
+    """One instance's health snapshot for a router epoch.
+
+    ``state`` is the instance admission controller's latest poll outcome
+    (``"admit"`` / ``"hold"`` / ``"shed"``); ``headroom`` its EWMA headroom
+    estimate in frames/s (see :func:`~repro.core.admission.estimate_headroom`);
+    ``costs`` maps each *re-forwardable* stream to its live cost.  The
+    remaining fields are actuation context the policy itself never reads:
+    ``free_slots`` gates whether a chosen target can actually accept,
+    ``outcomes``/``offered`` feed the supervisor's termination check.
+    """
+
+    state: str
+    headroom: float
+    costs: dict[str, float]
+    free_slots: int = 0
+    outcomes: int = 0
+    offered: int = 0
+
+    def view(self) -> InstanceView:
+        return InstanceView(state=self.state, headroom=self.headroom, costs=self.costs)
+
+
+@dataclass
+class StreamRouter:
+    """Epoch-driven shed/re-forward decisions with a replayable log.
+
+    ``step`` is a pure function of the reports it is handed: the full
+    report set is recorded next to the decision, so :meth:`replay` can feed
+    the log back through a fresh router and must reproduce the identical
+    move sequence — the determinism contract the cluster tests (threaded
+    vs simulated) assert.
+    """
+
+    log: list[dict] = field(default_factory=list)
+
+    def step(self, reports: list[InstanceReport]) -> Move | None:
+        """Decide at most one move for this epoch and record it."""
+        move = pick_move([r.view() for r in reports])
+        if move is not None and reports[move.dst].free_slots <= 0:
+            # The policy wants the move but the target has no spare slot
+            # to actuate it into; record the veto so replays agree.
+            vetoed, move = move, None
+        else:
+            vetoed = None
+        self.log.append(
+            {
+                "epoch": len(self.log),
+                "reports": [
+                    {
+                        "state": r.state,
+                        "headroom": r.headroom,
+                        "costs": dict(r.costs),
+                        "free_slots": r.free_slots,
+                        "outcomes": r.outcomes,
+                        "offered": r.offered,
+                    }
+                    for r in reports
+                ],
+                "move": None
+                if move is None
+                else {"stream": move.stream, "src": move.src, "dst": move.dst},
+                "vetoed": None
+                if vetoed is None
+                else {"stream": vetoed.stream, "src": vetoed.src, "dst": vetoed.dst},
+            }
+        )
+        return move
+
+    def moves(self) -> list[tuple[str, int, int]]:
+        """The applied moves as ``(stream_id, src, dst)`` labels."""
+        return [
+            (e["move"]["stream"], e["move"]["src"], e["move"]["dst"])
+            for e in self.log
+            if e["move"] is not None
+        ]
+
+    def summary(self) -> dict:
+        return {
+            "epochs": len(self.log),
+            "moves": [list(m) for m in self.moves()],
+            "vetoed": sum(1 for e in self.log if e["vetoed"] is not None),
+        }
+
+    @classmethod
+    def replay(cls, log: list[dict]) -> "StreamRouter":
+        """Re-derive every decision from the recorded reports.
+
+        Returns a fresh router whose :meth:`moves` must equal the original
+        run's — any divergence means the policy consulted state outside the
+        reports, which would break threaded/simulated equivalence.
+        """
+        router = cls()
+        for entry in log:
+            router.step(
+                [
+                    InstanceReport(
+                        state=r["state"],
+                        headroom=r["headroom"],
+                        costs=dict(r["costs"]),
+                        free_slots=r.get("free_slots", 0),
+                        outcomes=r.get("outcomes", 0),
+                        offered=r.get("offered", 0),
+                    )
+                    for r in entry["reports"]
+                ]
+            )
+        return router

@@ -1,5 +1,12 @@
 """Discrete-event simulation of FFS-VA at paper scale."""
 
+from .cluster import ClusterSimResult, ClusterSimulator
 from .simulator import PipelineSimulator, simulate_offline, simulate_online
 
-__all__ = ["PipelineSimulator", "simulate_offline", "simulate_online"]
+__all__ = [
+    "PipelineSimulator",
+    "simulate_offline",
+    "simulate_online",
+    "ClusterSimulator",
+    "ClusterSimResult",
+]

@@ -1,0 +1,153 @@
+"""Simulated cluster serving plane: the router policy over virtual clocks.
+
+:class:`ClusterSimulator` is the discrete-event twin of
+:class:`~repro.runtime.cluster.ClusterSupervisor`: N
+:class:`~repro.sim.simulator.PipelineSimulator` instances advance in
+lock-step to each router epoch boundary, report the *same* signals the
+threaded instances report (admission state, EWMA headroom from the sampled
+rate series, live per-stream first-stage costs), and the *same*
+:class:`~repro.runtime.router.StreamRouter` picks at most one
+shed/re-forward move per epoch.  A move is actuated with the same
+frame-boundary contract: ``detach_stream`` yields the first global index
+never admitted at the source, and the destination attaches the trace tail
+from exactly that index (``FrameTrace.sliced``) on the original arrival
+clock.
+
+Because decisions flow through the identical pure policy
+(:func:`~repro.core.admission.pick_move`) fed by the identical report
+schema, a threaded cluster and a simulated cluster that observe equivalent
+sampled series produce equivalent shed/re-forward logs — the cluster-layer
+extension of the repo's cross-runtime guarantees, and what
+``StreamRouter.replay`` lets tests check offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.admission import estimate_headroom
+from ..core.config import FFSVAConfig
+from ..core.metrics import RunMetrics
+from ..core.trace import FrameTrace
+from ..devices.costs import CostModel
+from ..obs import Telemetry
+from ..runtime.router import InstanceReport, StreamRouter
+from .simulator import PipelineSimulator
+
+__all__ = ["ClusterSimulator", "ClusterSimResult"]
+
+
+@dataclass
+class ClusterSimResult:
+    """Per-instance metrics plus the router's decision record."""
+
+    instances: list[RunMetrics]
+    router_log: list[dict] = field(default_factory=list)
+    moves: list[tuple[str, int, int]] = field(default_factory=list)
+    virtual_time: float = 0.0
+
+    @property
+    def total_offered(self) -> int:
+        return sum(m.frames_offered for m in self.instances)
+
+
+class ClusterSimulator:
+    """N simulated pipeline instances behind one epoch-driven router."""
+
+    def __init__(
+        self,
+        traces: list[FrameTrace],
+        config: FFSVAConfig | None = None,
+        cost_model: CostModel | None = None,
+        *,
+        online: bool = True,
+        graph=None,
+    ):
+        if not traces:
+            raise ValueError("need at least one stream trace")
+        self.config = cfg = config or FFSVAConfig()
+        n = cfg.cluster_instances
+        #: Initial placement: the same round-robin rule the live supervisor
+        #: (and InstanceGroup.assign) uses.
+        self.partition: list[list[FrameTrace]] = [[] for _ in range(n)]
+        for i, tr in enumerate(traces):
+            self.partition[i % n].append(tr)
+        if any(not part for part in self.partition):
+            raise ValueError(
+                f"{n} instances need at least {n} streams (got {len(traces)})"
+            )
+        self.traces = list(traces)
+        self._ends = {tr.stream_id: len(tr) for tr in traces}
+        self._by_id = {tr.stream_id: tr for tr in traces}
+        self.instances = [
+            PipelineSimulator(
+                part,
+                cfg,
+                cost_model,
+                online=online,
+                graph=graph,
+                telemetry=Telemetry(sample_interval=cfg.telemetry_sample_interval),
+            )
+            for part in self.partition
+        ]
+        self.router = StreamRouter()
+        self._attaches_used = [0] * n
+
+    def _report(self, inst: PipelineSimulator, i: int) -> InstanceReport:
+        adm = inst.admission
+        return InstanceReport(
+            state=adm.state,
+            headroom=estimate_headroom(adm.reader, self.config, adm.rate_series),
+            costs={k: float(v) for k, v in inst.stream_costs().items()},
+            free_slots=self.config.cluster_reserve_slots - self._attaches_used[i],
+            outcomes=sum(st.dropped + st.analyzed for st in inst.streams),
+            offered=sum(st.n for st in inst.streams),
+        )
+
+    def _actuate(self, move) -> None:
+        src = self.instances[move.src]
+        dst = self.instances[move.dst]
+        idx = next(
+            i
+            for i, st in enumerate(src.streams)
+            if st.trace.stream_id == move.stream and st.active
+        )
+        k = src.detach_stream(idx)
+        end = self._ends[move.stream]
+        if k < end:
+            tail = self._by_id[move.stream].sliced(k, end)
+            dst.attach_stream(tail, arrival_offset=k)
+            self._attaches_used[move.dst] += 1
+
+    def run(self, max_virtual_time: float | None = None) -> ClusterSimResult:
+        """Epoch-step every instance to drain (or to the horizon)."""
+        cfg = self.config
+        total_planned = sum(self._ends.values())
+        if max_virtual_time is None:
+            longest = max(self._ends.values())
+            max_virtual_time = longest / cfg.stream_fps * 4.0 + 30.0
+        t = 0.0
+        while True:
+            t += cfg.router_epoch
+            for inst in self.instances:
+                inst.advance(t)
+                # Epoch-boundary control sweep, mirroring the threaded
+                # sampler thread's periodic poll of the admission machine.
+                inst.admission.poll(t)
+            reports = [
+                self._report(inst, i) for i, inst in enumerate(self.instances)
+            ]
+            if sum(r.outcomes for r in reports) >= total_planned:
+                break
+            if t > max_virtual_time:
+                break
+            move = self.router.step(reports)
+            if move is not None:
+                self._actuate(move)
+        metrics = [inst.finalize(max_virtual_time) for inst in self.instances]
+        return ClusterSimResult(
+            instances=metrics,
+            router_log=self.router.log,
+            moves=self.router.moves(),
+            virtual_time=t,
+        )

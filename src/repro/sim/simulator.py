@@ -70,7 +70,14 @@ __all__ = ["PipelineSimulator", "simulate_offline", "simulate_online"]
 
 @dataclass
 class _StreamState:
-    """Mutable per-stream simulation state."""
+    """Mutable per-stream simulation state.
+
+    ``arrival_offset`` shifts the arrival clock for a stream attached
+    mid-run via :meth:`PipelineSimulator.attach_stream`: local frame ``j``
+    of a re-forwarded tail trace arrives when *global* frame
+    ``arrival_offset + j`` of the original stream would have — the same
+    frame-boundary contract the threaded cluster's handoff keeps.
+    """
 
     trace: FrameTrace
     n: int
@@ -78,11 +85,17 @@ class _StreamState:
     dropped: int = 0  # frames filtered out at some stage
     analyzed: int = 0  # frames fully processed by the terminal stage
     finish_time: float = 0.0  # virtual time the last frame was disposed of
+    arrival_offset: int = 0  # global index of local frame 0
     ingest_time: np.ndarray = None  # type: ignore[assignment]
 
     @property
     def finished(self) -> bool:
         return self.dropped + self.analyzed == self.n
+
+    @property
+    def active(self) -> bool:
+        """Still has frames to offer (re-forwardable)."""
+        return self.admitted < self.n
 
 
 @dataclass
@@ -185,6 +198,10 @@ class PipelineSimulator:
         self._seq = itertools.count()
         self._in_service: dict[str, _Service] = {}
         self._dev_last: dict[str, str] = {}
+        self._now = 0.0
+        #: Per-stream frames past the first stage — the same live "cost"
+        #: signal the threaded engine's ``stream_costs`` reports.
+        self._first_pass: list[int] = [0] * n_streams
         self.metrics = RunMetrics(
             n_streams=n_streams,
             stages={spec.name: StageCounters() for spec in self.graph},
@@ -233,7 +250,7 @@ class PipelineSimulator:
     def _arrival_time(self, stream: _StreamState, frame_idx: int) -> float:
         if not self.online:
             return 0.0
-        return frame_idx / self.config.stream_fps
+        return (stream.arrival_offset + frame_idx) / self.config.stream_fps
 
     def _top_up_arrivals(self, now: float) -> bool:
         """Admit arrived frames into the first stage while room remains."""
@@ -514,9 +531,12 @@ class PipelineSimulator:
 
         nxt_name = self._next_name[svc.stage]
         out_key = svc.stream_idx if spec.fan_in == PER_STREAM else device_name
+        is_first = svc.stage == self.graph.first.name
         for (s_idx, f_idx), ok in zip(svc.frames, svc.passes):
             st = self.streams[s_idx]
             stg.in_flight[s_idx] -= 1
+            if is_first and ok:
+                self._first_pass[s_idx] += 1
             if emit:
                 tel.bus.emit(
                     "frame_pass" if (spec.terminal or ok) else "frame_filter",
@@ -602,11 +622,60 @@ class PipelineSimulator:
         self._prev_sample = {"t": now, "done": done, "busy": busy}
 
     # ------------------------------------------------------------------
+    # cluster-instance control (attach / detach)
+    # ------------------------------------------------------------------
+    def attach_stream(self, trace: FrameTrace, *, arrival_offset: int = 0) -> int:
+        """Attach a (tail) trace mid-run; returns its stream index.
+
+        Mirrors the threaded engine's ``attach_stream``: the new stream
+        gets its own queues, pass masks, and in-flight counters, and its
+        frames arrive on the *original* stream's clock via
+        ``arrival_offset`` (global index of the trace's first frame).
+        """
+        idx = len(self.streams)
+        st = _StreamState(trace=trace, n=len(trace), arrival_offset=arrival_offset)
+        st.ingest_time = np.full(st.n, np.nan)
+        self.streams.append(st)
+        for spec in self.graph:
+            stg = self._stages[spec.name]
+            stg.passes.append(
+                np.asarray(spec.logic.trace_mask(trace, self.config), dtype=bool)
+            )
+            stg.in_flight.append(0)
+            if stg.merged_q is None:
+                stg.queues.append(SimQueue(self._depth_for(spec), f"{spec.name}[{idx}]"))
+        self._first_pass.append(0)
+        self.metrics.n_streams += 1
+        return idx
+
+    def detach_stream(self, idx: int) -> int:
+        """Stop offering stream ``idx``'s frames; returns the global index
+        of the first frame *not* admitted here (the attach point for the
+        receiving instance).  Frames already admitted keep their in-flight
+        path to a disposition, exactly like the threaded detach."""
+        st = self.streams[idx]
+        st.n = st.admitted
+        return st.arrival_offset + st.admitted
+
+    def stream_costs(self) -> dict[str, int]:
+        """stream_id -> frames past the first stage, active streams only."""
+        return {
+            st.trace.stream_id: self._first_pass[i]
+            for i, st in enumerate(self.streams)
+            if st.active
+        }
+
+    # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
-    def run(self, max_virtual_time: float | None = None) -> RunMetrics:
-        """Simulate until all frames are processed (or the horizon ends)."""
-        now = 0.0
+    def advance(self, until: float | None = None) -> float:
+        """Run the event loop up to virtual time ``until`` (or to drain).
+
+        Resumable: the cluster simulator calls this once per router epoch,
+        applies attach/detach between calls, and finishes with
+        :meth:`finalize`.  Returns the current virtual time.
+        """
+        now = self._now
         inf = float("inf")
         sample = self.telemetry is not None
         while True:
@@ -623,15 +692,24 @@ class PipelineSimulator:
                 # No pending completions and no future arrivals: remaining
                 # frames are unreachable (should not happen) — stop.
                 break
-            if max_virtual_time is not None and t_next > max_virtual_time:
-                now = max_virtual_time
+            if until is not None and t_next > until:
+                now = until
                 break
             now = t_next
             while self._heap and self._heap[0][0] <= now + 1e-15:
                 _, _, dev = heapq.heappop(self._heap)
                 self._complete(dev, now)
+        self._now = now
+        return now
 
-        return self._finalize(now, max_virtual_time)
+    def finalize(self, max_virtual_time: float | None = None) -> RunMetrics:
+        """Close out an :meth:`advance`-driven run and return metrics."""
+        return self._finalize(self._now, max_virtual_time)
+
+    def run(self, max_virtual_time: float | None = None) -> RunMetrics:
+        """Simulate until all frames are processed (or the horizon ends)."""
+        self.advance(max_virtual_time)
+        return self._finalize(self._now, max_virtual_time)
 
     def _finalize(self, now: float, max_virtual_time: float | None) -> RunMetrics:
         m = self.metrics

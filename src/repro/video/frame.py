@@ -10,6 +10,9 @@ filters themselves.
 
 from __future__ import annotations
 
+import json
+import socket
+import struct
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -17,7 +20,13 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["GroundTruthObject", "Frame", "FrameDescriptor", "SharedFramePlane"]
+__all__ = [
+    "GroundTruthObject",
+    "Frame",
+    "FrameDescriptor",
+    "SharedFramePlane",
+    "DescriptorChannel",
+]
 
 
 @dataclass(frozen=True)
@@ -233,6 +242,87 @@ class SharedFramePlane:
     def attach(cls, name: str) -> "_AttachedPlane":
         """Worker-side handle: maps the slab for :meth:`view` only."""
         return _AttachedPlane(name)
+
+
+class DescriptorChannel:
+    """Socket control channel for shipping frame descriptors across
+    instance boundaries.
+
+    The cluster supervisor and each pipeline-instance process hold one end
+    of a connected TCP socket; the payload pixels themselves stay in a
+    :class:`SharedFramePlane` slab, so what crosses the wire during a
+    stream handoff is a :class:`FrameDescriptor` (slab name + geometry),
+    never re-encoded frames.
+
+    Wire format: a 4-byte big-endian length prefix followed by one JSON
+    object.  ``send`` is lock-protected so control threads can interleave;
+    ``recv`` returns ``None`` on clean EOF and raises ``TimeoutError`` when
+    the peer stays silent past ``timeout``.
+    """
+
+    _HDR = struct.Struct(">I")
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._send_lock = threading.Lock()
+        self._buf = b""
+
+    def send(self, msg: dict) -> None:
+        payload = json.dumps(msg, separators=(",", ":")).encode()
+        with self._send_lock:
+            self._sock.sendall(self._HDR.pack(len(payload)) + payload)
+
+    def recv(self, timeout: float | None = None) -> dict | None:
+        self._sock.settimeout(timeout)
+        try:
+            hdr = self._read_exact(self._HDR.size)
+            if hdr is None:
+                return None
+            (length,) = self._HDR.unpack(hdr)
+            payload = self._read_exact(length)
+            if payload is None:
+                raise ConnectionError("peer closed mid-message")
+            return json.loads(payload)
+        except socket.timeout as exc:
+            raise TimeoutError("descriptor channel recv timed out") from exc
+
+    def _read_exact(self, n: int) -> bytes | None:
+        while len(self._buf) < n:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                return None
+            self._buf += chunk
+        out, self._buf = self._buf[:n], self._buf[n:]
+        return out
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    # -- descriptor (de)serialization -----------------------------------
+    @staticmethod
+    def pack_descriptor(desc: FrameDescriptor) -> dict:
+        """JSON-safe dict form of a descriptor for :meth:`send`."""
+        return {
+            "slab": desc.slab,
+            "slot": desc.slot,
+            "offset": desc.offset,
+            "shape": list(desc.shape),
+            "dtype": desc.dtype,
+        }
+
+    @staticmethod
+    def unpack_descriptor(d: dict) -> FrameDescriptor:
+        return FrameDescriptor(
+            slab=d["slab"],
+            slot=int(d["slot"]),
+            offset=int(d["offset"]),
+            shape=tuple(int(x) for x in d["shape"]),
+            dtype=d["dtype"],
+        )
 
 
 class _AttachedPlane:

@@ -178,3 +178,41 @@ class TestInstanceGroup:
     def test_rejects_zero_instances(self):
         with pytest.raises(ValueError):
             InstanceGroup(0, lambda tr: RunMetrics())
+
+    @staticmethod
+    def run_with_ratio(ratios):
+        """An evaluator scripting each instance's ingest ratio by position."""
+        calls = iter(ratios)
+
+        def run(traces):
+            ratio = next(calls)
+            m = RunMetrics(n_streams=len(traces), frames_offered=1000)
+            m.frames_ingested = int(1000 * ratio)
+            return m
+
+        return run
+
+    def test_single_instance_overload_has_nowhere_to_shed(self):
+        group = InstanceGroup(1, self.run_with_ratio([0.5]))
+        group.assign(traces_for(3))
+        group.epoch()
+        assert group.history[-1]["moved"] is None
+        assert len(group.assignments[0]) == 3
+
+    def test_all_overloaded_makes_no_move(self):
+        # Re-forwarding needs a spare-capacity target; when every instance
+        # is drowning there is nowhere to send the stream.
+        group = InstanceGroup(2, self.run_with_ratio([0.5, 0.6]))
+        group.assign(traces_for(4))
+        group.epoch()
+        assert group.history[-1]["moved"] is None
+        assert [len(a) for a in group.assignments] == [2, 2]
+
+    def test_equal_headroom_tie_goes_to_lowest_index(self):
+        group = InstanceGroup(3, self.run_with_ratio([0.5, 1.0, 1.0]))
+        group.assign(traces_for(6))
+        group.epoch()
+        entry = group.history[-1]
+        assert entry["moved"] is not None
+        assert (entry["from"], entry["to"]) == (0, 1)
+        assert [len(a) for a in group.assignments] == [1, 3, 2]

@@ -23,8 +23,12 @@ from repro.nn import TrainConfig
 from repro.obs import (
     DEFAULT_BUCKETS,
     EVENT_KINDS,
+    ClusterMetricsServer,
     EventBus,
+    FrameSpan,
     LatencyHistogram,
+    MetricsAggregator,
+    RotatingTraceWriter,
     Series,
     Telemetry,
     TelemetryEvent,
@@ -32,6 +36,7 @@ from repro.obs import (
     TimeSeriesSampler,
     build_spans,
     chrome_trace,
+    parse_prometheus,
     render_prometheus,
     snapshot_json,
 )
@@ -287,6 +292,182 @@ class TestExport:
                 urllib.request.urlopen(f"{base}/nope")
         finally:
             server.stop()
+
+    def test_parse_prometheus_round_trips_exposition(self):
+        samples = parse_prometheus(render_prometheus(_sample_metrics()))
+        by_key = {(n, tuple(sorted(labels.items()))): v for n, labels, v in samples}
+        assert by_key[("ffsva_frames_offered_total", ())] == 100
+        assert (
+            by_key[("ffsva_stage_frames_entered_total", (("stage", "sdd"),))] == 100
+        )
+        assert (
+            by_key[("ffsva_frame_latency_seconds", (("quantile", "0.95"),))] == 0.2
+        )
+
+    def test_parse_prometheus_handles_quoted_commas_and_escapes(self):
+        samples = parse_prometheus(
+            '# HELP x y\nm{a="v,w",b="q\\"r"} 3\nplain 1.5\n'
+        )
+        assert samples == [
+            ("m", {"a": "v,w", "b": 'q"r'}, 3.0),
+            ("plain", {}, 1.5),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# /traces endpoint (retention-aware segment serving)
+# ---------------------------------------------------------------------------
+def _span(frame: int, t0: float, stage: str = "sdd") -> FrameSpan:
+    return FrameSpan(
+        stream=0,
+        frame=frame,
+        stage=stage,
+        t_enter=t0,
+        t_start=t0,
+        t_end=t0 + 0.5,
+        disposition="pass",
+    )
+
+
+@pytest.fixture
+def trace_dir(tmp_path):
+    """Several rotated segments covering t in [0, ~3.2)."""
+    writer = RotatingTraceWriter(tmp_path, max_bytes=1 << 20, max_span=1.0)
+    for i in range(9):
+        writer.add(_span(i, i / 3.0))
+    manifest = writer.close()
+    assert len(manifest["segments"]) >= 3
+    return tmp_path, manifest
+
+
+class TestTracesEndpoint:
+    def serve(self, directory):
+        return TelemetryServer(
+            lambda: (_sample_metrics(), Telemetry()),
+            port=0,
+            trace_dir=str(directory),
+        ).start()
+
+    def get(self, url):
+        with urllib.request.urlopen(url) as resp:
+            return json.loads(resp.read())
+
+    def test_bare_traces_returns_manifest(self, trace_dir):
+        directory, manifest = trace_dir
+        with self.serve(directory) as server:
+            doc = self.get(f"{server.url}/traces")
+        assert doc["segments"] == manifest["segments"]
+
+    def test_time_range_selects_overlapping_segments(self, trace_dir):
+        directory, manifest = trace_dir
+        expected = [
+            s["file"]
+            for s in manifest["segments"]
+            if s["t_end"] >= 1.1 and s["t_start"] <= 1.9
+        ]
+        assert 0 < len(expected) < len(manifest["segments"])
+        with self.serve(directory) as server:
+            doc = self.get(f"{server.url}/traces?t0=1.1&t1=1.9")
+            assert [s["file"] for s in doc["segments"]] == expected
+            assert doc["missing"] == []
+            merged = self.get(f"{server.url}/traces?t0=0&t1=9&merge=1")
+        assert len(merged["segments"]) == len(manifest["segments"])
+        spans = [e for e in merged["traceEvents"] if e.get("ph") == "X"]
+        assert len(spans) == 9
+
+    def test_rotated_out_segment_is_reported_missing(self, trace_dir):
+        directory, manifest = trace_dir
+        victim = manifest["segments"][0]["file"]
+        (directory / victim).unlink()
+        with self.serve(directory) as server:
+            doc = self.get(f"{server.url}/traces?t0=0&t1=9")
+            assert doc["missing"] == [victim]
+            assert len(doc["segments"]) == len(manifest["segments"]) - 1
+            # The raw-segment route: known-but-deleted is 410, unknown 404.
+            with pytest.raises(urllib.error.HTTPError) as gone:
+                urllib.request.urlopen(f"{server.url}/traces/{victim}")
+            assert gone.value.code == 410
+            with pytest.raises(urllib.error.HTTPError) as unknown:
+                urllib.request.urlopen(f"{server.url}/traces/nope.json")
+            assert unknown.value.code == 404
+
+    def test_raw_segment_served_verbatim(self, trace_dir):
+        directory, manifest = trace_dir
+        name = manifest["segments"][-1]["file"]
+        with self.serve(directory) as server:
+            doc = self.get(f"{server.url}/traces/{name}")
+        assert doc == json.loads((directory / name).read_text())
+
+    def test_without_trace_dir_route_stays_404(self):
+        server = TelemetryServer(lambda: (_sample_metrics(), Telemetry()), port=0)
+        with server:
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"{server.url}/traces")
+
+
+# ---------------------------------------------------------------------------
+# cluster metrics aggregation
+# ---------------------------------------------------------------------------
+class TestMetricsAggregator:
+    def two_instances(self):
+        m0, m1 = _sample_metrics(), _sample_metrics()
+        m1.frames_offered = 40
+        m1.stages["sdd"] = StageCounters(40, 10, 30)
+        s0 = TelemetryServer(lambda: (m0, Telemetry()), port=0).start()
+        s1 = TelemetryServer(lambda: (m1, Telemetry()), port=0).start()
+        return (m0, m1), (s0, s1)
+
+    def test_render_labels_and_sums(self):
+        (m0, m1), (s0, s1) = self.two_instances()
+        try:
+            agg = MetricsAggregator({"0": s0.url, "1": s1.url})
+            samples = parse_prometheus(agg.render())
+            per = {
+                (n, labels.get("instance"), labels.get("stage")): v
+                for n, labels, v in samples
+            }
+            assert per[("ffsva_frames_offered_total", "0", None)] == 100
+            assert per[("ffsva_frames_offered_total", "1", None)] == 40
+            assert per[("ffsva_cluster_frames_offered_total", None, None)] == 140
+            assert per[("ffsva_cluster_stage_frames_entered_total", None, "sdd")] == 140
+            assert per[("ffsva_cluster_scrape_errors_total", None, None)] == 0
+        finally:
+            s0.stop()
+            s1.stop()
+
+    def test_unreachable_instance_counts_as_scrape_error(self):
+        (_, _), (s0, s1) = self.two_instances()
+        s1_url = s1.url
+        s1.stop()
+        try:
+            agg = MetricsAggregator({"0": s0.url, "1": s1_url}, timeout=0.5)
+            samples = parse_prometheus(agg.render())
+            errors = [v for n, _, v in samples if n == "ffsva_cluster_scrape_errors_total"]
+            assert errors == [1.0]
+            assert list(agg.errors) == ["1"]
+            # The reachable instance still contributes to the sums.
+            sums = [v for n, _, v in samples if n == "ffsva_cluster_frames_offered_total"]
+            assert sums == [100.0]
+        finally:
+            s0.stop()
+
+    def test_cluster_server_endpoints(self):
+        (_, _), (s0, s1) = self.two_instances()
+        try:
+            agg = MetricsAggregator({"0": s0.url, "1": s1.url})
+            with ClusterMetricsServer(agg, port=0) as cs:
+                text = urllib.request.urlopen(f"{cs.url}/metrics").read().decode()
+                assert "ffsva_cluster_frames_offered_total 140" in text
+                inst = json.loads(
+                    urllib.request.urlopen(f"{cs.url}/instances").read()
+                )
+                assert inst["targets"] == {"0": s0.url, "1": s1.url}
+                assert inst["errors"] == {}
+                with pytest.raises(urllib.error.HTTPError):
+                    urllib.request.urlopen(f"{cs.url}/nope")
+        finally:
+            s0.stop()
+            s1.stop()
 
 
 # ---------------------------------------------------------------------------

@@ -6,6 +6,8 @@ makes single noisy samples powerless, and replaying a recorded series into
 a fresh controller reproduces the exact transition log.
 """
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -105,6 +107,35 @@ class TestSignalReader:
         assert r.ewma("missing", tau=1.0) is None
         with pytest.raises(ValueError):
             r.ewma("x", tau=0.0)
+
+    # -- irregular-interval behavior (what the router's headroom estimate
+    # -- relies on once the sampler starts decimating) --------------------
+    def test_ewma_invariant_under_midpoint_decimation(self):
+        # exp(-dt1/tau) * exp(-dt2/tau) == exp(-(dt1+dt2)/tau): dropping an
+        # intermediate point whose value equals its successor cannot change
+        # the estimate.  This is exactly what sampler decimation does when
+        # it doubles the interval mid-series.
+        dense = reader_with([(0.0, 5.0), (1.0, 80.0), (2.0, 80.0), (3.0, 80.0)])
+        sparse = reader_with([(0.0, 5.0), (3.0, 80.0)])
+        assert dense.ewma("x", tau=2.0) == pytest.approx(sparse.ewma("x", tau=2.0))
+
+    def test_ewma_weights_by_elapsed_time_not_sample_count(self):
+        # Same two values; the version where the new value arrives after a
+        # long gap must trust it more than the one where it just arrived.
+        short_gap = reader_with([(0.0, 0.0), (0.1, 100.0)])
+        long_gap = reader_with([(0.0, 0.0), (10.0, 100.0)])
+        assert long_gap.ewma("x", tau=1.0) > short_gap.ewma("x", tau=1.0)
+        assert long_gap.ewma("x", tau=1.0) == pytest.approx(100.0, abs=0.01)
+
+    def test_ewma_matches_manual_recurrence_on_irregular_spacing(self):
+        points = [(0.0, 10.0), (0.3, 40.0), (1.1, 20.0), (1.2, 90.0), (4.0, 50.0)]
+        tau = 0.7
+        acc, t_prev = points[0][1], points[0][0]
+        for t, v in points[1:]:
+            a = math.exp(-(t - t_prev) / tau)
+            acc = a * acc + (1.0 - a) * v
+            t_prev = t
+        assert reader_with(points).ewma("x", tau=tau) == pytest.approx(acc)
 
 
 # ---------------------------------------------------------------------------
