@@ -1,0 +1,191 @@
+"""Detection-store microbenchmarks: ingest rate and range-query latency.
+
+The store sits on the pipeline's per-frame hot path (one ``append`` per
+outcome), so its write cost must stay far below any stage's service time,
+and the manifest's time index must actually pay off — a narrow range query
+over a many-segment store should open a small, roughly constant number of
+files rather than all of them.
+
+Two measurement families land in ``BENCH_queries.json`` at the repo root:
+
+* ``ingest`` — records/second appended for the ``jsonl`` and ``binary``
+  formats (plus bytes/record, the storage-density tradeoff);
+* ``range_query`` — latency of a fixed 1-second count query as the store
+  grows across segment counts, with the number of segment files the reader
+  actually opened (``last_opened``) recorded as pruning evidence; a full
+  scan is measured alongside for contrast.
+
+Correctness is asserted throughout (counts match what was written; pruned
+queries open strictly fewer files than a full scan); timings are data, not
+gates — CI machines are noisy.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_queries            # full run
+    PYTHONPATH=src python -m benchmarks.bench_queries --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.store import DetectionRecord, DetStore, DetStoreReader, count_detections
+
+from .common import print_table, record_bench
+
+FPS = 30.0
+
+
+def _record(i: int, stream: str = "s0") -> DetectionRecord:
+    return DetectionRecord(
+        stream=stream,
+        frame=i,
+        t=i / FPS,
+        cls="car",
+        box=None,
+        score=float(i % 3),
+        disposition="ref" if i % 2 else "sdd",
+    )
+
+
+def bench_ingest(n_records: int, repeats: int) -> dict:
+    """Append rate per on-disk format, median over repeats."""
+    out: dict = {}
+    records = [_record(i) for i in range(n_records)]
+    for fmt in ("jsonl", "binary"):
+        rates, sizes = [], []
+        for _ in range(repeats):
+            with tempfile.TemporaryDirectory() as tmp:
+                store = DetStore(tmp, segment_bytes=256 * 1024, fmt=fmt, terminal="ref")
+                t0 = time.perf_counter()
+                for rec in records:
+                    store.append(rec)
+                elapsed = time.perf_counter() - t0
+                manifest = store.close()
+                rates.append(n_records / elapsed)
+                sizes.append(sum(s["bytes"] for s in manifest["segments"]) / n_records)
+                # Everything written must read back.
+                n_read = len(DetStoreReader(tmp).records())
+                assert n_read == n_records, f"{fmt}: {n_read} != {n_records}"
+        out[fmt] = {
+            "records_per_s": statistics.median(rates),
+            "bytes_per_record": statistics.median(sizes),
+            "n_records": n_records,
+        }
+    return out
+
+
+def bench_range_query(segment_counts: list[int], repeats: int) -> list[dict]:
+    """A fixed 1-second count query as the store grows across segments.
+
+    The manifest prunes by ``[t_lo, t_hi]`` overlap, so latency and files
+    opened should stay near-flat while the full-scan cost grows linearly.
+    """
+    rows = []
+    # ~64 rows/segment at 4 KiB: enough files that pruning is visible.
+    segment_bytes = 4 * 1024
+    for n_segments in segment_counts:
+        with tempfile.TemporaryDirectory() as tmp:
+            store = DetStore(tmp, segment_bytes=segment_bytes, terminal="ref")
+            i = 0
+            while len(store.segments) < n_segments:
+                store.append(_record(i))
+                i += 1
+            store.close()
+            reader = DetStoreReader(tmp)
+            t_mid = (i / FPS) / 2.0  # a 1-second window in the middle
+            expected = sum(
+                1 for j in range(i) if t_mid <= j / FPS <= t_mid + 1.0 and j % 2
+            )
+
+            def timed(fn):
+                samples = []
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    got = fn()
+                    samples.append((time.perf_counter() - t0) * 1e3)
+                return got, statistics.median(samples)
+
+            got, ranged_ms = timed(
+                lambda: count_detections(reader, t0=t_mid, t1=t_mid + 1.0)
+            )
+            opened_ranged = len(reader.last_opened)
+            assert got == expected, f"range count {got} != {expected}"
+            total, full_ms = timed(lambda: count_detections(reader))
+            opened_full = len(reader.last_opened)
+            assert total == sum(1 for j in range(i) if j % 2)
+            assert opened_ranged < opened_full, (
+                f"time index failed to prune: opened {opened_ranged}/{opened_full}"
+            )
+            rows.append(
+                {
+                    "segments": opened_full,
+                    "rows": i,
+                    "range_query_ms": ranged_ms,
+                    "range_files_opened": opened_ranged,
+                    "full_scan_ms": full_ms,
+                    "full_files_opened": opened_full,
+                }
+            )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    args = parser.parse_args(argv)
+
+    n_records = 2_000 if args.quick else 20_000
+    repeats = 2 if args.quick else 5
+    segment_counts = [4, 16] if args.quick else [4, 16, 64, 128]
+
+    ingest = bench_ingest(n_records, repeats)
+    print_table(
+        "store ingest rate",
+        ["format", "records/s", "bytes/record"],
+        [
+            [fmt, f"{r['records_per_s']:,.0f}", f"{r['bytes_per_record']:.1f}"]
+            for fmt, r in ingest.items()
+        ],
+    )
+
+    ranged = bench_range_query(segment_counts, repeats)
+    print_table(
+        "range-query latency vs segment count",
+        ["segments", "rows", "1s query (ms)", "files opened", "full scan (ms)"],
+        [
+            [
+                str(r["segments"]),
+                str(r["rows"]),
+                f"{r['range_query_ms']:.2f}",
+                f"{r['range_files_opened']}/{r['full_files_opened']}",
+                f"{r['full_scan_ms']:.2f}",
+            ]
+            for r in ranged
+        ],
+    )
+
+    path = record_bench(
+        "queries",
+        {
+            "quick": args.quick,
+            "platform": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+            },
+            "ingest": ingest,
+            "range_query": ranged,
+        },
+    )
+    print(f"\nwrote {Path(path).name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

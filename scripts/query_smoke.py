@@ -1,0 +1,205 @@
+"""CI smoke test for the detection store + query serving tier.
+
+Exercises the whole story end to end, fast and in-process:
+
+* a simulated run persists one :class:`DetectionRecord` per frame outcome
+  into a segmented store whose counts reconcile with ``RunMetrics``;
+* ``GET /query`` answers count / top-k / window queries over a real socket,
+  agreeing with the in-process query functions;
+* ``GET /subscribe`` streams Server-Sent Events of records *while a run is
+  appending them*, and the long-poll fallback catches up from a sequence
+  number;
+* a cluster-mode run writes per-instance stores whose merged answers equal
+  the solo run's, both in-process (``open_store``) and over the cluster
+  fan-out endpoint;
+* the ``repro query`` CLI prints the same numbers.
+
+Exit code 0 means the query tier works on this interpreter; any assertion
+failure or exception fails the CI step.
+"""
+
+import contextlib
+import io
+import json
+import socket
+import sys
+import tempfile
+import threading
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main as cli_main  # noqa: E402
+from repro.core import FFSVAConfig, workload_trace  # noqa: E402
+from repro.obs.export import ClusterMetricsServer, MetricsAggregator, TelemetryServer  # noqa: E402
+from repro.sim import PipelineSimulator  # noqa: E402
+from repro.sim.cluster import ClusterSimulator  # noqa: E402
+from repro.store import (  # noqa: E402
+    DetectionRecord,
+    DetStore,
+    count_detections,
+    open_store,
+    top_k_streams,
+    window_aggregate,
+)
+from repro.video import jackson  # noqa: E402
+
+N_FRAMES = 400
+
+
+def _traces(n_streams: int):
+    return [
+        workload_trace(jackson(), N_FRAMES, tor=0.25 + 0.1 * i, seed=3 + i)
+        for i in range(n_streams)
+    ]
+
+
+def _get_json(url: str):
+    with urllib.request.urlopen(url, timeout=10) as resp:
+        return json.loads(resp.read())
+
+
+def check_live_run_and_queries(tmp: Path) -> dict:
+    """Run → persisted store → /query over a real socket."""
+    store_dir = tmp / "solo"
+    cfg = FFSVAConfig(result_store_dir=str(store_dir), store_segment_kb=16)
+    sim = PipelineSimulator(_traces(2), cfg, online=False)
+    metrics = sim.run()
+
+    reader = open_store(store_dir)
+    detected = count_detections(reader)
+    offered = count_detections(reader, disposition="any")
+    assert detected == metrics.frames_to_ref, (
+        f"store detected {detected} != metrics frames_to_ref {metrics.frames_to_ref}"
+    )
+    assert offered == metrics.frames_offered
+    top = top_k_streams(reader, 5)
+    assert len(top) == 2 and top[0][1] >= top[1][1]
+    bins = window_aggregate(reader, 1.0, disposition="any")
+    assert sum(b["count"] for b in bins) == offered
+
+    server = TelemetryServer(lambda: (metrics, None), store_dir=str(store_dir)).start()
+    try:
+        doc = _get_json(f"{server.url}/query?q=count")
+        assert doc["count"] == detected, "/query count disagrees with open_store"
+        doc = _get_json(f"{server.url}/query?q=topk&k=5")
+        assert [(d["stream"], d["count"]) for d in doc["top"]] == top
+        doc = _get_json(f"{server.url}/query?q=windows&window=1.0&disposition=any")
+        assert sum(b["count"] for b in doc["windows"]) == offered
+    finally:
+        server.stop()
+    print(f"query smoke: solo run ok ({detected}/{offered} detected, top={top})")
+    return {"detected": detected, "offered": offered, "top": top}
+
+
+def check_live_subscription(tmp: Path) -> None:
+    """SSE + long-poll subscribers fed by an actually-running pipeline."""
+    store = DetStore(tmp / "live", terminal="ref")
+    server = TelemetryServer(lambda: (None, None), store=store).start()
+    n_events = 25
+    got: dict = {}
+
+    def subscribe() -> None:
+        with socket.create_connection(("127.0.0.1", server.port), timeout=30) as s:
+            s.sendall(
+                f"GET /subscribe?max_events={n_events}&timeout=20 HTTP/1.0\r\n\r\n".encode()
+            )
+            buf = b""
+            while True:
+                chunk = s.recv(65536)
+                if not chunk:
+                    break
+                buf += chunk
+            got["raw"] = buf
+
+    sub = threading.Thread(target=subscribe)
+    sub.start()
+    # Wait until the handler's queue is registered so no event is missed.
+    for _ in range(200):
+        if server._hub is not None and server._hub._subs:
+            break
+        threading.Event().wait(0.05)
+    assert server._hub._subs, "SSE subscriber never registered"
+
+    sim = PipelineSimulator(_traces(1), FFSVAConfig(), online=False, store=store)
+    sim.run()  # every outcome is appended (and fanned out) during the run
+    sub.join(timeout=30)
+    assert not sub.is_alive(), "SSE subscriber did not terminate"
+
+    head, _, body = got["raw"].partition(b"\r\n\r\n")
+    assert b"200" in head.split(b"\r\n")[0] and b"text/event-stream" in head
+    events = [e for e in body.split(b"\n\n") if e.strip()]
+    assert len(events) == n_events, f"expected {n_events} SSE events, got {len(events)}"
+    seqs = []
+    for raw in events:
+        id_line, data_line = raw.split(b"\n", 1)
+        seqs.append(int(id_line.split(b": ")[1]))
+        rec = DetectionRecord.from_json(data_line.split(b"data: ", 1)[1].decode())
+        assert rec.stream and rec.disposition
+    assert seqs == sorted(seqs), "SSE sequence ids must be monotone"
+
+    # Long-poll catch-up: everything after the last SSE event is fetchable.
+    doc = _get_json(f"{server.url}/subscribe?mode=poll&after={seqs[-1]}")
+    assert doc["next"] >= seqs[-1]
+    assert all(isinstance(r["frame"], int) for r in doc["records"])
+
+    # /snapshot carries the live store section off the same hub.
+    snap = _get_json(f"{server.url}/snapshot")
+    assert snap["store"]["seq"] == store.seq
+    assert snap["store"]["recent"], "no recent records in /snapshot store section"
+
+    server.stop()
+    store.close()
+    print(f"query smoke: SSE ok ({len(events)} events, poll next={doc['next']})")
+
+
+def check_cluster_merge(tmp: Path, solo: dict) -> None:
+    """Cluster-mode per-instance stores merge to the solo run's answers."""
+    parent = tmp / "cluster"
+    cfg = FFSVAConfig(
+        cluster_instances=2, result_store_dir=str(parent), store_segment_kb=16
+    )
+    ClusterSimulator(_traces(2), cfg, online=True).run()
+    merged = open_store(parent)
+    assert count_detections(merged) == solo["detected"]
+    assert count_detections(merged, disposition="any") == solo["offered"]
+    assert top_k_streams(merged, 5) == solo["top"]
+
+    agg = MetricsAggregator({})
+    server = ClusterMetricsServer(
+        agg,
+        store_dirs={
+            "0": str(parent / "instance-0"),
+            "1": str(parent / "instance-1"),
+        },
+    ).start()
+    try:
+        doc = _get_json(f"{server.url}/query?q=count")
+        assert doc["count"] == solo["detected"], "cluster fan-out count disagrees"
+        doc = _get_json(f"{server.url}/query?q=topk&k=5")
+        assert [(d["stream"], d["count"]) for d in doc["top"]] == solo["top"]
+    finally:
+        server.stop()
+
+    # The CLI reads the same merged layout.
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        rc = cli_main(["query", str(parent), "--q", "count"])
+    assert rc == 0
+    assert str(solo["detected"]) in out.getvalue()
+    print("query smoke: cluster merged queries ok")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp_str:
+        tmp = Path(tmp_str)
+        solo = check_live_run_and_queries(tmp)
+        check_live_subscription(tmp)
+        check_cluster_merge(tmp, solo)
+    print("query smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,16 @@ from .devices import CostModel
 from .models import ModelZoo
 from .obs import Telemetry, TelemetryServer
 from .sim import simulate_offline, simulate_online
+from .store import (
+    DetectionRecord,
+    DetStore,
+    DetStoreReader,
+    count_detections,
+    open_store,
+    replay_detections,
+    top_k_streams,
+    window_aggregate,
+)
 from .video import VideoStream, coral, jackson, make_stream, make_streams
 
 __version__ = "1.0.0"
@@ -52,6 +62,14 @@ __all__ = [
     "simulate_online",
     "Telemetry",
     "TelemetryServer",
+    "DetectionRecord",
+    "DetStore",
+    "DetStoreReader",
+    "count_detections",
+    "open_store",
+    "replay_detections",
+    "top_k_streams",
+    "window_aggregate",
     "baseline_offline",
     "baseline_online",
     "error_rate",

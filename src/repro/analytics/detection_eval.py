@@ -17,7 +17,15 @@ import numpy as np
 from ..models.griddet import Detection
 from ..video.frame import GroundTruthObject
 
-__all__ = ["iou", "match_detections", "PRPoint", "precision_recall", "average_precision", "evaluate_map"]
+__all__ = [
+    "iou",
+    "match_detections",
+    "PRPoint",
+    "precision_recall",
+    "average_precision",
+    "evaluate_map",
+    "evaluate_map_from_store",
+]
 
 
 def iou(box_a: tuple[float, float, float, float], box_b: tuple[float, float, float, float]) -> float:
@@ -160,3 +168,42 @@ def evaluate_map(
         "map": float(np.mean(list(aps.values()))) if aps else 0.0,
         "n_truth": truth_counts,
     }
+
+
+def evaluate_map_from_store(
+    detector,
+    stream,
+    reader,
+    *,
+    stream_id: str | None = None,
+    t0: float = float("-inf"),
+    t1: float = float("inf"),
+    disposition: str = "detected",
+    iou_threshold: float = 0.4,
+    min_visibility: float = 0.25,
+) -> dict:
+    """:func:`evaluate_map`, but the frame set comes from a persisted run.
+
+    Instead of an in-memory index list, the frames to score are the ones a
+    detection-store query matches — so a run persisted with
+    ``result_store_dir`` can be evaluated after the fact (or remotely) with
+    no pipeline state.  ``reader`` is any store reader from
+    :mod:`repro.store`; ``stream_id`` defaults to the stream's own id.
+    """
+    from ..store.query import detected_frames
+
+    if stream_id is None:
+        stream_id = stream.stream_id
+    frames = detected_frames(
+        reader, stream_id, t0=t0, t1=t1, disposition=disposition
+    )
+    frames = [f for f in frames if 0 <= f < len(stream)]
+    result = evaluate_map(
+        detector,
+        stream,
+        frames,
+        iou_threshold=iou_threshold,
+        min_visibility=min_visibility,
+    )
+    result["n_frames"] = len(frames)
+    return result

@@ -110,6 +110,23 @@ def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="persist one DetectionRecord per frame outcome into a segmented "
+             "store under DIR (query later with `repro query DIR`); cluster "
+             "runs write per-instance stores DIR/instance-N/",
+    )
+    p.add_argument(
+        "--store-segment-kb", type=int, default=256, metavar="KB",
+        help="rotate store segments at this size (with --store-dir)",
+    )
+    p.add_argument(
+        "--store-segments", type=int, default=None, metavar="N",
+        help="keep at most N newest store segments (with --store-dir)",
+    )
+
+
 def _config_from(args) -> FFSVAConfig:
     telemetry = bool(
         getattr(args, "telemetry", False)
@@ -129,6 +146,9 @@ def _config_from(args) -> FFSVAConfig:
         snm_fusion=bool(getattr(args, "snm_fusion", False)),
         telemetry=telemetry,
         telemetry_port=getattr(args, "telemetry_port", None),
+        result_store_dir=getattr(args, "store_dir", None),
+        store_segment_kb=getattr(args, "store_segment_kb", 256),
+        store_segments=getattr(args, "store_segments", None),
     )
 
 
@@ -156,12 +176,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stream_args(p)
     _add_config_args(p)
     _add_telemetry_args(p)
+    _add_store_args(p)
     p.add_argument("--train-frames", type=int, default=300)
 
     p = sub.add_parser("simulate", help="paper-scale simulation on the virtual server")
     _add_stream_args(p)
     _add_config_args(p)
     _add_telemetry_args(p)
+    _add_store_args(p)
     p.add_argument("--streams", type=int, default=1)
     p.add_argument("--mode", choices=["offline", "online"], default="offline")
     p.add_argument(
@@ -180,6 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_stream_args(p)
     _add_config_args(p)
+    _add_store_args(p)
     p.add_argument("--streams", type=int, default=4)
     p.add_argument("--instances", type=int, default=2)
     p.add_argument(
@@ -200,6 +223,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--train-frames", type=int, default=200,
                    help="training frames per stream (threaded mode)")
+
+    p = sub.add_parser(
+        "query",
+        help="query a persisted detection store (no pipeline in the loop)",
+    )
+    p.add_argument(
+        "store",
+        help="store directory from a --store-dir run (or a cluster parent "
+             "holding instance-N/ stores, merged transparently)",
+    )
+    p.add_argument("--q", choices=["count", "topk", "windows"], default="count")
+    p.add_argument("--stream", default=None, help="restrict to one stream id")
+    p.add_argument("--cls", default=None, help="restrict to one object class")
+    p.add_argument("--t0", type=float, default=None, metavar="SECONDS")
+    p.add_argument("--t1", type=float, default=None, metavar="SECONDS")
+    p.add_argument("--k", type=int, default=5, help="top-k size (--q topk)")
+    p.add_argument("--window", type=float, default=1.0,
+                   help="bin width in seconds (--q windows)")
+    p.add_argument(
+        "--disposition", default="detected",
+        help='"detected" (terminal stage), "any", or a literal stage name',
+    )
+    p.add_argument(
+        "--replay", action="store_true",
+        help="re-decode the matched frames of --stream through the "
+             "memory-bounded ClipStore (requires --stream; the stream is "
+             "re-synthesized from --workload/--tor/--frames/--seed)",
+    )
+    _add_stream_args(p)
+    p.add_argument("--chunk-frames", type=int, default=64,
+                   help="frames per decoded chunk during --replay")
+    p.add_argument("--budget-mb", type=int, default=64,
+                   help="replay decode-cache memory budget (MiB)")
     return parser
 
 
@@ -322,6 +378,9 @@ def _cmd_simulate(args) -> int:
           f"({m.stage_fraction(terminal):.1%} of input)")
     for dev, util in sorted(m.device_utilization.items()):
         print(f"  {dev} utilization: {util:.0%}")
+    if getattr(sim, "store", None) is not None:
+        print(f"  detection store: {sim.store.rows_appended} rows in "
+              f"{config.result_store_dir} (query with `ffs-va query`)")
     _write_artifacts(args, m, telemetry, terminal)
     _linger(server, args.telemetry_linger)
     return 0
@@ -395,6 +454,63 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    from .store import (
+        count_detections,
+        open_store,
+        replay_detections,
+        top_k_streams,
+        window_aggregate,
+    )
+
+    try:
+        reader = open_store(args.store)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    t0 = args.t0 if args.t0 is not None else float("-inf")
+    t1 = args.t1 if args.t1 is not None else float("inf")
+    if args.q == "count":
+        n = count_detections(
+            reader, stream=args.stream, cls=args.cls,
+            t0=t0, t1=t1, disposition=args.disposition,
+        )
+        print(n)
+    elif args.q == "topk":
+        for stream_id, n in top_k_streams(
+            reader, args.k, cls=args.cls, t0=t0, t1=t1, disposition=args.disposition
+        ):
+            print(f"{stream_id}\t{n}")
+    else:
+        for b in window_aggregate(
+            reader, args.window, stream=args.stream, cls=args.cls,
+            t0=args.t0, t1=args.t1, disposition=args.disposition,
+        ):
+            print(f"[{b['t0']:8.2f}, {b['t1']:8.2f})  count={b['count']:<5d} "
+                  f"score_max={b['score_max']:g}")
+    if reader.missing:
+        print(f"note: {len(reader.missing)} segment(s) rotated out of retention",
+              file=sys.stderr)
+    if args.replay:
+        if not args.stream:
+            print("error: --replay requires --stream", file=sys.stderr)
+            return 2
+        stream = _stream_from(args)
+        result = replay_detections(
+            reader, stream,
+            t0=t0, t1=t1, stream_id=args.stream,
+            chunk_frames=args.chunk_frames,
+            memory_budget_bytes=args.budget_mb * 2**20,
+            disposition=args.disposition,
+        )
+        st = result.clip_stats
+        print(f"replayed {len(result.frames)} frame(s): peak decode memory "
+              f"{st['peak_bytes'] / 2**20:.1f} MiB of "
+              f"{st['memory_budget_bytes'] / 2**20:.0f} MiB budget "
+              f"({st['decode_count']} chunk decode(s))")
+    return 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "train": _cmd_train,
@@ -402,6 +518,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "plan": _cmd_plan,
     "cluster": _cmd_cluster,
+    "query": _cmd_query,
 }
 
 

@@ -123,6 +123,19 @@ class FFSVAConfig:
     # (wall seconds in the threaded runtime, virtual seconds in the DES).
     telemetry_sample_interval: float = 0.05
 
+    # --- detection store (repro.store) ----------------------------------
+    # Directory for the persistent detection store.  None (default)
+    # disables persistence; a path makes both runtimes append one
+    # DetectionRecord per frame outcome into rotated segments there.  A
+    # cluster run treats this as the parent: each instance writes its own
+    # `instance-N/` store underneath, merged transparently at query time.
+    result_store_dir: str | None = None
+    # Size at which the live store segment rotates (kilobytes).
+    store_segment_kb: int = 256
+    # Retention bound: keep at most this many sealed segments (oldest are
+    # deleted, with dropped counts in the manifest).  None keeps all.
+    store_segments: int | None = None
+
     # How long a threaded-runtime producer may block pushing one frame into
     # a full downstream queue before giving the frame a terminal "dropped"
     # disposition.  None (the default, and the paper's behaviour) blocks
@@ -188,6 +201,10 @@ class FFSVAConfig:
             raise ValueError("telemetry_port must be in [0, 65535] or None")
         if self.telemetry_sample_interval <= 0:
             raise ValueError("telemetry_sample_interval must be positive")
+        if self.store_segment_kb < 1:
+            raise ValueError("store_segment_kb must be >= 1")
+        if self.store_segments is not None and self.store_segments < 1:
+            raise ValueError("store_segments must be >= 1 or None")
         if self.queue_put_timeout is not None and self.queue_put_timeout <= 0:
             raise ValueError("queue_put_timeout must be positive or None")
 

@@ -157,15 +157,27 @@ class Telemetry:
         return snapshot_json(metrics, self)
 
     def serve(
-        self, metrics_provider, port: int = 0, *, trace_dir: str | None = None
+        self,
+        metrics_provider,
+        port: int = 0,
+        *,
+        trace_dir: str | None = None,
+        store=None,
+        store_dir: str | None = None,
     ) -> TelemetryServer:
         """Start an HTTP endpoint exposing this telemetry (caller stops it).
 
         ``metrics_provider`` is a zero-argument callable returning the
         current :class:`~repro.core.metrics.RunMetrics` (or None).  With
         ``trace_dir``, the endpoint also serves that directory's rotating
-        trace segments under ``/traces``.
+        trace segments under ``/traces``; with a live detection ``store``
+        (or a ``store_dir`` to read), ``/query`` and ``/subscribe`` serve
+        the persisted results.
         """
         return TelemetryServer(
-            lambda: (metrics_provider(), self), port=port, trace_dir=trace_dir
+            lambda: (metrics_provider(), self),
+            port=port,
+            trace_dir=trace_dir,
+            store=store,
+            store_dir=store_dir,
         ).start()

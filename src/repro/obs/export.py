@@ -30,8 +30,10 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from queue import Empty
 from urllib.parse import parse_qs, urlparse
 
 __all__ = [
@@ -382,6 +384,14 @@ class TelemetryServer:
     live state.  ``port=0`` binds an ephemeral port (see :attr:`port`).
     With ``trace_dir`` set, ``/traces`` serves that directory's
     :class:`~repro.obs.trace.RotatingTraceWriter` output by time range.
+
+    The detection-store surface rides the same socket:
+
+    * ``GET /query``     — with ``store_dir`` (or a live ``store``) set,
+      count/top-k/window queries over the persisted records;
+    * ``GET /subscribe`` — with a live ``store``, Server-Sent Events of
+      records as they are appended (``?mode=poll`` long-polls instead);
+    * ``/snapshot`` gains a ``"store"`` section (manifest + recent rows).
     """
 
     def __init__(
@@ -391,10 +401,17 @@ class TelemetryServer:
         host: str = "127.0.0.1",
         *,
         trace_dir: str | None = None,
+        store=None,
+        store_dir: str | None = None,
     ):
         self._provider = provider
         self._requested = (host, port)
         self._trace_dir = trace_dir
+        self._store = store
+        if store_dir is None and store is not None:
+            store_dir = str(store.directory)
+        self._store_dir = store_dir
+        self._hub = None
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -402,6 +419,12 @@ class TelemetryServer:
     def start(self) -> "TelemetryServer":
         provider = self._provider
         trace_dir = self._trace_dir
+        store_dir = self._store_dir
+        if self._store is not None and self._hub is None:
+            from ..store.server import SubscriptionHub
+
+            self._hub = SubscriptionHub(self._store)
+        hub = self._hub
 
         class Handler(BaseHTTPRequestHandler):
             def log_message(self, fmt, *args):  # keep scrapes silent
@@ -414,6 +437,61 @@ class TelemetryServer:
                 self.end_headers()
                 self.wfile.write(body)
 
+            def _sse(self, params: dict) -> None:
+                """Stream live records until the run ends, the client goes
+                away, or the testability bounds (?max_events=, ?timeout=)
+                are hit.  HTTP/1.0 + no Content-Length means the connection
+                closes when the handler returns — exactly SSE's contract."""
+                from ..store.server import sse_event
+
+                stream = params.get("stream", [None])[0]
+                cls = params.get("cls", [None])[0]
+                detected = params.get("detected", ["0"])[0] == "1"
+                try:
+                    max_events = int(params.get("max_events", [0])[0]) or None
+                    timeout = float(params.get("timeout", [0])[0]) or None
+                except ValueError:
+                    self._send(400, "application/json", b'{"error": "bad bound"}')
+                    return
+                terminal = hub.store.terminal
+                q = hub.subscribe()
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                sent = 0
+                try:
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/event-stream")
+                    self.send_header("Cache-Control", "no-cache")
+                    self.end_headers()
+                    while True:
+                        wait = 0.2
+                        if deadline is not None:
+                            wait = min(wait, deadline - time.monotonic())
+                            if wait <= 0:
+                                break
+                        try:
+                            seq, rec = q.get(timeout=wait)
+                        except Empty:
+                            continue
+                        if seq is None:  # hub closed: run is over
+                            break
+                        if stream is not None and rec.stream != stream:
+                            continue
+                        if cls is not None and rec.cls != cls:
+                            continue
+                        if detected and rec.disposition != terminal:
+                            continue
+                        self.wfile.write(sse_event(seq, rec))
+                        self.wfile.flush()
+                        sent += 1
+                        if max_events is not None and sent >= max_events:
+                            break
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # client went away mid-stream
+                finally:
+                    hub.unsubscribe(q)
+
             def do_GET(self):
                 parsed = urlparse(self.path)
                 route = parsed.path
@@ -423,12 +501,28 @@ class TelemetryServer:
                     self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
                 elif route == "/snapshot":
                     metrics, telemetry = provider()
-                    body = json.dumps(snapshot_json(metrics, telemetry)).encode()
-                    self._send(200, "application/json", body)
+                    snap = snapshot_json(metrics, telemetry)
+                    if store_dir is not None:
+                        from ..store.server import store_section
+
+                        snap["store"] = store_section(store_dir, hub)
+                    self._send(200, "application/json", json.dumps(snap).encode())
                 elif route == "/traces" and trace_dir is not None:
                     self._send(*_traces_reply(trace_dir, parse_qs(parsed.query)))
                 elif route.startswith("/traces/") and trace_dir is not None:
                     self._send(*_trace_segment_reply(trace_dir, route[len("/traces/"):]))
+                elif route == "/query" and store_dir is not None:
+                    from ..store.server import query_reply
+
+                    self._send(*query_reply(store_dir, parse_qs(parsed.query)))
+                elif route == "/subscribe" and hub is not None:
+                    params = parse_qs(parsed.query)
+                    if params.get("mode", [""])[0] == "poll":
+                        from ..store.server import poll_reply
+
+                        self._send(*poll_reply(hub, params))
+                    else:
+                        self._sse(params)
                 else:
                     self._send(404, "text/plain", b"try /metrics, /snapshot, /traces\n")
 
@@ -440,6 +534,9 @@ class TelemetryServer:
         return self
 
     def stop(self) -> None:
+        if self._hub is not None:
+            self._hub.close()  # unblocks any open /subscribe handlers
+            self._hub = None
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -564,17 +661,29 @@ class ClusterMetricsServer:
     """HTTP surface for a :class:`MetricsAggregator`.
 
     * ``GET /metrics``   — the aggregated exposition (scraped live);
-    * ``GET /instances`` — the target map and last scrape errors as JSON.
+    * ``GET /instances`` — the target map and last scrape errors as JSON;
+    * ``GET /query``     — with ``store_dirs`` set, one query over every
+      instance's detection store, merged — the store-plane analogue of the
+      aggregated ``/metrics``.
     """
 
-    def __init__(self, aggregator: MetricsAggregator, port: int = 0, host: str = "127.0.0.1"):
+    def __init__(
+        self,
+        aggregator: MetricsAggregator,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        *,
+        store_dirs: dict[str, str] | None = None,
+    ):
         self._aggregator = aggregator
         self._requested = (host, port)
+        self._store_dirs = dict(store_dirs) if store_dirs else None
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
     def start(self) -> "ClusterMetricsServer":
         aggregator = self._aggregator
+        store_dirs = self._store_dirs
 
         class Handler(BaseHTTPRequestHandler):
             def log_message(self, fmt, *args):
@@ -588,7 +697,8 @@ class ClusterMetricsServer:
                 self.wfile.write(body)
 
             def do_GET(self):
-                route = urlparse(self.path).path
+                parsed = urlparse(self.path)
+                route = parsed.path
                 if route == "/metrics":
                     body = aggregator.render().encode()
                     self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
@@ -598,6 +708,10 @@ class ClusterMetricsServer:
                         "application/json",
                         json.dumps(aggregator.instances_json()).encode(),
                     )
+                elif route == "/query" and store_dirs is not None:
+                    from ..store.server import query_reply
+
+                    self._send(*query_reply(store_dirs, parse_qs(parsed.query)))
                 else:
                     self._send(404, "text/plain", b"try /metrics or /instances\n")
 

@@ -97,6 +97,14 @@ def _instance_main(
     sock = socket.create_connection(addr)
     chan = DescriptorChannel(sock)
     tel = Telemetry(sample_interval=config.telemetry_sample_interval)
+    if config.result_store_dir is not None:
+        # Each instance persists into its own store under the configured
+        # parent; open_store() on the parent merges them at query time.
+        config = config.with_(
+            result_store_dir=os.path.join(
+                config.result_store_dir, f"instance-{instance_id}"
+            )
+        )
     pipeline = ThreadedPipeline(
         assigned,
         zoo,
@@ -105,7 +113,9 @@ def _instance_main(
         telemetry=tel,
         reserve_slots=config.cluster_reserve_slots,
     )
-    server = tel.serve(lambda: pipeline.metrics, port=0, trace_dir=trace_dir)
+    server = tel.serve(
+        lambda: pipeline.metrics, port=0, trace_dir=trace_dir, store=pipeline.store
+    )
     by_id = {s.stream_id: s for s in roster}
     ends = {s.stream_id: _planned(s, n_frames) for s in roster}
 
@@ -342,7 +352,15 @@ class ClusterSupervisor:
             aggregator = MetricsAggregator(
                 {f"{i}": url for i, url in enumerate(metrics_urls)}
             )
-            agg_server = ClusterMetricsServer(aggregator, port=0).start()
+            store_dirs = None
+            if cfg.result_store_dir is not None:
+                store_dirs = {
+                    f"{i}": os.path.join(cfg.result_store_dir, f"instance-{i}")
+                    for i in range(n_inst)
+                }
+            agg_server = ClusterMetricsServer(
+                aggregator, port=0, store_dirs=store_dirs
+            ).start()
 
             if online:
                 fps = paced_fps or cfg.stream_fps

@@ -54,6 +54,7 @@ from ..core.queues import FeedbackQueue, QueueClosed
 from ..devices.placement import Placement, ffs_va_placement
 from ..models.zoo import ModelZoo
 from ..obs import Telemetry
+from ..store.detstore import DetectionRecord, DetStore
 from .procpool import ProcPool
 from ..video.stream import VideoStream
 
@@ -144,6 +145,7 @@ class ThreadedPipeline:
         telemetry: Telemetry | None = None,
         *,
         reserve_slots: int = 0,
+        store: DetStore | None = None,
     ):
         if not streams and reserve_slots <= 0:
             raise ValueError("need at least one stream")
@@ -208,6 +210,13 @@ class ThreadedPipeline:
             AdmissionController(cfg, sampler=self.telemetry.sampler, graph=self.graph)
             if self.telemetry is not None
             else None
+        )
+        #: Persistent detection store (None = no persistence).  An injected
+        #: store is used as-is; otherwise config.result_store_dir builds one.
+        self.store = (
+            store
+            if store is not None
+            else DetStore.from_config(cfg, terminal=self.graph.terminal.name)
         )
         self._t0 = 0.0  # run-start monotonic reference for telemetry stamps
         self._busy: dict[str, float] = {}  # per-device lock-held seconds
@@ -310,6 +319,22 @@ class ThreadedPipeline:
         )
         with self._outcome_lock:
             self.outcomes.append(outcome)
+        if self.store is not None:
+            # Stream time (index / fps), not the wall clock: the simulator
+            # stamps the identical value, which is what makes threaded and
+            # simulated stores row-for-row comparable.
+            ctx = self.ctxs[work.stream_idx]
+            self.store.append(
+                DetectionRecord(
+                    stream=outcome.stream_id,
+                    frame=work.index,
+                    t=work.index / ctx.stream.fps,
+                    cls=ctx.stream.kind,
+                    box=None,
+                    score=float(ref_count) if ref_count is not None else 0.0,
+                    disposition=stage,
+                )
+            )
         tel = self.telemetry
         if tel is not None:
             tel.observe_latency("frame_latency_seconds", outcome.latency, stage=stage)
@@ -1009,6 +1034,10 @@ class ThreadedPipeline:
         self._pools.clear()
         if self._abort.is_set():
             self._drain_unfinished()
+        if self.store is not None:
+            # After the drain, so aborted-frame rows persist too; before the
+            # error raise, so a failed run still leaves a sealed store.
+            self.store.close()
         if self._errors:
             raise RuntimeError(
                 f"pipeline worker failed: {self._errors[0]!r}"

@@ -23,6 +23,7 @@ extension of the repo's cross-runtime guarantees, and what
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..core.admission import estimate_headroom
@@ -79,17 +80,27 @@ class ClusterSimulator:
         self.traces = list(traces)
         self._ends = {tr.stream_id: len(tr) for tr in traces}
         self._by_id = {tr.stream_id: tr for tr in traces}
-        self.instances = [
-            PipelineSimulator(
-                part,
-                cfg,
-                cost_model,
-                online=online,
-                graph=graph,
-                telemetry=Telemetry(sample_interval=cfg.telemetry_sample_interval),
+        self.instances = []
+        for i, part in enumerate(self.partition):
+            inst_cfg = cfg
+            if cfg.result_store_dir is not None:
+                # Same layout the live supervisor writes: one store per
+                # instance under the configured parent directory.
+                inst_cfg = cfg.with_(
+                    result_store_dir=os.path.join(
+                        cfg.result_store_dir, f"instance-{i}"
+                    )
+                )
+            self.instances.append(
+                PipelineSimulator(
+                    part,
+                    inst_cfg,
+                    cost_model,
+                    online=online,
+                    graph=graph,
+                    telemetry=Telemetry(sample_interval=cfg.telemetry_sample_interval),
+                )
             )
-            for part in self.partition
-        ]
         self.router = StreamRouter()
         self._attaches_used = [0] * n
 

@@ -64,6 +64,7 @@ from ..core.trace import FrameTrace
 from ..devices.costs import CostModel
 from ..devices.placement import Placement, ffs_va_placement
 from ..obs import Telemetry
+from ..store.detstore import DetectionRecord, DetStore
 
 __all__ = ["PipelineSimulator", "simulate_offline", "simulate_online"]
 
@@ -150,6 +151,7 @@ class PipelineSimulator:
         record_events: bool = False,
         graph: StageGraph | str | None = None,
         telemetry: Telemetry | None = None,
+        store=None,
     ):
         if not traces:
             raise ValueError("need at least one stream trace")
@@ -221,6 +223,14 @@ class PipelineSimulator:
             AdmissionController(cfg, sampler=self.telemetry.sampler, graph=self.graph)
             if self.telemetry is not None
             else None
+        )
+        #: Persistent detection store (None = no persistence).  Rows are
+        #: stamped with *stream time* on global frame indices, so they are
+        #: byte-identical to the threaded runtime's for the same workload.
+        self.store = (
+            store
+            if store is not None
+            else DetStore.from_config(cfg, terminal=self.graph.terminal.name)
         )
         self._prev_sample = {"t": 0.0, "done": {}, "busy": {}}
         # Downstream stage names, precomputed so disabled-telemetry event
@@ -548,6 +558,8 @@ class PipelineSimulator:
                 self.metrics.frames_to_ref += 1
                 latency = now - self._latency_base(st, f_idx)
                 self._ref_latencies.append(latency)
+                if self.store is not None:
+                    self._store_row(st, f_idx, svc.stage)
                 if tel is not None:
                     tel.observe_latency(
                         "frame_latency_seconds", latency, stage=svc.stage
@@ -582,6 +594,30 @@ class PipelineSimulator:
             return self._arrival_time(st, f_idx)
         return float(st.ingest_time[f_idx])
 
+    def _store_row(self, st: _StreamState, f_idx: int, stage: str) -> None:
+        """One durable row per frame outcome — the virtual-clock twin of the
+        threaded engine's sink.  Time is *stream time* on the global frame
+        index (``arrival_offset`` restores it for handed-off tails), and the
+        terminal score is the trace's precomputed reference count, so both
+        runtimes write identical rows for the same workload."""
+        tr = st.trace
+        g = st.arrival_offset + f_idx
+        is_terminal = stage == self.graph.terminal.name
+        score = 0.0
+        if is_terminal and tr.ref_count is not None:
+            score = float(tr.ref_count[f_idx])
+        self.store.append(
+            DetectionRecord(
+                stream=tr.stream_id,
+                frame=g,
+                t=g / tr.fps,
+                cls=tr.kind,
+                box=None,
+                score=score,
+                disposition=stage,
+            )
+        )
+
     def _drop_frame(
         self, st: _StreamState, f_idx: int, now: float, stage: str = "dropped"
     ) -> None:
@@ -589,6 +625,8 @@ class PipelineSimulator:
         st.finish_time = max(st.finish_time, now)
         latency = now - self._latency_base(st, f_idx)
         self._drop_latencies.append(latency)
+        if self.store is not None:
+            self._store_row(st, f_idx, stage)
         tel = self.telemetry
         if tel is not None:
             tel.observe_latency("frame_latency_seconds", latency, stage=stage)
@@ -712,6 +750,8 @@ class PipelineSimulator:
         return self._finalize(self._now, max_virtual_time)
 
     def _finalize(self, now: float, max_virtual_time: float | None) -> RunMetrics:
+        if self.store is not None:
+            self.store.close()  # idempotent: advance()/finalize() may repeat
         m = self.metrics
         m.duration = now
         m.frames_offered = sum(st.n for st in self.streams)

@@ -1,0 +1,544 @@
+"""Append-only, segmented detection store with a manifest index.
+
+Every frame the pipeline disposes of becomes one :class:`DetectionRecord`;
+a run's records land in rotated segment files inside one directory, indexed
+by ``manifest.json`` — the same rotate/retain idiom
+:class:`~repro.obs.trace.RotatingTraceWriter` established for trace
+segments, specialized for typed rows:
+
+* **append-only**: each record is written (and buffered-flushed) into the
+  *live* segment the moment the runtime records the outcome, so a crash
+  loses at most the unflushed tail of one file;
+* **rotate-before-append**: when one more record would push the live
+  segment past ``segment_bytes`` it is sealed first — a record landing
+  *exactly* on the boundary stays in its segment;
+* **manifest index**: sealed segments are listed oldest-first with their
+  time bounds and row counts, so a range query opens only the touched
+  files; the live segment is discovered by directory scan (which is also
+  what makes an unclean shutdown readable);
+* **retention**: with ``max_segments`` set, sealing the newest segment
+  deletes the oldest beyond the bound (``dropped_segments`` /
+  ``dropped_rows`` count what was lost).
+
+Both runtimes feed a store through the same sink contract — one record per
+:class:`~repro.runtime.engine.FrameOutcome`-equivalent disposition, stamped
+with *stream time* (``global_frame_index / fps``), never the wall or
+virtual clock — so a threaded run and a simulated run of the same workload
+produce byte-identical rows (:func:`assert_store_rows_equal`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "DetectionRecord",
+    "DetStore",
+    "DetStoreReader",
+    "assert_store_rows_equal",
+    "recover_store",
+]
+
+#: On-disk record formats a store can write (readers handle both).
+FORMATS = ("jsonl", "binary")
+
+_SEGMENT_PREFIX = "det-"
+_SEGMENT_EXTS = {"jsonl": ".jsonl", "binary": ".bin"}
+
+# Binary record layout (inside a u32 length-prefixed frame):
+#   u8  flags (bit 0: box present)
+#   i64 frame, f64 t, f64 score, [4 x f64 box]
+#   u16-length-prefixed UTF-8: stream, cls, disposition
+_FIXED = struct.Struct("<Bqdd")
+_BOX = struct.Struct("<4d")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class DetectionRecord:
+    """One frame's durable analytics row.
+
+    ``frame`` is the stream-global frame index (handoffs preserve it) and
+    ``t = frame / fps`` is stream time — deterministic across runtimes.
+    ``disposition`` names the stage where the frame's journey ended: the
+    graph's terminal stage name means *detected/analyzed*; any earlier
+    stage name means filtered there; ``"dropped"``/``"aborted"`` are the
+    runtime's terminal failure dispositions.  ``score`` carries the
+    terminal stage's object count for analyzed frames (0.0 otherwise) and
+    a detector confidence for replay-produced rows; ``box`` is populated
+    only by replay/evaluation paths (the live sinks record outcomes, not
+    geometry).
+    """
+
+    stream: str
+    frame: int
+    t: float
+    cls: str
+    box: tuple[float, float, float, float] | None
+    score: float
+    disposition: str
+
+    # -- dict / JSON -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "stream": self.stream,
+            "frame": self.frame,
+            "t": self.t,
+            "cls": self.cls,
+            "box": None if self.box is None else list(self.box),
+            "score": self.score,
+            "disposition": self.disposition,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "DetectionRecord":
+        box = d.get("box")
+        return cls(
+            stream=str(d["stream"]),
+            frame=int(d["frame"]),
+            t=float(d["t"]),
+            cls=str(d["cls"]),
+            box=None if box is None else tuple(float(v) for v in box),
+            score=float(d["score"]),
+            disposition=str(d["disposition"]),
+        )
+
+    def to_json(self) -> str:
+        """Compact JSON; floats use Python's shortest round-trip repr, so
+        decoding recovers bit-identical doubles."""
+        return json.dumps(self.to_dict(), separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DetectionRecord":
+        return cls.from_dict(json.loads(text))
+
+    # -- binary ----------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        flags = 0 if self.box is None else 1
+        parts = [_FIXED.pack(flags, self.frame, self.t, self.score)]
+        if self.box is not None:
+            parts.append(_BOX.pack(*self.box))
+        for text in (self.stream, self.cls, self.disposition):
+            raw = text.encode("utf-8")
+            if len(raw) > 0xFFFF:
+                raise ValueError("string field exceeds 65535 encoded bytes")
+            parts.append(_U16.pack(len(raw)))
+            parts.append(raw)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DetectionRecord":
+        flags, frame, t, score = _FIXED.unpack_from(raw, 0)
+        off = _FIXED.size
+        box = None
+        if flags & 1:
+            box = _BOX.unpack_from(raw, off)
+            off += _BOX.size
+        texts = []
+        for _ in range(3):
+            (n,) = _U16.unpack_from(raw, off)
+            off += _U16.size
+            texts.append(raw[off : off + n].decode("utf-8"))
+            off += n
+        if off != len(raw):
+            raise ValueError(f"trailing bytes in record ({len(raw) - off})")
+        stream, kind, disposition = texts
+        return cls(
+            stream=stream, frame=frame, t=t, cls=kind,
+            box=box, score=score, disposition=disposition,
+        )
+
+
+def _encode(record: DetectionRecord, fmt: str) -> bytes:
+    if fmt == "jsonl":
+        return record.to_json().encode("utf-8") + b"\n"
+    payload = record.to_bytes()
+    return _U32.pack(len(payload)) + payload
+
+
+def _decode_file(raw: bytes, fmt: str):
+    """Yield the complete records of one segment's bytes.
+
+    Tolerant of a truncated tail (the crash case): a partial last line /
+    length-frame simply ends the iteration — everything before it is
+    returned intact.
+    """
+    if fmt == "jsonl":
+        for line in raw.split(b"\n"):
+            if not line:
+                continue
+            try:
+                yield DetectionRecord.from_json(line.decode("utf-8"))
+            except (ValueError, KeyError, UnicodeDecodeError):
+                return  # truncated / garbled tail: stop at the last good row
+        return
+    off = 0
+    while off + _U32.size <= len(raw):
+        (n,) = _U32.unpack_from(raw, off)
+        if off + _U32.size + n > len(raw):
+            return  # length frame runs past EOF: truncated tail
+        try:
+            yield DetectionRecord.from_bytes(raw[off + _U32.size : off + _U32.size + n])
+        except (ValueError, UnicodeDecodeError):
+            return
+        off += _U32.size + n
+
+
+class DetStore:
+    """Segmented append-only writer for :class:`DetectionRecord` rows."""
+
+    def __init__(
+        self,
+        directory,
+        *,
+        segment_bytes: int = 256 * 1024,
+        max_segments: int | None = None,
+        terminal: str = "ref",
+        fmt: str = "jsonl",
+        label: str | None = None,
+    ):
+        if segment_bytes < 512:
+            raise ValueError("segment_bytes must be >= 512")
+        if max_segments is not None and max_segments < 1:
+            raise ValueError("max_segments must be >= 1")
+        if fmt not in FORMATS:
+            raise ValueError(f"fmt must be one of {FORMATS}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = segment_bytes
+        self.max_segments = max_segments
+        self.terminal = terminal
+        self.fmt = fmt
+        self.label = label
+        self.segments: list[dict] = []
+        self.dropped_segments = 0
+        self.dropped_rows = 0
+        self.rows_appended = 0
+        self._seq_no = 0  # segment sequence
+        self.seq = 0  # record sequence (monotone over appends)
+        self._lock = threading.Lock()
+        self._listeners: list = []
+        self._file = None
+        self._closed = False
+        self._reset_segment()
+        self._write_manifest()  # terminal/format are readable before any seal
+
+    # -- live segment ----------------------------------------------------
+    def _reset_segment(self) -> None:
+        self._live_name: str | None = None
+        self._bytes = 0
+        self._rows = 0
+        self._detected = 0
+        self._t_lo: float | None = None
+        self._t_hi: float | None = None
+
+    def _open_live(self) -> None:
+        self._live_name = f"{_SEGMENT_PREFIX}{self._seq_no:05d}{_SEGMENT_EXTS[self.fmt]}"
+        self._seq_no += 1
+        self._file = open(self.directory / self._live_name, "wb")
+
+    def _seal_segment(self) -> dict | None:
+        """Close the live segment into the manifest; apply retention."""
+        if self._rows == 0:
+            return None
+        self._file.close()
+        self._file = None
+        entry = {
+            "file": self._live_name,
+            "format": self.fmt,
+            "t_lo": self._t_lo,
+            "t_hi": self._t_hi,
+            "rows": self._rows,
+            "detected": self._detected,
+            "bytes": self._bytes,
+        }
+        self.segments.append(entry)
+        while self.max_segments is not None and len(self.segments) > self.max_segments:
+            oldest = self.segments.pop(0)
+            try:
+                os.remove(self.directory / oldest["file"])
+            except FileNotFoundError:
+                pass
+            self.dropped_segments += 1
+            self.dropped_rows += oldest["rows"]
+        self._reset_segment()
+        self._write_manifest()
+        return entry
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "version": 1,
+            "format": self.fmt,
+            "terminal": self.terminal,
+            "label": self.label,
+            "segment_bytes": self.segment_bytes,
+            "max_segments": self.max_segments,
+            "dropped_segments": self.dropped_segments,
+            "dropped_rows": self.dropped_rows,
+            "segments": self.segments,
+        }
+        with open(self.directory / "manifest.json", "w") as fh:
+            json.dump(manifest, fh, indent=2)
+
+    # -- writing ---------------------------------------------------------
+    def append(self, record: DetectionRecord) -> int:
+        """Durably append one record; returns its monotone sequence number.
+
+        Thread-safe: the engine's stage workers all record outcomes
+        concurrently.  Listeners (the live subscription hub) are invoked
+        under the lock, in sequence order — they must only enqueue.
+        """
+        raw = _encode(record, self.fmt)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("store is closed")
+            if self._rows and self._bytes + len(raw) > self.segment_bytes:
+                self._seal_segment()
+            if self._file is None:
+                self._open_live()
+            self._file.write(raw)
+            self._bytes += len(raw)
+            self._rows += 1
+            self.rows_appended += 1
+            if record.disposition == self.terminal:
+                self._detected += 1
+            self._t_lo = record.t if self._t_lo is None else min(self._t_lo, record.t)
+            self._t_hi = record.t if self._t_hi is None else max(self._t_hi, record.t)
+            self.seq += 1
+            seq = self.seq
+            for listener in self._listeners:
+                listener(seq, record)
+        return seq
+
+    def extend(self, records) -> None:
+        for record in records:
+            self.append(record)
+
+    def flush(self) -> None:
+        """Push buffered live-segment bytes to the OS (crash narrowing)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.flush()
+
+    def close(self) -> dict:
+        """Seal the live segment and finalize the manifest (idempotent)."""
+        with self._lock:
+            if not self._closed:
+                self._seal_segment()
+                if self._file is not None:  # empty live file, never written
+                    self._file.close()
+                    self._file = None
+                self._write_manifest()
+                self._closed = True
+        with open(self.directory / "manifest.json") as fh:
+            return json.load(fh)
+
+    # -- live subscriptions ---------------------------------------------
+    def add_listener(self, fn) -> None:
+        """Register ``fn(seq, record)``, called on every append."""
+        with self._lock:
+            self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        with self._lock:
+            if fn in self._listeners:
+                self._listeners.remove(fn)
+
+    # -- config wiring ---------------------------------------------------
+    @classmethod
+    def from_config(cls, config, *, terminal: str, label: str | None = None):
+        """The store a config asks for (None when ``result_store_dir`` is
+        unset) — the construction hook both runtimes share."""
+        directory = getattr(config, "result_store_dir", None)
+        if directory is None:
+            return None
+        return cls(
+            directory,
+            segment_bytes=config.store_segment_kb * 1024,
+            max_segments=config.store_segments,
+            terminal=terminal,
+            label=label,
+        )
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+def _segment_ext_format(name: str) -> str | None:
+    for fmt, ext in _SEGMENT_EXTS.items():
+        if name.endswith(ext):
+            return fmt
+    return None
+
+
+class DetStoreReader:
+    """Retention- and crash-aware reader over one store directory.
+
+    The manifest is re-read on every access (like the telemetry plane's
+    ``/traces`` endpoint), so a long-lived reader keeps agreeing with a
+    store that is still rotating.  Segments the manifest lists but that
+    retention already deleted land in :attr:`missing` instead of raising;
+    on-disk segment files the manifest does *not* list yet (the live
+    segment, or everything after an unclean shutdown) are scanned too, with
+    truncated tails tolerated.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        #: Manifest-listed files absent on disk, per last iteration.
+        self.missing: list[str] = []
+        #: Files actually opened by the last iteration (query cost probe).
+        self.last_opened: list[str] = []
+
+    def manifest(self) -> dict:
+        try:
+            with open(self.directory / "manifest.json") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return {}
+
+    @property
+    def terminal(self) -> str:
+        return self.manifest().get("terminal", "ref")
+
+    def _unmanifested(self, listed: set[str]) -> list[str]:
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return []
+        return [
+            n
+            for n in names
+            if n.startswith(_SEGMENT_PREFIX)
+            and _segment_ext_format(n) is not None
+            and n not in listed
+        ]
+
+    def segment_files(
+        self, t0: float = float("-inf"), t1: float = float("inf")
+    ) -> list[tuple[str, str]]:
+        """``(file, format)`` of every segment a ``[t0, t1]`` query must
+        open: manifest entries overlapping the range (the time index prunes
+        the rest) plus all unmanifested on-disk files, whose bounds are
+        unknown until read."""
+        manifest = self.manifest()
+        default_fmt = manifest.get("format", "jsonl")
+        out: list[tuple[str, str]] = []
+        listed: set[str] = set()
+        for seg in manifest.get("segments", []):
+            listed.add(seg["file"])
+            if seg["t_hi"] >= t0 and seg["t_lo"] <= t1:
+                out.append((seg["file"], seg.get("format", default_fmt)))
+        for name in self._unmanifested(listed):
+            out.append((name, _segment_ext_format(name) or default_fmt))
+        return out
+
+    def iter_records(self, t0: float = float("-inf"), t1: float = float("inf")):
+        """Yield records with ``t0 <= t <= t1``, oldest segment first."""
+        self.missing = []
+        self.last_opened = []
+        for name, fmt in self.segment_files(t0, t1):
+            try:
+                with open(self.directory / name, "rb") as fh:
+                    raw = fh.read()
+            except OSError:
+                self.missing.append(name)
+                continue
+            self.last_opened.append(name)
+            for record in _decode_file(raw, fmt):
+                if t0 <= record.t <= t1:
+                    yield record
+
+    def records(
+        self, t0: float = float("-inf"), t1: float = float("inf")
+    ) -> list[DetectionRecord]:
+        return list(self.iter_records(t0, t1))
+
+
+def recover_store(directory) -> dict:
+    """Rebuild ``manifest.json`` from the segment files on disk.
+
+    The crash-recovery path: every ``det-*`` file is scanned (truncated
+    tails dropped), sealed into a fresh manifest entry with recomputed
+    bounds and row counts, and the manifest is rewritten.  Store metadata
+    (terminal stage, format, label) survives from the old manifest when it
+    is still readable.
+    """
+    directory = Path(directory)
+    reader = DetStoreReader(directory)
+    old = reader.manifest()
+    default_fmt = old.get("format", "jsonl")
+    segments = []
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        fmt = _segment_ext_format(name)
+        if not name.startswith(_SEGMENT_PREFIX) or fmt is None:
+            continue
+        with open(directory / name, "rb") as fh:
+            raw = fh.read()
+        rows = list(_decode_file(raw, fmt))
+        if not rows:
+            os.remove(directory / name)  # empty/garbled file: nothing to index
+            continue
+        ts = [r.t for r in rows]
+        segments.append(
+            {
+                "file": name,
+                "format": fmt,
+                "t_lo": min(ts),
+                "t_hi": max(ts),
+                "rows": len(rows),
+                "detected": sum(
+                    1 for r in rows if r.disposition == old.get("terminal", "ref")
+                ),
+                "bytes": len(raw),
+            }
+        )
+    manifest = {
+        "version": 1,
+        "format": default_fmt,
+        "terminal": old.get("terminal", "ref"),
+        "label": old.get("label"),
+        "segment_bytes": old.get("segment_bytes", 256 * 1024),
+        "max_segments": old.get("max_segments"),
+        "dropped_segments": old.get("dropped_segments", 0),
+        "dropped_rows": old.get("dropped_rows", 0),
+        "recovered": True,
+        "segments": segments,
+    }
+    with open(directory / "manifest.json", "w") as fh:
+        json.dump(manifest, fh, indent=2)
+    return manifest
+
+
+def assert_store_rows_equal(a, b, *, context: str = "") -> None:
+    """Assert two runs produced identical rows (the store-level analogue of
+    :func:`~repro.core.metrics.assert_stage_counts_equal`).
+
+    ``a``/``b`` are readers or record lists.  Rows are compared field-for-
+    field after sorting by ``(stream, frame)`` — the one-record-per-outcome
+    invariant makes that key unique within a run.
+    """
+    rows_a = sorted(
+        a if isinstance(a, list) else a.records(), key=lambda r: (r.stream, r.frame)
+    )
+    rows_b = sorted(
+        b if isinstance(b, list) else b.records(), key=lambda r: (r.stream, r.frame)
+    )
+    prefix = f"{context}: " if context else ""
+    assert len(rows_a) == len(rows_b), (
+        f"{prefix}row counts differ: {len(rows_a)} != {len(rows_b)}"
+    )
+    for ra, rb in zip(rows_a, rows_b):
+        assert ra == rb, f"{prefix}rows differ:\n  {ra}\n  {rb}"

@@ -1,0 +1,207 @@
+"""Pure query functions over a detection store.
+
+Every function takes a reader (:class:`~repro.store.detstore.DetStoreReader`
+or :class:`MultiReader`) and answers one of the *Video Monitoring Queries*
+classes — count, top-k busiest streams, windowed aggregates — by streaming
+the touched segments.  Nothing here mutates the store or needs the
+pipeline: the same code serves an offline ``repro query``, the live
+``/query`` endpoint, and the cluster fan-out.
+
+The ``disposition`` selector is common to all queries:
+
+* ``"detected"`` (default) — only rows whose disposition is the store's
+  terminal stage name, i.e. frames the full cascade analyzed;
+* ``"any"`` — every recorded outcome;
+* any literal stage name (``"sdd"``, ``"dropped"``, ...) — rows that ended
+  at exactly that stage.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from pathlib import Path
+
+from .detstore import DetStoreReader
+
+__all__ = [
+    "MultiReader",
+    "count_detections",
+    "detected_frames",
+    "open_store",
+    "top_k_streams",
+    "window_aggregate",
+]
+
+_INF = float("inf")
+
+
+class MultiReader:
+    """Read several stores (a cluster's per-instance directories) as one.
+
+    Record order is per-store; queries here never depend on global order.
+    The terminal stage is taken from the first store — every instance of
+    one cluster runs the same graph, so they agree.
+    """
+
+    def __init__(self, readers: list[DetStoreReader]):
+        if not readers:
+            raise ValueError("MultiReader needs at least one reader")
+        self.readers = readers
+        self.missing: list[str] = []
+        self.last_opened: list[str] = []
+
+    @property
+    def terminal(self) -> str:
+        return self.readers[0].terminal
+
+    def iter_records(self, t0: float = -_INF, t1: float = _INF):
+        self.missing = []
+        self.last_opened = []
+        for reader in self.readers:
+            yield from reader.iter_records(t0, t1)
+            self.missing.extend(reader.missing)
+            self.last_opened.extend(reader.last_opened)
+
+    def records(self, t0: float = -_INF, t1: float = _INF):
+        return list(self.iter_records(t0, t1))
+
+
+def open_store(path):
+    """Open ``path`` as a single store or a cluster parent directory.
+
+    A directory holding ``manifest.json`` (or any ``det-*`` segment) reads
+    as one store; otherwise its subdirectories that hold a manifest (the
+    ``instance-N/`` layout the cluster writes) are merged through a
+    :class:`MultiReader`.  Raises :class:`FileNotFoundError` when neither
+    shape is present.
+    """
+    path = Path(path)
+    if not path.is_dir():
+        raise FileNotFoundError(f"no store directory at {path}")
+    has_manifest = (path / "manifest.json").is_file()
+    has_segments = any(n.startswith("det-") for n in os.listdir(path))
+    if has_manifest or has_segments:
+        return DetStoreReader(path)
+    subs = sorted(
+        p for p in path.iterdir() if p.is_dir() and (p / "manifest.json").is_file()
+    )
+    if subs:
+        return MultiReader([DetStoreReader(p) for p in subs])
+    raise FileNotFoundError(f"{path} holds neither a store nor instance stores")
+
+
+def _matcher(reader, stream, cls, disposition):
+    terminal = reader.terminal
+
+    def match(rec) -> bool:
+        if stream is not None and rec.stream != stream:
+            return False
+        if cls is not None and rec.cls != cls:
+            return False
+        if disposition == "any":
+            return True
+        if disposition == "detected":
+            return rec.disposition == terminal
+        return rec.disposition == disposition
+
+    return match
+
+
+def count_detections(
+    reader,
+    *,
+    stream: str | None = None,
+    cls: str | None = None,
+    t0: float = -_INF,
+    t1: float = _INF,
+    disposition: str = "detected",
+) -> int:
+    """``count class c on stream s in [t0, t1]`` — the headline query."""
+    match = _matcher(reader, stream, cls, disposition)
+    return sum(1 for rec in reader.iter_records(t0, t1) if match(rec))
+
+
+def top_k_streams(
+    reader,
+    k: int = 5,
+    *,
+    cls: str | None = None,
+    t0: float = -_INF,
+    t1: float = _INF,
+    disposition: str = "detected",
+) -> list[tuple[str, int]]:
+    """The ``k`` busiest streams by matching-record count, ties broken by
+    stream id so the answer is deterministic across store layouts."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    match = _matcher(reader, None, cls, disposition)
+    counts: dict[str, int] = {}
+    for rec in reader.iter_records(t0, t1):
+        if match(rec):
+            counts[rec.stream] = counts.get(rec.stream, 0) + 1
+    return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+
+
+def window_aggregate(
+    reader,
+    window: float,
+    *,
+    stream: str | None = None,
+    cls: str | None = None,
+    t0: float | None = None,
+    t1: float | None = None,
+    disposition: str = "detected",
+) -> list[dict]:
+    """Fixed-width time windows with count / score sum / score max.
+
+    When ``t0``/``t1`` are omitted the bounds come from the matched
+    records themselves, aligned down/up to ``window`` multiples.  Empty
+    windows inside the range are emitted with ``count: 0`` so plots keep
+    their time axis.
+    """
+    if window <= 0:
+        raise ValueError("window must be > 0")
+    match = _matcher(reader, stream, cls, disposition)
+    lo = -_INF if t0 is None else t0
+    hi = _INF if t1 is None else t1
+    matched = [rec for rec in reader.iter_records(lo, hi) if match(rec)]
+    if t0 is None:
+        if not matched:
+            return []
+        t0 = min(rec.t for rec in matched)
+    if t1 is None:
+        t1 = max(rec.t for rec in matched)
+    start = math.floor(t0 / window) * window
+    n_bins = max(1, math.ceil((t1 - start) / window + 1e-9))
+    bins = [
+        {
+            "t0": start + i * window,
+            "t1": start + (i + 1) * window,
+            "count": 0,
+            "score_sum": 0.0,
+            "score_max": 0.0,
+        }
+        for i in range(n_bins)
+    ]
+    for rec in matched:
+        i = min(n_bins - 1, max(0, int((rec.t - start) / window)))
+        b = bins[i]
+        b["count"] += 1
+        b["score_sum"] += rec.score
+        b["score_max"] = max(b["score_max"], rec.score)
+    return bins
+
+
+def detected_frames(
+    reader,
+    stream: str,
+    *,
+    t0: float = -_INF,
+    t1: float = _INF,
+    disposition: str = "detected",
+) -> list[int]:
+    """Sorted frame indices of matching records on one stream — what the
+    replay path and store-backed evaluation consume."""
+    match = _matcher(reader, stream, None, disposition)
+    return sorted(rec.frame for rec in reader.iter_records(t0, t1) if match(rec))

@@ -1,0 +1,252 @@
+"""HTTP reply builders and the live subscription hub.
+
+The telemetry plane (:mod:`repro.obs.export`) owns the sockets; this
+module owns the store-specific logic behind them so it is testable without
+a server:
+
+* :func:`query_reply` — ``GET /query?...`` parameter parsing + execution
+  over a store directory (or a cluster's dict of them, the
+  ``MetricsAggregator``-style fan-out);
+* :class:`SubscriptionHub` — fans every :meth:`DetStore.append` out to
+  subscriber queues feeding ``GET /subscribe`` (SSE) and its long-poll
+  fallback;
+* :func:`store_section` — the store's contribution to ``/snapshot``,
+  reusing the record serializer (satellite: one serializer shared by
+  store, snapshot, and evaluation).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from queue import SimpleQueue
+
+from .detstore import DetStoreReader
+from .query import (
+    MultiReader,
+    count_detections,
+    open_store,
+    top_k_streams,
+    window_aggregate,
+)
+
+__all__ = [
+    "SubscriptionHub",
+    "poll_reply",
+    "query_reply",
+    "sse_event",
+    "store_section",
+]
+
+_INF = float("inf")
+
+
+class SubscriptionHub:
+    """Fan-out of live store appends to subscriber queues.
+
+    Registers itself as a store listener; every append lands as
+    ``(seq, record)`` in a bounded ring (for long-poll catch-up) and in
+    each live subscriber's :class:`~queue.SimpleQueue` (for SSE).  A
+    ``(None, None)`` sentinel is broadcast on :meth:`close` so handler
+    loops exit when the run ends.
+    """
+
+    def __init__(self, store, ring: int = 1024):
+        self.store = store
+        self._ring: deque = deque(maxlen=ring)
+        self._subs: list[SimpleQueue] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self.delivered = 0
+        store.add_listener(self._on_append)
+
+    def _on_append(self, seq: int, record) -> None:
+        with self._cond:
+            self._ring.append((seq, record))
+            self.delivered += 1
+            for q in self._subs:
+                q.put((seq, record))
+            self._cond.notify_all()
+
+    # -- SSE path --------------------------------------------------------
+    def subscribe(self) -> SimpleQueue:
+        with self._cond:
+            q: SimpleQueue = SimpleQueue()
+            if self._closed:
+                q.put((None, None))
+            self._subs.append(q)
+            return q
+
+    def unsubscribe(self, q: SimpleQueue) -> None:
+        with self._cond:
+            if q in self._subs:
+                self._subs.remove(q)
+
+    # -- long-poll path --------------------------------------------------
+    def since(self, after: int, wait: float = 0.0):
+        """``(last_seq, items)`` with every ringed item whose seq is
+        ``> after``; blocks up to ``wait`` seconds when none are ready."""
+        deadline = None
+        with self._cond:
+            while True:
+                items = [(s, r) for (s, r) in self._ring if s > after]
+                if items or self._closed or wait <= 0:
+                    last = items[-1][0] if items else after
+                    return last, items
+                if deadline is None:
+                    deadline = time.monotonic() + wait
+                    remaining = wait
+                else:
+                    remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return after, []
+                self._cond.wait(remaining)
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            for q in self._subs:
+                q.put((None, None))
+            self._cond.notify_all()
+        self.store.remove_listener(self._on_append)
+
+
+def sse_event(seq: int, record) -> bytes:
+    """One Server-Sent-Events frame: ``id:`` carries the store sequence so
+    a reconnecting client knows where it left off."""
+    return f"id: {seq}\ndata: {record.to_json()}\n\n".encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# /query
+# ---------------------------------------------------------------------------
+
+
+def _first(params: dict, key: str, default=None):
+    vals = params.get(key)
+    return vals[0] if vals else default
+
+
+def _parse_common(params: dict) -> dict:
+    out = {
+        "stream": _first(params, "stream"),
+        "cls": _first(params, "cls"),
+        "disposition": _first(params, "disposition", "detected"),
+    }
+    try:
+        out["t0"] = float(_first(params, "t0", -_INF))
+        out["t1"] = float(_first(params, "t1", _INF))
+    except ValueError as exc:
+        raise ValueError(f"bad time bound: {exc}") from exc
+    return out
+
+
+def query_reply(target, params: dict):
+    """Build the ``GET /query`` response: ``(status, content_type, body)``.
+
+    ``target`` is one store directory, or a ``{label: directory}`` dict for
+    the cluster fan-out — each existing instance store is opened and the
+    query runs over their merged records (labels of missing directories are
+    reported, not fatal; *no* store at all is a 404).  ``params`` is the
+    ``parse_qs`` dict; ``q`` picks the query class (``count`` | ``topk`` |
+    ``windows``).  Bad parameters are a 400 with a JSON ``error`` body.
+    """
+    skipped: list[str] = []
+    try:
+        if isinstance(target, dict):
+            readers = []
+            for label in sorted(target):
+                path = Path(target[label])
+                if path.is_dir():
+                    readers.append(DetStoreReader(path))
+                else:
+                    skipped.append(label)
+            if not readers:
+                raise FileNotFoundError("no instance store directories exist yet")
+            reader = MultiReader(readers) if len(readers) > 1 else readers[0]
+        else:
+            reader = open_store(target)
+    except FileNotFoundError as exc:
+        body = json.dumps({"error": str(exc)}).encode("utf-8")
+        return 404, "application/json", body
+
+    q = _first(params, "q", "count")
+    try:
+        common = _parse_common(params)
+        if q == "count":
+            result = {"count": count_detections(reader, **common)}
+        elif q == "topk":
+            k = int(_first(params, "k", 5))
+            kw = dict(common)
+            kw.pop("stream")  # topk ranks streams; a stream filter is meaningless
+            result = {
+                "top": [
+                    {"stream": s, "count": n} for s, n in top_k_streams(reader, k, **kw)
+                ]
+            }
+        elif q == "windows":
+            window = float(_first(params, "window", 1.0))
+            kw = dict(common)
+            t0, t1 = kw.pop("t0"), kw.pop("t1")
+            result = {
+                "windows": window_aggregate(
+                    reader,
+                    window,
+                    t0=None if t0 == -_INF else t0,
+                    t1=None if t1 == _INF else t1,
+                    **kw,
+                )
+            }
+        else:
+            raise ValueError(f"unknown query class {q!r} (count|topk|windows)")
+    except (ValueError, TypeError) as exc:
+        body = json.dumps({"error": str(exc)}).encode("utf-8")
+        return 400, "application/json", body
+
+    result["q"] = q
+    result["missing_segments"] = list(reader.missing)
+    if skipped:
+        result["missing_instances"] = skipped
+    return 200, "application/json", json.dumps(result, indent=2).encode("utf-8")
+
+
+def poll_reply(hub: SubscriptionHub | None, params: dict):
+    """Long-poll branch of ``/subscribe`` (``mode=poll``): records after
+    sequence ``after``, waiting up to ``wait`` seconds for news."""
+    if hub is None:
+        body = json.dumps({"error": "no live store on this instance"}).encode("utf-8")
+        return 404, "application/json", body
+    try:
+        after = int(_first(params, "after", 0))
+        wait = min(30.0, float(_first(params, "wait", 0.0)))
+    except ValueError as exc:
+        body = json.dumps({"error": str(exc)}).encode("utf-8")
+        return 400, "application/json", body
+    last, items = hub.since(after, wait)
+    body = json.dumps(
+        {"next": last, "records": [rec.to_dict() for _, rec in items]}
+    ).encode("utf-8")
+    return 200, "application/json", body
+
+
+def store_section(store_dir, hub: SubscriptionHub | None, recent: int = 16) -> dict:
+    """The ``store`` object inside ``/snapshot``: the live manifest plus
+    the most recent records (serialized with the shared record codec)."""
+    section: dict = {"dir": str(store_dir)}
+    try:
+        reader = open_store(store_dir)
+        manifest = reader.manifest() if hasattr(reader, "manifest") else {}
+    except FileNotFoundError:
+        manifest = {}
+    section["manifest"] = manifest
+    if hub is not None:
+        with hub._cond:
+            tail = list(hub._ring)[-recent:]
+        section["recent"] = [rec.to_dict() for _, rec in tail]
+        section["seq"] = hub.store.seq
+    return section
