@@ -70,6 +70,21 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
         help="fuse the per-stream SNMs into one worker forming cross-stream "
              "mega-batches executed as a single weight-stacked forward pass",
     )
+    p.add_argument(
+        "--tyolo-mosaic", action="store_true",
+        help="object-level T-YOLO consolidation: pack each cross-stream "
+             "mega-batch's active regions onto composite canvases and run "
+             "the detector once per canvas instead of once per frame",
+    )
+    p.add_argument(
+        "--mosaic-canvas", type=int, default=52, metavar="CELLS",
+        help="mosaic canvas side in detector grid cells (52 = one native "
+             "416x416 T-YOLO input)",
+    )
+    p.add_argument(
+        "--mosaic-gutter", type=int, default=1, metavar="CELLS",
+        help="empty-cell gap between mosaic placements (>= 1)",
+    )
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
@@ -144,6 +159,9 @@ def _config_from(args) -> FFSVAConfig:
         executor=getattr(args, "executor", "thread"),
         num_sdd_procs=getattr(args, "num_sdd_procs", 2),
         snm_fusion=bool(getattr(args, "snm_fusion", False)),
+        tyolo_mosaic=bool(getattr(args, "tyolo_mosaic", False)),
+        mosaic_canvas=getattr(args, "mosaic_canvas", 52),
+        mosaic_gutter=getattr(args, "mosaic_gutter", 1),
         telemetry=telemetry,
         telemetry_port=getattr(args, "telemetry_port", None),
         result_store_dir=getattr(args, "store_dir", None),

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..models.tyolo import TYOLO_GRID
 from .pipeline import CASCADES, EXECUTORS, STAGES, StageGraph, scaled_graph
 
 __all__ = ["FFSVAConfig", "BatchPolicyName"]
@@ -69,6 +70,20 @@ class FFSVAConfig:
     # queues into cross-stream mega-batches executed as a single
     # weight-stacked forward pass (the paper's GPU-0 batching of SNMs).
     snm_fusion: bool = False
+    # Object-level T-YOLO consolidation: promote the T-YOLO stage to fused
+    # fan-in and pack each mega-batch's active regions (proposed from the
+    # background-deviation response) onto composite canvases, running the
+    # detector once per canvas instead of once per frame.  Counts and
+    # verdicts are identical to the per-frame path (see models/mosaic.py);
+    # incompatible with cluster reserve slots, like every fused stage.
+    tyolo_mosaic: bool = False
+    # Mosaic canvas side, in detector grid cells.  The default 52 cells is
+    # exactly one native 416x416 T-YOLO input (4x4 whole frames, or dozens
+    # of sparse regions, per detector pass).
+    mosaic_canvas: int = 52
+    # Empty-cell gap between mosaic placements, in cells; >= 1 keeps blobs
+    # from ever merging across placements under 4-connectivity.
+    mosaic_gutter: int = 1
 
     # Online admission (Section 4.3.1): an instance can accept another stream
     # when T-YOLO's observed rate stays below this for `admission_window`
@@ -168,6 +183,13 @@ class FFSVAConfig:
             raise ValueError(f"executor must be one of {EXECUTORS}")
         if self.num_sdd_procs < 1:
             raise ValueError("num_sdd_procs must be >= 1")
+        if self.mosaic_canvas < TYOLO_GRID:
+            raise ValueError(
+                f"mosaic_canvas must be >= the {TYOLO_GRID}-cell detector grid"
+                " (a whole-frame fallback region must fit one canvas)"
+            )
+        if self.mosaic_gutter < 1:
+            raise ValueError("mosaic_gutter must be >= 1 (isolates placements)")
         if self.cascade not in CASCADES:
             raise ValueError(
                 f"cascade must be one of {sorted(CASCADES)}, got {self.cascade!r}"
@@ -218,9 +240,13 @@ class FFSVAConfig:
 
     def graph(self) -> StageGraph:
         """The stage graph this configuration selects, with the scale-out
-        execution options (``executor``, ``snm_fusion``) applied."""
+        execution options (``executor``, ``snm_fusion``, ``tyolo_mosaic``)
+        applied."""
         return scaled_graph(
-            CASCADES[self.cascade], executor=self.executor, snm_fusion=self.snm_fusion
+            CASCADES[self.cascade],
+            executor=self.executor,
+            snm_fusion=self.snm_fusion,
+            tyolo_mosaic=self.tyolo_mosaic,
         )
 
     @property

@@ -199,6 +199,12 @@ class StageSpec:
     #: over the shared-memory frame plane (CPU stages only — the flagship
     #: user is SDD, which the GIL otherwise serializes across streams).
     executor: str = "thread"
+    #: Object-level consolidation: the stage packs active regions from its
+    #: mega-batch onto composite canvases and runs the detector per canvas.
+    #: The simulator then charges :meth:`CostModel.mosaic_service_time`
+    #: (per-canvas, not per-frame) for this stage's batches.  Only
+    #: meaningful with ``fused`` fan-in.
+    mosaic: bool = False
 
     def __post_init__(self) -> None:
         if not self.name or self.name in (ABORTED, DROPPED):
@@ -209,6 +215,8 @@ class StageSpec:
             raise ValueError(f"executor must be one of {EXECUTORS}")
         if self.cost is not None and (len(self.cost) != 2 or min(self.cost) < 0):
             raise ValueError("cost must be a (overhead >= 0, per_frame >= 0) pair")
+        if self.mosaic and self.fan_in != FUSED:
+            raise ValueError("mosaic stages require fused fan-in")
 
     @property
     def depth_key(self) -> str:
@@ -408,6 +416,56 @@ def _tyolo_evaluate(pixels, bundles, zoo, config):
     return count_filter_mask(counts, config.number_of_objects, config.relax), counts
 
 
+def _tyolo_build_fused(bundles, zoo, config):
+    """Cross-stream mosaic T-YOLO evaluator (object-level consolidation).
+
+    The returned callable packs the active regions of every frame in a
+    mega-batch — proposed from the detector's own background-deviation
+    response, with the whole-frame fallback of
+    :func:`repro.models.mosaic.effective_regions` — onto composite
+    canvases, runs blob detection once per canvas, and credits each
+    detection back to its source frame.  Counts are exactly those of the
+    per-frame path (see models/mosaic.py for why), so the filter verdicts
+    are identical; only the detector-invocation count changes.
+
+    The :class:`~repro.models.mosaic.MosaicStats` accumulated across every
+    batch of the run ride on the closure as ``fused_evaluate.mosaic_stats``
+    for the telemetry plane and the final RunMetrics.
+    """
+    from ..models.mosaic import (
+        MosaicStats,
+        Region,
+        effective_regions,
+        mosaic_counts,
+        plan_mosaics,
+    )
+
+    det = zoo.tyolo.detector
+    grid = det.grid
+    stats = MosaicStats()
+
+    def fused_evaluate(pixels, stream_idx):
+        n = len(pixels)
+        stream_idx = np.asarray(stream_idx)
+        cells = np.empty((n, grid, grid), dtype=np.float32)
+        for s in np.unique(stream_idx):
+            mask = stream_idx == s
+            cells[mask] = det.response_cells(pixels[mask], bundles[s].background)
+        proposed = det.propose_regions(cells)
+        regions = [
+            Region(i, int(b[0]), int(b[1]), int(b[2]), int(b[3]))
+            for i in range(n)
+            for b in effective_regions(proposed[i], grid)
+        ]
+        plan = plan_mosaics(regions, config.mosaic_canvas, config.mosaic_gutter)
+        counts = mosaic_counts(det, plan, cells, n)
+        stats.observe(plan, n)
+        return count_filter_mask(counts, config.number_of_objects, config.relax), counts
+
+    fused_evaluate.mosaic_stats = stats
+    return fused_evaluate
+
+
 def _tyolo_mask(trace, config):
     return trace.tyolo_pass(config.number_of_objects, config.relax)
 
@@ -453,7 +511,7 @@ def tyolo_spec() -> StageSpec:
         device="gpu0",
         fan_in=SHARED_RR,
         batch=BatchRule("rr_cap"),
-        logic=StageLogic(_tyolo_evaluate, _tyolo_mask),
+        logic=StageLogic(_tyolo_evaluate, _tyolo_mask, build_fused=_tyolo_build_fused),
     )
 
 
@@ -475,7 +533,11 @@ def ffs_va_graph() -> StageGraph:
 
 
 def scaled_graph(
-    graph: StageGraph, *, executor: str = "thread", snm_fusion: bool = False
+    graph: StageGraph,
+    *,
+    executor: str = "thread",
+    snm_fusion: bool = False,
+    tyolo_mosaic: bool = False,
 ) -> StageGraph:
     """Apply the scale-out execution options of a config to a stage graph.
 
@@ -483,13 +545,18 @@ def scaled_graph(
       on a worker-process pool (the threaded runtime ignores the flag for
       GPU stages, whose device lock already serializes them);
     * ``snm_fusion=True`` switches the SNM stage's fan-in to ``fused``: one
-      worker pops all streams' queues into cross-stream mega-batches.
+      worker pops all streams' queues into cross-stream mega-batches;
+    * ``tyolo_mosaic=True`` promotes T-YOLO to a fused mosaic stage: the
+      round-robin extraction cap gives way to the shared
+      :func:`repro.core.batching.decide_fused_batch` policy, and each
+      mega-batch's active regions are consolidated onto composite canvases
+      (one detector pass per canvas — see models/mosaic.py).
 
-    Returns the graph unchanged (same object) when neither option is active.
+    Returns the graph unchanged (same object) when no option is active.
     """
     if executor not in EXECUTORS:
         raise ValueError(f"executor must be one of {EXECUTORS}")
-    if executor == "thread" and not snm_fusion:
+    if executor == "thread" and not snm_fusion and not tyolo_mosaic:
         return graph
     specs = []
     changed = False
@@ -499,6 +566,11 @@ def scaled_graph(
             changed = True
         if snm_fusion and spec.name == SNM and spec.fan_in == PER_STREAM:
             spec = replace(spec, fan_in=FUSED)
+            changed = True
+        if tyolo_mosaic and spec.name == TYOLO and spec.fan_in == SHARED_RR:
+            spec = replace(
+                spec, fan_in=FUSED, batch=BatchRule("config"), mosaic=True
+            )
             changed = True
         specs.append(spec)
     if not changed:

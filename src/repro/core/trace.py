@@ -53,6 +53,13 @@ class FrameTrace:
     tyolo_count: np.ndarray
     gt_count: np.ndarray
     ref_count: np.ndarray | None = None
+    #: Proposed T-YOLO active-cell ROIs as one flat ``(R, 5)`` int array of
+    #: ``(frame, cy0, cx0, cy1, cx1)`` rows, sorted by frame.  These are the
+    #: *raw* merged-blob boxes (config-independent); the whole-frame
+    #: fallback is applied at use time by
+    #: :func:`repro.models.mosaic.effective_regions`.  ``None`` marks a
+    #: trace recorded before region proposal existed.
+    mosaic_regions: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         n = len(self.sdd_dist)
@@ -61,6 +68,12 @@ class FrameTrace:
                 raise ValueError(f"{name} length mismatch ({len(getattr(self, name))} != {n})")
         if self.ref_count is not None and len(self.ref_count) != n:
             raise ValueError("ref_count length mismatch")
+        if self.mosaic_regions is not None:
+            r = self.mosaic_regions
+            if r.ndim != 2 or r.shape[1] != 5:
+                raise ValueError("mosaic_regions must be an (R, 5) array")
+            if len(r) and (r[:, 0].min() < 0 or r[:, 0].max() >= n):
+                raise ValueError("mosaic_regions frame index out of range")
 
     def __len__(self) -> int:
         return len(self.sdd_dist)
@@ -98,12 +111,31 @@ class FrameTrace:
         """Ground-truth target-object ratio of the clip."""
         return float((self.gt_count > 0).mean()) if len(self) else 0.0
 
+    def regions_by_frame(self) -> list[np.ndarray] | None:
+        """Per-frame ``(R, 4)`` ROI arrays, or ``None`` when unrecorded.
+
+        Splits the flat :attr:`mosaic_regions` table by frame; frames with
+        no active cells get an empty array (they cost no canvas space).
+        """
+        if self.mosaic_regions is None:
+            return None
+        flat = self.mosaic_regions
+        order = np.argsort(flat[:, 0], kind="stable")
+        flat = flat[order]
+        splits = np.searchsorted(flat[:, 0], np.arange(len(self) + 1))
+        return [flat[splits[i] : splits[i + 1], 1:] for i in range(len(self))]
+
     # -- transforms ------------------------------------------------------
     def rotated(self, offset: int) -> "FrameTrace":
         """Circularly shift the clip by ``offset`` frames (a phase-shifted
         'non-overlapping clip' with identical content statistics)."""
         offset %= max(len(self), 1)
         roll = lambda a: None if a is None else np.roll(a, -offset)
+        regions = self.mosaic_regions
+        if regions is not None and len(regions):
+            regions = regions.copy()
+            regions[:, 0] = (regions[:, 0] - offset) % len(self)
+            regions = regions[np.lexsort(regions.T[::-1])]
         return replace(
             self,
             sdd_dist=roll(self.sdd_dist),
@@ -111,6 +143,7 @@ class FrameTrace:
             tyolo_count=roll(self.tyolo_count),
             gt_count=roll(self.gt_count),
             ref_count=roll(self.ref_count),
+            mosaic_regions=regions,
         )
 
     def sliced(self, start: int, stop: int) -> "FrameTrace":
@@ -118,6 +151,11 @@ class FrameTrace:
         if not 0 <= start < stop <= len(self):
             raise ValueError(f"bad slice [{start}, {stop}) for trace of {len(self)}")
         cut = lambda a: None if a is None else a[start:stop]
+        regions = self.mosaic_regions
+        if regions is not None:
+            keep = (regions[:, 0] >= start) & (regions[:, 0] < stop)
+            regions = regions[keep].copy()
+            regions[:, 0] -= start
         return replace(
             self,
             sdd_dist=cut(self.sdd_dist),
@@ -125,6 +163,7 @@ class FrameTrace:
             tyolo_count=cut(self.tyolo_count),
             gt_count=cut(self.gt_count),
             ref_count=cut(self.ref_count),
+            mosaic_regions=regions,
         )
 
     def renamed(self, stream_id: str) -> "FrameTrace":
@@ -165,15 +204,27 @@ def build_trace(
     snm_prob = np.empty(n, dtype=np.float32)
     tyolo_count = np.empty(n, dtype=np.int64)
     ref_count = np.empty(n, dtype=np.int64) if with_ref else None
+    region_rows: list[np.ndarray] = []
 
     for start in range(0, n, chunk):
         stop = min(start + chunk, n)
         px = stream.pixel_batch(np.arange(start, stop))
         sdd_dist[start:stop] = bundle.sdd.distances(px)
         snm_prob[start:stop] = bundle.snm.predict_proba(px)
-        tyolo_count[start:stop] = zoo.tyolo.count_batch(px, bundle.background)
+        counts, regions = zoo.tyolo.count_and_regions(px, bundle.background)
+        tyolo_count[start:stop] = counts
+        for j, boxes in enumerate(regions):
+            if len(boxes):
+                frames_col = np.full((len(boxes), 1), start + j, dtype=np.int64)
+                region_rows.append(np.hstack([frames_col, boxes]))
         if ref_count is not None:
             ref_count[start:stop] = zoo.reference.count_batch(px, bundle.background)
+
+    mosaic_regions = (
+        np.concatenate(region_rows)
+        if region_rows
+        else np.zeros((0, 5), dtype=np.int64)
+    )
 
     return FrameTrace(
         stream_id=stream.stream_id,
@@ -187,4 +238,5 @@ def build_trace(
         tyolo_count=tyolo_count,
         gt_count=stream.gt_counts()[:n].astype(np.int64),
         ref_count=ref_count,
+        mosaic_regions=mosaic_regions,
     )

@@ -26,7 +26,7 @@ from .trace import FrameTrace, build_trace
 __all__ = ["cache_dir", "cached_trace", "workload_trace"]
 
 #: Bump to invalidate caches after behaviour-affecting model changes.
-_CACHE_VERSION = 4
+_CACHE_VERSION = 5
 
 
 def cache_dir() -> Path | None:
@@ -56,6 +56,7 @@ def _save(path: Path, trace: FrameTrace) -> None:
         c_low=trace.c_low,
         c_high=trace.c_high,
         has_ref=trace.ref_count is not None,
+        has_regions=trace.mosaic_regions is not None,
     )
     arrays = dict(
         sdd_dist=trace.sdd_dist,
@@ -66,6 +67,8 @@ def _save(path: Path, trace: FrameTrace) -> None:
     )
     if trace.ref_count is not None:
         arrays["ref_count"] = trace.ref_count
+    if trace.mosaic_regions is not None:
+        arrays["mosaic_regions"] = trace.mosaic_regions
     tmp = path.with_suffix(".tmp.npz")
     np.savez_compressed(tmp, **arrays)
     os.replace(tmp, path)
@@ -86,6 +89,9 @@ def _load(path: Path) -> FrameTrace:
             tyolo_count=z["tyolo_count"],
             gt_count=z["gt_count"],
             ref_count=z["ref_count"] if meta["has_ref"] else None,
+            mosaic_regions=(
+                z["mosaic_regions"] if meta.get("has_regions") else None
+            ),
         )
 
 

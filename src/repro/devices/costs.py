@@ -80,6 +80,13 @@ class CostModel:
     # chosen so SDD lands at the ~20K FPS end-to-end figure.
     sdd_overhead: float = 0.0
 
+    # Mosaic T-YOLO consolidation: CPU-side cost of copying one active
+    # region onto a composite canvas (a few-KB memcpy plus packer
+    # bookkeeping).  The detector itself then runs once per canvas at the
+    # full ``tyolo_infer`` rate — a canvas is exactly one native 416x416
+    # input — which is where the consolidation speedup comes from.
+    mosaic_pack_per_region: float = 30e-6
+
     @lru_cache(maxsize=None)
     def _stage_params(self) -> dict:
         """Stage -> (per-batch overhead, per-frame time).
@@ -104,6 +111,26 @@ class CostModel:
                 self.ref_infer + self.ref_resize + self.transfer_per_frame,
             ),
         }
+
+    def mosaic_service_time(
+        self, n_frames: int, n_regions: int, n_canvases: int
+    ) -> float:
+        """Busy time for one fused mosaic T-YOLO batch.
+
+        Every frame is still resized and transferred (the response signal
+        that proposes regions needs the pixels), every region pays the
+        packing copy, but the detector network runs **per canvas** instead
+        of per frame.  With zero canvases (an all-quiet batch) only the
+        CPU-side work remains.
+        """
+        if n_frames < 1:
+            raise ValueError("n_frames must be >= 1")
+        return (
+            self.tyolo_batch_overhead
+            + n_frames * (self.tyolo_resize + self.transfer_per_frame)
+            + n_regions * self.mosaic_pack_per_region
+            + n_canvases * self.tyolo_infer
+        )
 
     def service_time(self, stage: Stage, batch_size: int = 1) -> float:
         """Busy time a device spends on one batch at ``stage``."""

@@ -2,6 +2,15 @@
 
 from .drift import SceneChangeMonitor
 from .griddet import Detection, GridDetector, classify_kind
+from .mosaic import (
+    MosaicPlan,
+    MosaicStats,
+    Region,
+    effective_regions,
+    mosaic_counts,
+    mosaic_detections,
+    plan_mosaics,
+)
 from .reference import ReferenceModel
 from .sdd import SDD, calibrate_sdd, mse, nrmse, sad
 from .snm import SNM, SNMConfig, train_snm
@@ -22,6 +31,13 @@ __all__ = [
     "train_snm",
     "TYolo",
     "count_filter_mask",
+    "MosaicPlan",
+    "MosaicStats",
+    "Region",
+    "effective_regions",
+    "mosaic_counts",
+    "mosaic_detections",
+    "plan_mosaics",
     "ReferenceModel",
     "ModelZoo",
     "StreamModels",

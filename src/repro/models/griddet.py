@@ -49,6 +49,37 @@ from ..video.ops import block_reduce_mean, get_resize_plan, resize_bilinear
 __all__ = ["Detection", "GridDetector", "classify_kind"]
 
 
+def _merge_overlaps(boxes) -> np.ndarray:
+    """Merge overlapping half-open boxes to a fixed point, sorted.
+
+    Input boxes are ``(y0, x0, y1, x1)`` tuples; the result is an
+    ``(R, 4)`` int64 array of pairwise-disjoint boxes whose union covers
+    every input box (merging only grows boxes, so any cell covered before
+    is covered after).
+    """
+    boxes = [tuple(int(v) for v in b) for b in boxes]
+    merged = True
+    while merged:
+        merged = False
+        out: list[tuple[int, int, int, int]] = []
+        for b in boxes:
+            for i, o in enumerate(out):
+                if b[0] < o[2] and o[0] < b[2] and b[1] < o[3] and o[1] < b[3]:
+                    out[i] = (
+                        min(o[0], b[0]),
+                        min(o[1], b[1]),
+                        max(o[2], b[2]),
+                        max(o[3], b[3]),
+                    )
+                    merged = True
+                    break
+            else:
+                out.append(b)
+        boxes = out
+    boxes.sort()
+    return np.array(boxes, dtype=np.int64).reshape(-1, 4)
+
+
 @dataclass(frozen=True)
 class Detection:
     """One detected object in original-frame coordinates."""
@@ -129,18 +160,22 @@ class GridDetector:
         self.name = name
         # Per-background resize cache: detect() is called frame-by-frame with
         # the same reference image, so resizing it once matters.
-        self._bg_cache: tuple[int, np.ndarray] | None = None
+        self._bg_cache: tuple[np.ndarray, np.ndarray] | None = None
         self._resized: np.ndarray | None = None  # steady-state resize buffer
 
     # ------------------------------------------------------------------
     def _resized_background(self, background: np.ndarray) -> np.ndarray:
-        key = id(background)
-        if self._bg_cache is not None and self._bg_cache[0] == key:
+        # The cache holds a strong reference to the source array and matches
+        # by identity: an ``id()`` key alone can collide when the previous
+        # background is garbage-collected and a new array lands at the same
+        # address, silently serving a stale resize.  Keeping the reference
+        # alive makes address reuse impossible while cached.
+        if self._bg_cache is not None and self._bg_cache[0] is background:
             return self._bg_cache[1]
         resized = resize_bilinear(
             background, (self.resolution, self.resolution), copy=True
         )
-        self._bg_cache = (key, resized)
+        self._bg_cache = (background, resized)
         return resized
 
     def response_cells(self, frames: np.ndarray, background: np.ndarray) -> np.ndarray:
@@ -171,20 +206,22 @@ class GridDetector:
         cells = block_reduce_mean(resp, self.cell) / _RESPONSE_SCALE
         return cells[0] if single else cells
 
-    def _detect_from_cells(
-        self, cells: np.ndarray, frame_hw: tuple[int, int]
-    ) -> list[Detection]:
-        """Group active cells into detections for a single response map."""
+    def cell_blobs(self, cells: np.ndarray) -> list[tuple[tuple[int, int, int, int], float]]:
+        """Connected active-cell blobs of one response map, above threshold.
+
+        Returns ``((cy0, cx0, cy1, cx1), confidence)`` per blob in cell
+        coordinates, keeping only blobs whose peak response clears
+        ``conf_threshold``.  Works on any-shaped cell map — the detector's
+        native ``grid`` × ``grid`` responses and larger mosaic canvases
+        alike — because only the activation/confidence thresholds matter
+        here, never the map size.
+        """
         active = cells > self.cell_activation
         if not active.any():
             return []
         labels, _ = ndimage.label(active)
-        h, w = frame_hw
-        sy = h / self.grid
-        sx = w / self.grid
-        detections: list[Detection] = []
-        slices = ndimage.find_objects(labels)
-        for blob_idx, slc in enumerate(slices, start=1):
+        blobs: list[tuple[tuple[int, int, int, int], float]] = []
+        for blob_idx, slc in enumerate(ndimage.find_objects(labels), start=1):
             if slc is None:
                 continue
             blob_cells = cells[slc] * (labels[slc] == blob_idx)
@@ -192,8 +229,58 @@ class GridDetector:
             if confidence < self.conf_threshold:
                 continue
             y_sl, x_sl = slc
-            x0, x1 = x_sl.start * sx, x_sl.stop * sx
-            y0, y1 = y_sl.start * sy, y_sl.stop * sy
+            blobs.append(((y_sl.start, x_sl.start, y_sl.stop, x_sl.stop), confidence))
+        return blobs
+
+    def propose_regions(self, cells: np.ndarray) -> list[np.ndarray] | np.ndarray:
+        """Per-frame active ROIs: merged connected-blob bounding boxes.
+
+        ``cells`` is an ``(N, grid, grid)`` batch (or one ``(grid, grid)``
+        map).  Returns, per frame, an ``(R, 4)`` int array of
+        ``(cy0, cx0, cy1, cx1)`` half-open cell-space boxes such that every
+        active cell lies in **exactly one** box: the bounding boxes of the
+        4-connected blobs, merged to a fixed point wherever they overlap.
+        (Two merely touching boxes never share a blob under 4-connectivity,
+        so only genuine overlap merges.)  No confidence filtering happens
+        here — sub-threshold blobs are proposed too, which is what makes
+        detection on a packed region *exactly* detection on the source
+        frame restricted to that region.
+        """
+        batch = np.asarray(cells)
+        single = batch.ndim == 2
+        if single:
+            batch = batch[None]
+        n, gh, gw = batch.shape
+        active = batch > self.cell_activation
+        # One labeling pass for the whole batch: stack the masks with a zero
+        # separator row between frames so no component spans two frames.
+        stacked = np.zeros((n, gh + 1, gw), dtype=bool)
+        stacked[:, :gh] = active
+        labels, _ = ndimage.label(stacked.reshape(n * (gh + 1), gw))
+        per_frame: list[list[tuple[int, int, int, int]]] = [[] for _ in range(n)]
+        for slc in ndimage.find_objects(labels):
+            if slc is None:
+                continue
+            y_sl, x_sl = slc
+            frame = y_sl.start // (gh + 1)
+            base = frame * (gh + 1)
+            per_frame[frame].append(
+                (y_sl.start - base, x_sl.start, y_sl.stop - base, x_sl.stop)
+            )
+        out = [_merge_overlaps(boxes) for boxes in per_frame]
+        return out[0] if single else out
+
+    def _detect_from_cells(
+        self, cells: np.ndarray, frame_hw: tuple[int, int]
+    ) -> list[Detection]:
+        """Group active cells into detections for a single response map."""
+        h, w = frame_hw
+        sy = h / self.grid
+        sx = w / self.grid
+        detections: list[Detection] = []
+        for (cy0, cx0, cy1, cx1), confidence in self.cell_blobs(cells):
+            x0, x1 = cx0 * sx, cx1 * sx
+            y0, y1 = cy0 * sy, cy1 * sy
             kind = classify_kind(x1 - x0, y1 - y0)
             detections.append(Detection(x0, y0, x1, y1, confidence, kind))
         return detections
@@ -234,3 +321,23 @@ class GridDetector:
                 dets = [d for d in dets if d.kind == kind]
             out[i] = len(dets)
         return out
+
+    def count_and_regions(
+        self, frames: np.ndarray, background: np.ndarray, kind: str | None = None
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Per-frame counts plus proposed ROIs from one response pass.
+
+        Trace building records both observables; computing the response
+        cells once and deriving counts and :meth:`propose_regions` boxes
+        from them halves the detector work versus two separate calls.
+        """
+        frames = np.asarray(frames)
+        cells = self.response_cells(frames, background)
+        counts = np.empty(len(frames), dtype=np.int64)
+        hw = frames.shape[-2:]
+        for i, c in enumerate(cells):
+            dets = self._detect_from_cells(c, hw)
+            if kind is not None:
+                dets = [d for d in dets if d.kind == kind]
+            counts[i] = len(dets)
+        return counts, self.propose_regions(cells)

@@ -1,0 +1,347 @@
+"""Cross-stream mosaic packing for the T-YOLO stage.
+
+Object-level consolidation (Rivas et al., *Large-Scale Video Analytics
+through Object-Level Consolidation*): instead of running the detector on
+one whole frame per (stream, frame) pair, pack only the **active regions**
+of many frames — proposed by :meth:`GridDetector.propose_regions` from the
+already-computed background-deviation response — onto fixed-size composite
+canvases, run the detector once per canvas, and project every canvas-space
+detection back to its source frame.
+
+Everything here operates in **cell space** (the detector's grid
+coordinates), which is what makes the path exact rather than approximate:
+
+* a proposed region covers every active cell of its blobs, and regions of
+  one frame are pairwise disjoint (overlapping blob boxes are merged), so
+  packing copies each active cell exactly once;
+* placements are separated by ``gutter`` ≥ 1 cells of zeros on the canvas,
+  and the detector's connected components are 4-connected, so blobs can
+  never merge across placements;
+* therefore blob extraction on a canvas finds exactly the blobs of each
+  packed region, with identical peak confidences — mosaic counts equal
+  per-frame counts, whether regions are real ROIs or the whole-frame
+  fallback.
+
+A canvas of :data:`~repro.models.tyolo.TYOLO_GRID` × k cells corresponds to
+one k·32-pixel-square detector input; the default 52-cell canvas is exactly
+a native 416×416 T-YOLO pass, which is what the simulator charges per
+canvas.
+
+Packing uses a deterministic shelf algorithm: regions sorted by decreasing
+(height, width, arrival), placed left-to-right on shelves, opening a new
+shelf when a row fills and spilling to a fresh canvas when a canvas fills.
+There is no cap on regions per canvas or canvases per batch — overflow
+always spills and is counted in :class:`MosaicStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .griddet import Detection, GridDetector, classify_kind
+
+__all__ = [
+    "MOSAIC_COVERAGE_LIMIT",
+    "Region",
+    "Placement",
+    "MosaicPlan",
+    "MosaicStats",
+    "effective_regions",
+    "plan_mosaics",
+    "paint_canvases",
+    "owner_maps",
+    "mosaic_counts",
+    "mosaic_detections",
+]
+
+#: Fraction of a frame's grid area above which ROI packing stops paying for
+#: itself and the whole frame is packed as one region instead.
+MOSAIC_COVERAGE_LIMIT = 0.5
+
+
+@dataclass(frozen=True)
+class Region:
+    """One active ROI of one source frame, in source cell coordinates.
+
+    ``source`` identifies the frame within the batch being packed (callers
+    map it back to a (stream, frame) pair); the box is half-open.
+    """
+
+    source: int
+    cy0: int
+    cx0: int
+    cy1: int
+    cx1: int
+
+    @property
+    def height(self) -> int:
+        return self.cy1 - self.cy0
+
+    @property
+    def width(self) -> int:
+        return self.cx1 - self.cx0
+
+    @property
+    def area(self) -> int:
+        return self.height * self.width
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one region landed: canvas index plus cell-space origin."""
+
+    region: Region
+    canvas: int
+    y: int
+    x: int
+
+
+@dataclass(frozen=True)
+class MosaicPlan:
+    """The pure geometry of one packed batch (no pixels involved).
+
+    The simulator charges costs straight off a plan; the real executor
+    additionally paints and detects.  ``spills`` counts regions that did
+    not fit the canvas they were first tried on and opened a new one.
+    """
+
+    canvas_cells: int
+    gutter: int
+    placements: tuple[Placement, ...]
+    n_canvases: int
+    spills: int
+
+    @property
+    def n_regions(self) -> int:
+        return len(self.placements)
+
+    def occupancy(self) -> np.ndarray:
+        """Per-canvas fill ratio: packed region cells / canvas area."""
+        fill = np.zeros(self.n_canvases, dtype=np.float64)
+        for p in self.placements:
+            fill[p.canvas] += p.region.area
+        return fill / float(self.canvas_cells * self.canvas_cells)
+
+
+def effective_regions(
+    regions: np.ndarray | None,
+    grid: int,
+    coverage_limit: float = MOSAIC_COVERAGE_LIMIT,
+) -> np.ndarray:
+    """The regions actually packed for one frame.
+
+    ``regions`` is the proposed ``(R, 4)`` ROI array, or ``None`` when no
+    proposal exists (e.g. a trace recorded before region proposal, or no
+    calibrated background) — then the whole frame is one region.  High
+    coverage (≥ ``coverage_limit`` of the grid area) also falls back to the
+    whole frame: packing saves nothing and the single region keeps canvases
+    dense.  An empty proposal stays empty — a quiet frame costs no canvas
+    space at all.
+    """
+    whole = np.array([[0, 0, grid, grid]], dtype=np.int64)
+    if regions is None:
+        return whole
+    regions = np.asarray(regions, dtype=np.int64).reshape(-1, 4)
+    if len(regions) == 0:
+        return regions
+    area = int(((regions[:, 2] - regions[:, 0]) * (regions[:, 3] - regions[:, 1])).sum())
+    if area >= coverage_limit * grid * grid:
+        return whole
+    return regions
+
+
+def plan_mosaics(regions: list[Region], canvas_cells: int, gutter: int) -> MosaicPlan:
+    """Deterministic shelf packing of ``regions`` onto fixed-size canvases.
+
+    Regions are sorted by decreasing height (then width, then arrival
+    order) so each shelf's height is set by its first item; within a shelf
+    placements advance left-to-right with a ``gutter``-cell gap, shelves
+    stack downward with the same gap, and a region that no longer fits the
+    current canvas spills to a fresh one.  Raises if a region cannot fit
+    even an empty canvas.
+    """
+    if canvas_cells < 1 or gutter < 1:
+        raise ValueError("canvas_cells must be >= 1 and gutter >= 1")
+    for r in regions:
+        if r.height > canvas_cells or r.width > canvas_cells:
+            raise ValueError(
+                f"region {r} exceeds the {canvas_cells}-cell canvas"
+            )
+        if r.height <= 0 or r.width <= 0:
+            raise ValueError(f"region {r} is empty")
+    order = sorted(
+        range(len(regions)),
+        key=lambda i: (-regions[i].height, -regions[i].width, i),
+    )
+    placements: list[Placement] = []
+    spills = 0
+    canvas = -1  # no canvas open until the first region needs one
+    x = y = shelf_h = 0
+    for i in order:
+        r = regions[i]
+        if canvas < 0:
+            canvas, x, y, shelf_h = 0, 0, 0, 0
+        if x + r.width > canvas_cells:  # shelf full: open the next shelf
+            y += shelf_h + gutter
+            x = shelf_h = 0
+        if y + r.height > canvas_cells:  # canvas full: spill
+            canvas += 1
+            spills += 1
+            x = y = shelf_h = 0
+        placements.append(Placement(r, canvas, y, x))
+        x += r.width + gutter
+        shelf_h = max(shelf_h, r.height)
+    return MosaicPlan(
+        canvas_cells=canvas_cells,
+        gutter=gutter,
+        placements=tuple(placements),
+        n_canvases=canvas + 1,
+        spills=spills,
+    )
+
+
+def paint_canvases(plan: MosaicPlan, cells: np.ndarray) -> np.ndarray:
+    """Copy each planned region's response cells onto its canvas.
+
+    ``cells`` is the ``(N, grid, grid)`` response batch indexed by
+    ``Region.source``.  Unpacked canvas cells stay zero — below any
+    activation threshold — which is what isolates placements from each
+    other (together with the gutters).
+    """
+    c = plan.canvas_cells
+    canvases = np.zeros((plan.n_canvases, c, c), dtype=np.float32)
+    for p in plan.placements:
+        r = p.region
+        canvases[p.canvas, p.y : p.y + r.height, p.x : p.x + r.width] = cells[
+            r.source, r.cy0 : r.cy1, r.cx0 : r.cx1
+        ]
+    return canvases
+
+
+def owner_maps(plan: MosaicPlan) -> np.ndarray:
+    """Per-canvas map from cell to placement index (−1 = unpacked).
+
+    Because every canvas blob lies entirely inside one placement rectangle
+    (gutters keep components from crossing), looking up a blob's top-left
+    bounding-box corner resolves its owner.
+    """
+    c = plan.canvas_cells
+    owners = np.full((plan.n_canvases, c, c), -1, dtype=np.int32)
+    for i, p in enumerate(plan.placements):
+        r = p.region
+        owners[p.canvas, p.y : p.y + r.height, p.x : p.x + r.width] = i
+    return owners
+
+
+def _unmapped_blobs(
+    detector: GridDetector, plan: MosaicPlan, canvases: np.ndarray
+):
+    """Yield ``(region, frame_cell_box, confidence)`` for every canvas blob,
+    with the box translated back to source-frame cell coordinates."""
+    owners = owner_maps(plan)
+    for ci in range(plan.n_canvases):
+        for (by0, bx0, by1, bx1), conf in detector.cell_blobs(canvases[ci]):
+            owner = int(owners[ci, by0, bx0])
+            p = plan.placements[owner]
+            r = p.region
+            box = (
+                by0 - p.y + r.cy0,
+                bx0 - p.x + r.cx0,
+                by1 - p.y + r.cy0,
+                bx1 - p.x + r.cx0,
+            )
+            yield r, box, conf
+
+
+def mosaic_counts(
+    detector: GridDetector, plan: MosaicPlan, cells: np.ndarray, n_sources: int
+) -> np.ndarray:
+    """Per-source detection counts via the mosaic path.
+
+    Paints the canvases, extracts blobs with the detector's own thresholds,
+    and credits each blob to its source frame.  Sources with no placed
+    regions (quiet frames) count zero, exactly like the per-frame path.
+    """
+    counts = np.zeros(n_sources, dtype=np.int64)
+    if not plan.placements:
+        return counts
+    canvases = paint_canvases(plan, cells)
+    for r, _box, _conf in _unmapped_blobs(detector, plan, canvases):
+        counts[r.source] += 1
+    return counts
+
+
+def mosaic_detections(
+    detector: GridDetector,
+    plan: MosaicPlan,
+    cells: np.ndarray,
+    frame_hw: tuple[int, int],
+    n_sources: int,
+) -> list[list[Detection]]:
+    """Full per-source :class:`Detection` lists via the mosaic path.
+
+    Canvas-space blobs are un-translated to source cell coordinates and
+    scaled to original-frame pixels, so boxes, confidences, and kinds are
+    directly comparable with :meth:`GridDetector.detect_batch`.
+    """
+    out: list[list[Detection]] = [[] for _ in range(n_sources)]
+    if not plan.placements:
+        return out
+    canvases = paint_canvases(plan, cells)
+    h, w = frame_hw
+    sy = h / detector.grid
+    sx = w / detector.grid
+    for r, (cy0, cx0, cy1, cx1), conf in _unmapped_blobs(detector, plan, canvases):
+        x0, x1 = cx0 * sx, cx1 * sx
+        y0, y1 = cy0 * sy, cy1 * sy
+        kind = classify_kind(x1 - x0, y1 - y0)
+        out[r.source].append(Detection(x0, y0, x1, y1, conf, kind))
+    return out
+
+
+@dataclass
+class MosaicStats:
+    """Running totals over every mosaic batch of a run.
+
+    Both runtimes keep one of these per fused T-YOLO evaluator; the
+    telemetry plane samples :meth:`fill_ratio` and
+    :meth:`regions_per_canvas` as gauges and the final
+    :class:`~repro.core.metrics.RunMetrics` embeds :meth:`as_dict`.
+    """
+
+    batches: int = 0
+    frames: int = 0
+    regions: int = 0
+    canvases: int = 0
+    spills: int = 0
+    region_cells: int = 0
+    canvas_cells: int = 0
+
+    def observe(self, plan: MosaicPlan, n_frames: int) -> None:
+        self.batches += 1
+        self.frames += n_frames
+        self.regions += plan.n_regions
+        self.canvases += plan.n_canvases
+        self.spills += plan.spills
+        self.region_cells += sum(p.region.area for p in plan.placements)
+        self.canvas_cells += plan.n_canvases * plan.canvas_cells * plan.canvas_cells
+
+    def fill_ratio(self) -> float:
+        """Mean canvas occupancy so far (0 when nothing packed yet)."""
+        return self.region_cells / self.canvas_cells if self.canvas_cells else 0.0
+
+    def regions_per_canvas(self) -> float:
+        return self.regions / self.canvases if self.canvases else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "frames": self.frames,
+            "regions": self.regions,
+            "canvases": self.canvases,
+            "spills": self.spills,
+            "fill_ratio": self.fill_ratio(),
+            "regions_per_canvas": self.regions_per_canvas(),
+        }

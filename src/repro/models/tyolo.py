@@ -25,6 +25,9 @@ __all__ = ["TYolo", "count_filter_mask"]
 TYOLO_INPUT_SIZE = 416
 TYOLO_MEMORY_BYTES = int(1.2 * 2**30)
 TYOLO_RAW_FPS = 220.0
+#: Grid cells per side of the detector (416 px inputs at 32 px per cell).
+#: A mosaic canvas of ``TYOLO_GRID`` cells is exactly one native input.
+TYOLO_GRID = 13
 
 
 def count_filter_mask(
@@ -49,7 +52,7 @@ class TYolo:
 
     def __init__(self, conf_threshold: float = 0.2, cell_activation: float = 0.15):
         self.detector = GridDetector(
-            grid=13,
+            grid=TYOLO_GRID,
             resolution=104,
             conf_threshold=conf_threshold,
             cell_activation=cell_activation,
@@ -75,6 +78,12 @@ class TYolo:
     ) -> np.ndarray:
         """Per-frame detected counts for a batch."""
         return self.detector.count_batch(frames, background, kind)
+
+    def count_and_regions(
+        self, frames: np.ndarray, background: np.ndarray, kind: str | None = None
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Per-frame counts plus proposed active-cell ROIs (one pass)."""
+        return self.detector.count_and_regions(frames, background, kind)
 
     def passes(
         self,

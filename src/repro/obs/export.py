@@ -111,6 +111,18 @@ METRIC_FAMILIES: dict[str, dict] = {
         "kind": "histogram", "labels": ("stage",),
         "help": "Explicit-bucket histogram of stage_exec_seconds.",
     },
+    "mosaic_fill_ratio": {
+        "kind": "gauge", "labels": (),
+        "help": "Mean mosaic canvas occupancy (packed region cells / canvas cells).",
+    },
+    "mosaic_regions_per_canvas": {
+        "kind": "gauge", "labels": (),
+        "help": "Mean packed regions per mosaic canvas.",
+    },
+    "mosaic_spills_total": {
+        "kind": "counter", "labels": (),
+        "help": "Regions that opened an additional canvas because the current one was full.",
+    },
     "telemetry_events_total": {
         "kind": "counter", "labels": ("kind",),
         "help": "Events published per kind.",
@@ -188,6 +200,17 @@ def render_prometheus(metrics=None, telemetry=None) -> str:
         lines += _head("device_utilization")
         for device, util in sorted(metrics.device_utilization.items()):
             lines.append(_line("device_utilization", util, {"device": device}))
+
+        # Mosaic consolidation gauges.  Rendered unconditionally (zeros when
+        # the fused mosaic path is off) so dashboard queries against these
+        # families resolve on every run.
+        mosaic = getattr(metrics, "extra", {}).get("mosaic", {})
+        lines += _head("mosaic_fill_ratio")
+        lines.append(_line("mosaic_fill_ratio", mosaic.get("fill_ratio", 0.0)))
+        lines += _head("mosaic_regions_per_canvas")
+        lines.append(_line("mosaic_regions_per_canvas", mosaic.get("regions_per_canvas", 0.0)))
+        lines += _head("mosaic_spills_total")
+        lines.append(_line("mosaic_spills_total", mosaic.get("spills", 0)))
 
         for family, stats in (
             ("frame_latency_seconds", metrics.frame_latency),

@@ -765,6 +765,13 @@ class ThreadedPipeline:
                 gauges[f"device_utilization[{device}]"] = min(
                     1.0, (b - prev["busy"].get(device, 0.0)) / dt
                 )
+        for name, fn in self._fused_eval.items():
+            stats = getattr(fn, "mosaic_stats", None)
+            if stats is not None:
+                gauges[f"mosaic_fill_ratio[{name}]"] = stats.fill_ratio()
+                gauges[f"mosaic_regions_per_canvas[{name}]"] = (
+                    stats.regions_per_canvas()
+                )
         tel.sampler.observe_many(t, gauges, force=force)
         return {"t": t, "entered": entered, "busy": busy}
 
@@ -1069,6 +1076,10 @@ class ThreadedPipeline:
             }
         if pool_stats:
             m.extra["procpool"] = pool_stats
+        for fn in self._fused_eval.values():
+            stats = getattr(fn, "mosaic_stats", None)
+            if stats is not None:
+                m.extra["mosaic"] = stats.as_dict()
         if self.telemetry is not None:
             m.extra["telemetry"] = self.telemetry.bus.stats()
             m.extra["admission"] = self.admission.summary()

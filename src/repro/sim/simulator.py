@@ -63,6 +63,8 @@ from ..core.queues import SimQueue
 from ..core.trace import FrameTrace
 from ..devices.costs import CostModel
 from ..devices.placement import Placement, ffs_va_placement
+from ..models.mosaic import MosaicStats, Region, effective_regions, plan_mosaics
+from ..models.tyolo import TYOLO_GRID
 from ..obs import Telemetry
 from ..store.detstore import DetectionRecord, DetStore
 
@@ -120,6 +122,11 @@ class _SimStage:
     rr: int = 0  # round-robin cursor over streams
     frames_done: int = 0
     batch_events: int = 0
+    #: Mosaic stages only: per-stream ``regions_by_frame()`` lists (``None``
+    #: for a trace without recorded regions — whole-frame fallback) and the
+    #: running consolidation statistics.
+    regions: list | None = None
+    mosaic_stats: MosaicStats | None = None
 
     def queued(self) -> int:
         if self.merged_q is not None:
@@ -186,6 +193,9 @@ class PipelineSimulator:
                 stg.queues = [
                     SimQueue(depth, f"{spec.name}[{i}]") for i in range(n_streams)
                 ]
+            if spec.mosaic:
+                stg.regions = [t.regions_by_frame() for t in traces]
+                stg.mosaic_stats = MosaicStats()
             self._stages[spec.name] = stg
 
         # Device -> stages hosted there (graph order), honouring placement
@@ -399,9 +409,36 @@ class PipelineSimulator:
         parallelism = (
             self.config.num_sdd_procs if spec.executor == "process" else 1
         )
-        dt = stage_service_time(spec, self.costs, len(frames), parallelism=parallelism)
+        if spec.mosaic:
+            dt = self._mosaic_service_time(stg, frames)
+        else:
+            dt = stage_service_time(
+                spec, self.costs, len(frames), parallelism=parallelism
+            )
         self._start(
             device_name, _Service(spec.name, stream_idx, frames, passes, now, now + dt)
+        )
+
+    def _mosaic_service_time(self, stg: _SimStage, frames: list) -> float:
+        """Per-canvas charge for one fused mosaic batch.
+
+        Runs the *same* deterministic packer the threaded engine's fused
+        evaluator runs, over the per-frame ROIs recorded in the traces
+        (whole-frame fallback for traces that predate region recording), so
+        the virtual canvas count is the real canvas count for the same
+        batch composition.
+        """
+        cfg = self.config
+        regions: list[Region] = []
+        for i, (s, f) in enumerate(frames):
+            by_frame = stg.regions[s]
+            proposed = None if by_frame is None else by_frame[f]
+            for cy0, cx0, cy1, cx1 in effective_regions(proposed, TYOLO_GRID):
+                regions.append(Region(i, int(cy0), int(cx0), int(cy1), int(cx1)))
+        plan = plan_mosaics(regions, cfg.mosaic_canvas, cfg.mosaic_gutter)
+        stg.mosaic_stats.observe(plan, len(frames))
+        return self.costs.mosaic_service_time(
+            len(frames), plan.n_regions, plan.n_canvases
         )
 
     def _try_start_stage(self, device_name: str, spec: StageSpec, now: float) -> bool:
@@ -646,6 +683,11 @@ class PipelineSimulator:
             else:
                 for i, q in enumerate(stg.queues):
                     gauges[f"queue_depth[{spec.name}[{i}]]"] = len(q)
+            if stg.mosaic_stats is not None:
+                gauges[f"mosaic_fill_ratio[{spec.name}]"] = stg.mosaic_stats.fill_ratio()
+                gauges[f"mosaic_regions_per_canvas[{spec.name}]"] = (
+                    stg.mosaic_stats.regions_per_canvas()
+                )
         busy = {name: dev.busy_time for name, dev in self.placement.devices.items()}
         prev = self._prev_sample
         dt = now - prev["t"]
@@ -682,6 +724,8 @@ class PipelineSimulator:
             stg.in_flight.append(0)
             if stg.merged_q is None:
                 stg.queues.append(SimQueue(self._depth_for(spec), f"{spec.name}[{idx}]"))
+            if spec.mosaic:
+                stg.regions.append(trace.regions_by_frame())
         self._first_pass.append(0)
         self.metrics.n_streams += 1
         return idx
@@ -785,6 +829,8 @@ class PipelineSimulator:
                 m.extra[f"mean_{spec.name}_batch"] = (
                     m.stages[spec.name].entered / stg.batch_events
                 )
+            if stg.mosaic_stats is not None:
+                m.extra["mosaic"] = stg.mosaic_stats.as_dict()
         m.extra["truncated"] = (
             max_virtual_time is not None
             and not all(st.finished for st in self.streams)

@@ -31,11 +31,23 @@ class TestFFSVAConfig:
             {"stream_fps": 0},
             {"queue_depths": {"sdd": 2, "snm": 10, "tyolo": 2}},  # missing ref
             {"queue_depths": {"sdd": 0, "snm": 10, "tyolo": 2, "ref": 4}},
+            {"mosaic_canvas": 12},  # smaller than the 13-cell detector grid
+            {"mosaic_gutter": 0},
         ],
     )
     def test_rejects_invalid(self, kwargs):
         with pytest.raises(ValueError):
             FFSVAConfig(**kwargs)
+
+    def test_mosaic_promotes_tyolo_to_fused(self):
+        from repro.core.pipeline import FUSED, SHARED_RR, TYOLO
+
+        base = FFSVAConfig().graph()[TYOLO]
+        assert base.fan_in == SHARED_RR and not base.mosaic
+        spec = FFSVAConfig(tyolo_mosaic=True).graph()[TYOLO]
+        assert spec.fan_in == FUSED
+        assert spec.mosaic
+        assert spec.batch.kind == "config"
 
     def test_with_returns_modified_copy(self):
         base = FFSVAConfig()

@@ -164,3 +164,73 @@ class TestBuildTrace:
         cached_trace({"k": 1}, builder)
         cached_trace({"k": 2}, builder)
         assert calls["n"] == 2
+
+
+class TestMosaicRegions:
+    def test_built_traces_record_regions(self, real_trace):
+        r = real_trace.mosaic_regions
+        assert r is not None and r.ndim == 2 and r.shape[1] == 5
+        assert len(r) > 0
+        assert 0 <= r[:, 0].min() and r[:, 0].max() < len(real_trace)
+        assert np.all(r[:, 1] < r[:, 3]) and np.all(r[:, 2] < r[:, 4])
+
+    def test_regions_by_frame_partitions_the_table(self, real_trace):
+        by_frame = real_trace.regions_by_frame()
+        assert len(by_frame) == len(real_trace)
+        assert sum(len(b) for b in by_frame) == len(real_trace.mosaic_regions)
+        want = {
+            (int(f), int(a), int(b), int(c), int(d))
+            for f, a, b, c, d in real_trace.mosaic_regions
+        }
+        got = {
+            (i, int(a), int(b), int(c), int(d))
+            for i, boxes in enumerate(by_frame)
+            for a, b, c, d in boxes
+        }
+        assert got == want
+
+    def test_unrecorded_regions_stay_none(self):
+        tr = make_synth_trace(20, 0.7, 0.3, 0.1)
+        assert tr.mosaic_regions is None
+        assert tr.regions_by_frame() is None
+        assert tr.rotated(3).mosaic_regions is None
+        assert tr.sliced(0, 5).mosaic_regions is None
+
+    def test_rotation_remaps_frame_indices(self, real_trace):
+        n = len(real_trace)
+        rot = real_trace.rotated(137)
+        base = real_trace.regions_by_frame()
+        moved = rot.regions_by_frame()
+        for i in range(0, n, 97):
+            np.testing.assert_array_equal(moved[i], base[(i + 137) % n])
+
+    def test_slice_filters_and_shifts(self, real_trace):
+        part = real_trace.sliced(100, 400)
+        base = real_trace.regions_by_frame()
+        got = part.regions_by_frame()
+        assert len(got) == 300
+        for i in range(0, 300, 50):
+            np.testing.assert_array_equal(got[i], base[100 + i])
+
+    def test_cache_round_trips_regions(self, tmp_path, monkeypatch, real_trace):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        t1 = cached_trace({"mosaic": "rt"}, lambda: real_trace)
+        t2 = cached_trace({"mosaic": "rt"}, lambda: real_trace)
+        np.testing.assert_array_equal(t1.mosaic_regions, t2.mosaic_regions)
+
+    def test_cache_round_trips_none_regions(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        tr = make_synth_trace(20, 0.7, 0.3, 0.1)
+        t2 = cached_trace({"mosaic": "none"}, lambda: tr)
+        t2 = cached_trace({"mosaic": "none"}, lambda: tr)
+        assert t2.mosaic_regions is None
+
+    def test_bad_shapes_rejected(self):
+        tr = make_synth_trace(10, 0.5, 0.3, 0.1)
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(tr, mosaic_regions=np.zeros((3, 4), dtype=np.int64))
+        bad_frame = np.array([[10, 0, 0, 1, 1]], dtype=np.int64)
+        with pytest.raises(ValueError):
+            replace(tr, mosaic_regions=bad_frame)

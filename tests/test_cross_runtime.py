@@ -71,6 +71,40 @@ class TestCrossRuntimeEquivalence:
         assert set(m_real.stages) == {"snm", "ref"}
         assert_stage_counts_equal(m_real, m_sim)
 
+    def test_mosaic_counts_match(self, fleet):
+        # The fused mosaic detector must preserve the cross-runtime
+        # guarantee: counts are exact (not statistical), so promoting
+        # T-YOLO to canvas batches changes cost, never counters.
+        streams, traces, zoo = fleet
+        config = FFSVAConfig(tyolo_mosaic=True)
+        m_real, m_sim = _run_both(streams, traces, zoo, config)
+        m_real.check_conservation()
+        m_sim.check_conservation()
+        assert_stage_counts_equal(m_real, m_sim)
+        assert m_real.frames_to_ref == m_sim.frames_to_ref
+        # Both runtimes consolidated: fewer canvases than frames, and the
+        # per-frame totals they account for agree with the tyolo counters.
+        for m in (m_real, m_sim):
+            stats = m.extra["mosaic"]
+            assert stats["frames"] == m.stages["tyolo"].entered
+            assert stats["canvases"] < stats["frames"]
+            assert stats["spills"] == 0
+            assert 0.0 < stats["fill_ratio"] <= 1.0
+
+    def test_mosaic_outcomes_match_per_frame_path(self, fleet):
+        streams, traces, zoo = fleet
+        base = ThreadedPipeline(streams, zoo, FFSVAConfig())
+        base.run()
+        mosaic = ThreadedPipeline(streams, zoo, FFSVAConfig(tyolo_mosaic=True))
+        mosaic.run()
+
+        def outcome_set(pipe):
+            return sorted(
+                (o.stream_id, o.index, o.stage, o.ref_count) for o in pipe.outcomes
+            )
+
+        assert outcome_set(mosaic) == outcome_set(base)
+
     def test_mismatch_is_detected(self, fleet):
         streams, traces, zoo = fleet
         m_real, m_sim = _run_both(streams, traces, zoo, FFSVAConfig())

@@ -103,6 +103,28 @@ class TestGridDetector:
         frame[30:50, 50:70] -= 0.4
         assert GridDetector().count(frame, bg) == 1
 
+    def test_background_cache_survives_address_reuse(self):
+        # Regression: the resized-background cache used to key on
+        # id(background).  After the cached array was garbage collected, a
+        # new background allocated at the same address hit the stale entry
+        # and the detector compared frames against the wrong scene.  The
+        # fix holds a reference and checks identity, so a fresh array —
+        # even one reusing the freed address — must be re-resized.
+        det = GridDetector()
+        frame, bg = synthetic_frame_with_blob(w=360, n_blobs=2)
+        for _ in range(50):  # court address reuse across same-shape allocs
+            bg_dark = np.zeros_like(bg)
+            # Against black everything differs: one whole-frame blob.
+            assert det.count(frame, bg_dark) == 1
+            del bg_dark
+            # A stale dark-background resize would report 1 here, not 2.
+            assert det.count(frame, bg.copy()) == 2
+
+    def test_background_cache_hit_returns_same_resize(self):
+        det = GridDetector()
+        bg = np.full((80, 120), 0.45, dtype=np.float32)
+        assert det._resized_background(bg) is det._resized_background(bg)
+
 
 class TestClassifyKind:
     def test_wide_box_is_car(self):

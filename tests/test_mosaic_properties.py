@@ -1,0 +1,167 @@
+"""Property-based tests for the mosaic pack/unmap path.
+
+The mosaic contract is *exactness*: packing response-cell regions onto
+shared canvases and extracting blobs there must reproduce the per-frame
+detector's results bit for bit.  These properties pin the invariants that
+argument rests on — lossless copies, non-overlapping placements, gutter
+isolation — plus the end-to-end count parity itself.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.griddet import GridDetector
+from repro.models.mosaic import (
+    MOSAIC_COVERAGE_LIMIT,
+    Region,
+    effective_regions,
+    mosaic_counts,
+    owner_maps,
+    paint_canvases,
+    plan_mosaics,
+)
+from repro.models.tyolo import TYOLO_GRID
+
+GRID = TYOLO_GRID
+
+
+@st.composite
+def cell_batches(draw):
+    """An (N, GRID, GRID) batch of synthetic response maps with blobs."""
+    n = draw(st.integers(1, 6))
+    cells = np.zeros((n, GRID, GRID), dtype=np.float32)
+    for i in range(n):
+        for _ in range(draw(st.integers(0, 3))):
+            h = draw(st.integers(1, 5))
+            w = draw(st.integers(1, 5))
+            y = draw(st.integers(0, GRID - h))
+            x = draw(st.integers(0, GRID - w))
+            v = draw(st.floats(0.2, 1.0))
+            cells[i, y : y + h, x : x + w] = np.maximum(
+                cells[i, y : y + h, x : x + w], np.float32(v)
+            )
+    return cells
+
+
+def _regions_for(det, cells):
+    proposed = det.propose_regions(cells)
+    return [
+        Region(i, int(b[0]), int(b[1]), int(b[2]), int(b[3]))
+        for i in range(len(cells))
+        for b in effective_regions(proposed[i], GRID)
+    ]
+
+
+class TestPackUnmapProperties:
+    @given(cells=cell_batches(), canvas=st.sampled_from([13, 26, 52]),
+           gutter=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_painted_patches_round_trip_to_source(self, cells, canvas, gutter):
+        # Every placement's canvas rectangle is a bit-exact copy of its
+        # source cells — packing is lossless.
+        det = GridDetector()
+        plan = plan_mosaics(_regions_for(det, cells), canvas, gutter)
+        canvases = paint_canvases(plan, cells)
+        for p in plan.placements:
+            r = p.region
+            got = canvases[p.canvas, p.y : p.y + r.height, p.x : p.x + r.width]
+            want = cells[r.source, r.cy0 : r.cy1, r.cx0 : r.cx1]
+            np.testing.assert_array_equal(got, want)
+
+    @given(cells=cell_batches(), canvas=st.sampled_from([13, 26, 52]),
+           gutter=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_placements_never_overlap(self, cells, canvas, gutter):
+        # owner_maps paints each placement's rectangle; any overlap would
+        # overwrite an earlier owner, so painted cell totals must match.
+        det = GridDetector()
+        plan = plan_mosaics(_regions_for(det, cells), canvas, gutter)
+        owners = owner_maps(plan)
+        painted = int((owners >= 0).sum())
+        assert painted == sum(p.region.area for p in plan.placements)
+
+    @given(cells=cell_batches(), canvas=st.sampled_from([13, 26, 52]),
+           gutter=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_gutters_respected(self, cells, canvas, gutter):
+        # Rectangles expanded by the gutter on the bottom/right stay
+        # pairwise disjoint on a canvas, so no two placements ever sit
+        # within `gutter` cells of each other.
+        det = GridDetector()
+        plan = plan_mosaics(_regions_for(det, cells), canvas, gutter)
+        by_canvas: dict[int, list] = {}
+        for p in plan.placements:
+            by_canvas.setdefault(p.canvas, []).append(p)
+        for group in by_canvas.values():
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    ah, aw = a.region.height + gutter, a.region.width + gutter
+                    bh, bw = b.region.height + gutter, b.region.width + gutter
+                    overlap = (a.y < b.y + bh and b.y < a.y + ah
+                               and a.x < b.x + bw and b.x < a.x + aw)
+                    assert not overlap
+
+    @given(cells=cell_batches(), canvas=st.sampled_from([13, 26, 52]),
+           gutter=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_mosaic_counts_equal_per_frame_counts(self, cells, canvas, gutter):
+        det = GridDetector()
+        plan = plan_mosaics(_regions_for(det, cells), canvas, gutter)
+        got = mosaic_counts(det, plan, cells, len(cells))
+        want = np.array([len(det.cell_blobs(c)) for c in cells], dtype=np.int64)
+        np.testing.assert_array_equal(got, want)
+
+    @given(cells=cell_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_proposed_regions_cover_active_cells_exactly_once(self, cells):
+        det = GridDetector()
+        active = cells > det.cell_activation
+        for i, boxes in enumerate(det.propose_regions(cells)):
+            covered = np.zeros((GRID, GRID), dtype=np.int32)
+            for y0, x0, y1, x1 in boxes:
+                covered[y0:y1, x0:x1] += 1
+            assert covered.max() <= 1  # regions are pairwise disjoint
+            assert np.all(covered[active[i]] == 1)  # every active cell owned
+
+    def test_no_silent_region_cap_spills_are_counted(self):
+        # More whole-frame regions than one canvas holds must open more
+        # canvases (and count the spills), never drop a region.
+        regions = [Region(i, 0, 0, GRID, GRID) for i in range(40)]
+        plan = plan_mosaics(regions, 52, 1)
+        assert plan.n_regions == 40
+        assert len(plan.placements) == 40
+        assert plan.n_canvases > 1
+        assert plan.spills == plan.n_canvases - 1
+
+    def test_empty_batch_opens_no_canvas(self):
+        plan = plan_mosaics([], 52, 1)
+        assert plan.n_canvases == 0
+        assert plan.spills == 0
+        assert plan.occupancy().size == 0
+
+    def test_oversized_region_rejected(self):
+        with pytest.raises(ValueError):
+            plan_mosaics([Region(0, 0, 0, 14, 2)], 13, 1)
+
+
+class TestEffectiveRegions:
+    def test_none_falls_back_to_whole_frame(self):
+        np.testing.assert_array_equal(
+            effective_regions(None, GRID), [[0, 0, GRID, GRID]]
+        )
+
+    def test_empty_stays_empty(self):
+        assert len(effective_regions(np.zeros((0, 4), dtype=np.int64), GRID)) == 0
+
+    def test_high_coverage_falls_back_to_whole_frame(self):
+        side = int(np.ceil(GRID * np.sqrt(MOSAIC_COVERAGE_LIMIT)))
+        big = np.array([[0, 0, side, side]], dtype=np.int64)
+        np.testing.assert_array_equal(
+            effective_regions(big, GRID), [[0, 0, GRID, GRID]]
+        )
+
+    def test_low_coverage_kept_verbatim(self):
+        small = np.array([[1, 1, 3, 4]], dtype=np.int64)
+        np.testing.assert_array_equal(effective_regions(small, GRID), small)
