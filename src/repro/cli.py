@@ -85,6 +85,21 @@ def _add_config_args(p: argparse.ArgumentParser) -> None:
         "--mosaic-gutter", type=int, default=1, metavar="CELLS",
         help="empty-cell gap between mosaic placements (>= 1)",
     )
+    p.add_argument(
+        "--plan", choices=["static", "adaptive"], default="static",
+        help="query planning: 'adaptive' re-decides each stream's cascade "
+             "exit depth and SNM FilterDegree every plan epoch from observed "
+             "content (first-filter pass fraction)",
+    )
+    p.add_argument(
+        "--plan-epoch", type=int, default=64, metavar="FRAMES",
+        help="frames per planning chunk with --plan adaptive",
+    )
+    p.add_argument(
+        "--adaptive-batching", action="store_true",
+        help="let the planner steer the SNM batch-size target from an EWMA "
+             "of observed queue depth (requires --plan adaptive)",
+    )
 
 
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
@@ -162,6 +177,9 @@ def _config_from(args) -> FFSVAConfig:
         tyolo_mosaic=bool(getattr(args, "tyolo_mosaic", False)),
         mosaic_canvas=getattr(args, "mosaic_canvas", 52),
         mosaic_gutter=getattr(args, "mosaic_gutter", 1),
+        plan=getattr(args, "plan", "static"),
+        plan_epoch=getattr(args, "plan_epoch", 64),
+        adaptive_batching=bool(getattr(args, "adaptive_batching", False)),
         telemetry=telemetry,
         telemetry_port=getattr(args, "telemetry_port", None),
         result_store_dir=getattr(args, "store_dir", None),

@@ -125,6 +125,40 @@ class FFSVAConfig:
     # Frames per second each live stream delivers.
     stream_fps: float = 30.0
 
+    # --- query planner (repro.core.qplan) --------------------------------
+    # "adaptive" attaches the content-adaptive QueryPlanner: per-stream
+    # plans (cascade exit depth, FilterDegree, batch target) re-decided at
+    # every plan_epoch-frame chunk boundary from the first filter stage's
+    # observed pass fraction.  "static" (default) keeps the classic single
+    # plan for the whole run.
+    plan: str = "static"
+    # Frames per planning chunk; plan switches take effect exactly at chunk
+    # boundaries (about two stream-seconds at the default 30 FPS).
+    plan_epoch: int = 64
+    # Activity (first-stage pass fraction EWMA) thresholds separating the
+    # quiet / mid / busy content bands.
+    plan_quiet: float = 0.12
+    plan_busy: float = 0.35
+    # Schmitt deadband around each band threshold: a band only changes when
+    # the signal clears threshold +/- deadband in the new direction.
+    plan_deadband: float = 0.03
+    # Consecutive chunks beyond the deadband required before a band flips
+    # (the Hysteresis streak); >= 2 means one noisy chunk can never flap.
+    plan_hysteresis: int = 2
+    # EWMA time constant for the activity signal, in *stream* seconds.
+    plan_tau: float = 8.0
+    # Minimum calibrated scene recall a candidate FilterDegree must keep at
+    # the band's exit depth to be eligible.
+    plan_min_accuracy: float = 0.95
+    # Candidate FilterDegree grid the planner prices per band.
+    plan_degrees: tuple = (0.0, 0.25, 0.5, 0.75, 1.0)
+    # Replace the static feedback-queue batch size with an EWMA-smoothed
+    # queue-depth follower (only meaningful with plan="adaptive").
+    adaptive_batching: bool = False
+    # EWMA time constant for the batch-target follower, in clock seconds
+    # (wall seconds threaded, virtual seconds simulated).
+    plan_batch_tau: float = 2.0
+
     # --- telemetry (repro.obs) ------------------------------------------
     # Attach the telemetry subsystem: structured pipeline events, per-frame
     # trace spans, and time-series sampling.  Off by default: the hot path
@@ -219,6 +253,28 @@ class FFSVAConfig:
             raise ValueError("cluster_handoff_window must be >= 0")
         if self.stream_fps <= 0:
             raise ValueError("stream_fps must be positive")
+        if self.plan not in ("static", "adaptive"):
+            raise ValueError("plan must be 'static' or 'adaptive'")
+        if self.plan_epoch < 2:
+            raise ValueError("plan_epoch must be >= 2")
+        if not 0.0 <= self.plan_quiet < self.plan_busy <= 1.0:
+            raise ValueError("need 0 <= plan_quiet < plan_busy <= 1")
+        if self.plan_deadband < 0:
+            raise ValueError("plan_deadband must be >= 0")
+        if self.plan_quiet + self.plan_deadband >= self.plan_busy - self.plan_deadband:
+            raise ValueError("plan deadbands around quiet and busy overlap")
+        if self.plan_hysteresis < 1:
+            raise ValueError("plan_hysteresis must be >= 1")
+        if self.plan_tau <= 0:
+            raise ValueError("plan_tau must be positive")
+        if not 0.0 < self.plan_min_accuracy <= 1.0:
+            raise ValueError("plan_min_accuracy must be in (0, 1]")
+        if not self.plan_degrees or any(
+            not 0.0 <= float(d) <= 1.0 for d in self.plan_degrees
+        ):
+            raise ValueError("plan_degrees must be a non-empty tuple in [0, 1]")
+        if self.plan_batch_tau <= 0:
+            raise ValueError("plan_batch_tau must be positive")
         if self.telemetry_port is not None and not 0 <= self.telemetry_port <= 65535:
             raise ValueError("telemetry_port must be in [0, 65535] or None")
         if self.telemetry_sample_interval <= 0:

@@ -402,10 +402,13 @@ def _snm_build_fused(bundles, zoo, config):
     from ..models.snm import FusedSNM
 
     fused = FusedSNM([b.snm for b in bundles])
-    degree = config.filter_degree
+    base_degree = config.filter_degree
 
-    def fused_evaluate(pixels, stream_idx):
+    def fused_evaluate(pixels, stream_idx, degrees=None):
+        # ``degrees`` is the adaptive planner's per-stream FilterDegree
+        # vector; None keeps the configured static degree for every stream.
         probs = fused.predict_proba(pixels, stream_idx)
+        degree = base_degree if degrees is None else degrees
         return fused.passes(probs, stream_idx, degree), None
 
     return fused_evaluate
@@ -444,7 +447,9 @@ def _tyolo_build_fused(bundles, zoo, config):
     grid = det.grid
     stats = MosaicStats()
 
-    def fused_evaluate(pixels, stream_idx):
+    def fused_evaluate(pixels, stream_idx, degrees=None):
+        # ``degrees`` is accepted for call-site uniformity with the fused
+        # SNM evaluator; the mosaic detector has no SNM threshold to vary.
         n = len(pixels)
         stream_idx = np.asarray(stream_idx)
         cells = np.empty((n, grid, grid), dtype=np.float32)

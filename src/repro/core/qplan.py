@@ -1,0 +1,639 @@
+"""Content-adaptive query planner: per-chunk cascade depth, FilterDegree,
+and batch-size targets driven by observed content.
+
+The static system runs one ``(cascade, filter_degree, batch_size)`` plan for
+the whole workload, so quiet streams pay full-cascade cost and busy streams
+run with thresholds tuned for nobody.  This module closes that gap the way
+THIA's early-inference planner does (PAPERS.md): the stream is cut into
+fixed-length *chunks* of ``plan_epoch`` frames, the first filter stage's
+per-chunk pass fraction ("activity") is stamped into the shared telemetry
+time-series at *stream time*, and at every chunk boundary a pure decision
+function picks the next chunk's plan:
+
+* **depth** — the exit stage: quiet streams exit at the first filter (their
+  survivors go straight to the reference model), mid streams exit at the
+  second, busy streams run the full graph;
+* **filter_degree** — the cheapest candidate degree whose calibrated scene
+  recall clears ``plan_min_accuracy``, priced with the same
+  :func:`~repro.core.pipeline.stage_per_frame_time` arithmetic as
+  :mod:`repro.core.planner`'s capacity model;
+* **batch target** — an EWMA-smoothed queue-depth follower replacing the
+  static feedback-queue batch size when ``adaptive_batching=True``.
+
+Determinism contract (the property the cross-runtime tests pin down):
+depth and degree are decided *only* from the ordered sequence of first-stage
+verdicts, which is content — not timing — in both runtimes (the first stage
+is FIFO per stream, and its verdict does not depend on the plan).  Activity
+observations are stamped at stream time ``(chunk_end+1)/fps``, so the EWMA
+over them is clock-free and the decision log replays bit-identically from
+the sampled series alone (:func:`replay_decisions`).  The batch target is
+the one clock-driven dimension; it never affects verdicts or counters, only
+batch formation, so counter equality survives target divergence.
+
+Debouncing follows the ``AdmissionController`` pattern (PR 5): a Schmitt
+deadband around each band threshold plus a :class:`~repro.obs.control.
+Hysteresis` streak of ``plan_hysteresis`` consecutive chunks, so one noisy
+chunk can never flap a plan.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs.control import Hysteresis, SignalReader
+from ..obs.sampler import TimeSeriesSampler
+from .pipeline import SNM, StageGraph, effective_batch, stage_per_frame_time
+
+__all__ = [
+    "BANDS",
+    "Plan",
+    "PlanSignals",
+    "PlanState",
+    "PlanCatalog",
+    "decide",
+    "QueryPlanner",
+    "replay_decisions",
+]
+
+#: Content bands, quietest first.  The band index is what hysteresis
+#: debounces; depth/degree are pure lookups from it.
+BANDS = ("quiet", "mid", "busy")
+
+
+@dataclass(frozen=True)
+class Plan:
+    """One chunk's execution plan for one stream."""
+
+    depth: str  # exit stage: the last *filter* stage this chunk executes
+    filter_degree: float
+    batch_target: int
+    band: str = "busy"
+
+    def key(self) -> tuple:
+        """The verdict-affecting identity (batch target excluded)."""
+        return (self.band, self.depth, round(self.filter_degree, 9))
+
+
+@dataclass(frozen=True)
+class PlanSignals:
+    """Inputs to one planning decision (all content- or config-derived)."""
+
+    activity: float | None  # EWMA of first-stage chunk pass fractions
+    batch_target: int  # current (clock-domain) batch target, passed through
+
+
+class PlanState:
+    """Mutable per-stream debouncing state threaded through :func:`decide`.
+
+    Two Schmitt-triggered booleans encode the band: ``active`` (band is at
+    least "mid") and ``busy`` (band is "busy").  Both start True — the
+    planner begins every stream at full depth and only relaxes once the
+    evidence clears the hysteresis streak, mirroring the admission
+    controller's conservative initial state.
+    """
+
+    def __init__(self, hysteresis: int = 2):
+        self.active = Hysteresis(up=hysteresis, down=hysteresis, initial=True)
+        self.busy = Hysteresis(up=hysteresis, down=hysteresis, initial=True)
+        self.plan: Plan | None = None  # last decided plan
+
+    @property
+    def band_index(self) -> int:
+        busy = self.busy.state
+        active = self.active.state or busy  # busy implies active
+        return (1 if active else 0) + (1 if busy else 0)
+
+
+class PlanCatalog:
+    """The finite plan menu plus the pricing/accuracy tables behind it.
+
+    Built once per run from the config and stage graph (and optionally
+    calibrated from traces), so that :func:`decide` reduces to hysteresis
+    plus table lookups — both runtimes construct the identical catalog from
+    the identical config, which is what makes their decision logs equal.
+    """
+
+    def __init__(
+        self,
+        *,
+        depth_by_band: tuple[str, str, str],
+        degree_by_band: tuple[float, float, float],
+        quiet: float,
+        busy: float,
+        deadband: float,
+        base_degree: float,
+        degrees: tuple[float, ...],
+        recall: dict | None = None,
+        cost: dict | None = None,
+    ):
+        self.depth_by_band = depth_by_band
+        self.degree_by_band = degree_by_band
+        self.quiet = quiet
+        self.busy = busy
+        self.deadband = deadband
+        self.base_degree = base_degree
+        self.degrees = degrees
+        #: Calibrated scene recall per (depth, degree) — diagnostics.
+        self.recall = recall or {}
+        #: Priced device-seconds per source frame per (band, degree).
+        self.cost = cost or {}
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        config,
+        graph: StageGraph | None = None,
+        *,
+        traces=None,
+        cost_model=None,
+    ) -> "PlanCatalog":
+        """Derive the plan menu from ``config`` (+ optional calibration).
+
+        Depths come from the graph's non-terminal chain: band 0 exits at the
+        first filter, band 1 at the second, band 2 at the last.  Candidate
+        degrees are ``config.plan_degrees``; each band's degree is the
+        cheapest candidate (device-seconds per source frame, including the
+        reference stage the early exits feed) whose calibrated scene recall
+        at that band's depth clears ``config.plan_min_accuracy``.  Without
+        calibration traces the accuracy model is conservative: only degrees
+        at or below the configured static ``filter_degree`` are assumed
+        safe, so an uncalibrated adaptive run never filters harder than the
+        static plan it replaces.
+        """
+        graph = graph or config.graph()
+        filters = [s.name for s in graph if not s.terminal]
+        if not filters:
+            raise ValueError("adaptive planning needs at least one filter stage")
+        depth_by_band = (
+            filters[0],
+            filters[min(1, len(filters) - 1)],
+            filters[-1],
+        )
+        degrees = tuple(sorted(set(float(d) for d in config.plan_degrees)))
+
+        recall = cls._recall_table(config, graph, filters, degrees, traces)
+        cost = cls._cost_table(config, graph, filters, degrees, traces, cost_model)
+
+        degree_by_band = []
+        for band, depth in enumerate(depth_by_band):
+            if SNM not in graph or _stage_index(graph, SNM) > _stage_index(graph, depth):
+                # The SNM threshold is never evaluated at this depth.
+                degree_by_band.append(config.filter_degree)
+                continue
+            ok = [
+                d
+                for d in degrees
+                if recall[(depth, d)] >= config.plan_min_accuracy
+            ]
+            if not ok:
+                ok = [min(degrees, key=lambda d: -recall[(depth, d)])]
+            degree_by_band.append(min(ok, key=lambda d: (cost[(band, depth, d)], -d)))
+        return cls(
+            depth_by_band=depth_by_band,
+            degree_by_band=tuple(degree_by_band),
+            quiet=config.plan_quiet,
+            busy=config.plan_busy,
+            deadband=config.plan_deadband,
+            base_degree=config.filter_degree,
+            degrees=degrees,
+            recall=recall,
+            cost=cost,
+        )
+
+    @staticmethod
+    def _recall_table(config, graph, filters, degrees, traces) -> dict:
+        """Scene-level recall per (depth, degree).
+
+        A scene is a maximal run of frames whose ground-truth count meets
+        ``number_of_objects``; it is detected when *any* of its frames
+        survives every filter up to the exit depth (the event-level metric
+        the benchmarks report).  Uncalibrated fallback: degrees above the
+        static ``filter_degree`` are assumed unsafe (recall 0), at or below
+        it safe (recall 1).
+        """
+        table = {}
+        if not traces:
+            for depth in filters:
+                for d in degrees:
+                    table[(depth, d)] = 1.0 if d <= config.filter_degree else 0.0
+            return table
+        for depth in filters:
+            cut = filters[: filters.index(depth) + 1]
+            for d in degrees:
+                detected = total = 0
+                for trace in traces:
+                    cfg = config.with_(filter_degree=d)
+                    alive = np.ones(len(trace), dtype=bool)
+                    for name in cut:
+                        alive &= np.asarray(
+                            graph[name].logic.trace_mask(trace, cfg), dtype=bool
+                        )
+                    positive = (
+                        np.asarray(trace.gt_count) >= config.number_of_objects
+                    )
+                    for lo, hi in _runs(positive):
+                        total += 1
+                        if alive[lo:hi].any():
+                            detected += 1
+                table[(depth, d)] = detected / total if total else 1.0
+        return table
+
+    @staticmethod
+    def _cost_table(config, graph, filters, degrees, traces, cost_model) -> dict:
+        """Device-seconds per source frame per (band, depth, degree).
+
+        The same pricing arithmetic as :func:`repro.core.planner.
+        plan_capacity`: each executed stage charges its amortized
+        ``stage_per_frame_time`` weighted by the fraction of source frames
+        reaching it, *including the terminal reference stage* — exiting
+        early sends more survivors to the reference model, and that cost is
+        what keeps the planner honest about shallow plans.
+        """
+        from ..devices.costs import CostModel
+
+        costs = cost_model or CostModel()
+        # Representative first-stage activity per band and estimated
+        # conditional keep-rates (trace-calibrated when available).
+        activity = {
+            0: max(0.0, config.plan_quiet - config.plan_deadband),
+            1: (config.plan_quiet + config.plan_busy) / 2.0,
+            2: min(1.0, config.plan_busy + config.plan_deadband),
+        }
+        keep = _keep_rates(config, graph, filters, degrees, traces)
+        per_frame = {
+            s.name: stage_per_frame_time(
+                s, costs, effective_batch(s, config)
+            )
+            for s in graph
+        }
+        table = {}
+        terminal = graph.terminal.name
+        for band, act in activity.items():
+            for depth in filters:
+                cut = filters[: filters.index(depth) + 1]
+                for d in degrees:
+                    reach, total = 1.0, 0.0
+                    for name in cut:
+                        total += reach * per_frame[name]
+                        reach *= act if name == filters[0] else keep[(name, d)]
+                    total += reach * per_frame[terminal]
+                    table[(band, depth, d)] = total
+        return table
+
+
+def _stage_index(graph: StageGraph, name: str) -> int:
+    return list(graph.names).index(name)
+
+
+def _runs(mask: np.ndarray) -> list[tuple[int, int]]:
+    """Maximal ``[lo, hi)`` runs of True in a boolean vector."""
+    out, lo = [], None
+    for i, v in enumerate(mask):
+        if v and lo is None:
+            lo = i
+        elif not v and lo is not None:
+            out.append((lo, i))
+            lo = None
+    if lo is not None:
+        out.append((lo, len(mask)))
+    return out
+
+
+def _keep_rates(config, graph, filters, degrees, traces) -> dict:
+    """Conditional pass rate of each non-first filter per degree."""
+    table = {}
+    for name in filters[1:] if filters else []:
+        for d in degrees:
+            if traces:
+                entered = passed = 0
+                cfg = config.with_(filter_degree=d)
+                for trace in traces:
+                    alive = np.ones(len(trace), dtype=bool)
+                    for up in filters[: filters.index(name)]:
+                        alive &= np.asarray(
+                            graph[up].logic.trace_mask(trace, cfg), dtype=bool
+                        )
+                    mask = np.asarray(
+                        graph[name].logic.trace_mask(trace, cfg), dtype=bool
+                    )
+                    entered += int(alive.sum())
+                    passed += int((alive & mask).sum())
+                table[(name, d)] = passed / entered if entered else 1.0
+            else:
+                # Uncalibrated heuristic: SNM keeps (1 - degree) of its
+                # input (Eq. 2's linear threshold), other filters 0.7.
+                table[(name, d)] = (
+                    max(0.05, 1.0 - d) if name == SNM else 0.7
+                )
+    return table
+
+
+def decide(signals: PlanSignals, catalog: PlanCatalog, prior: PlanState) -> Plan:
+    """One planning decision: pure in ``(signals, catalog, prior)``.
+
+    Band classification is a double Schmitt trigger (deadband around the
+    quiet and busy thresholds) debounced by the ``Hysteresis`` streaks
+    inside ``prior``; depth and degree are catalog lookups from the band.
+    The batch target is passed through unchanged — it lives on the clock
+    domain and must not influence the (deterministic) depth/degree log.
+    """
+    a = signals.activity
+    if a is not None:
+        on = catalog.deadband
+        raw_active = a >= (catalog.quiet - on if prior.active.state else catalog.quiet + on)
+        raw_busy = a >= (catalog.busy - on if prior.busy.state else catalog.busy + on)
+        prior.active.update(bool(raw_active))
+        prior.busy.update(bool(raw_busy))
+    band = prior.band_index
+    plan = Plan(
+        depth=catalog.depth_by_band[band],
+        filter_degree=catalog.degree_by_band[band],
+        batch_target=signals.batch_target,
+        band=BANDS[band],
+    )
+    prior.plan = plan
+    return plan
+
+
+class QueryPlanner:
+    """Per-stream, per-chunk plan selection over the shared time-series.
+
+    Both runtimes drive one planner the same way:
+
+    * the *first* filter stage reports its verdicts in frame order via
+      :meth:`observe_first`; every completed ``plan_epoch``-frame chunk
+      stamps its pass fraction into the sampler at stream time and decides
+      the *next* chunk's plan (so a chunk's plan is always fixed before any
+      of its frames is routed beyond the first stage);
+    * every stage looks up :meth:`plan_for` / :meth:`degree_for` /
+      :meth:`exits_at` per frame — plan switches thus take effect exactly
+      at chunk boundaries;
+    * the sampling loop calls :meth:`poll` on its clock to follow queue
+      depth with the EWMA batch target (``adaptive_batching`` only).
+    """
+
+    def __init__(
+        self,
+        config,
+        graph: StageGraph | None = None,
+        sampler: TimeSeriesSampler | None = None,
+        catalog: PlanCatalog | None = None,
+    ):
+        self.config = config
+        self.graph = graph or config.graph()
+        self.active = config.plan == "adaptive"
+        self.adaptive_batching = bool(config.adaptive_batching) and self.active
+        self.epoch = int(config.plan_epoch)
+        self.fps = float(config.stream_fps)
+        self.sampler = sampler or TimeSeriesSampler(
+            interval=config.telemetry_sample_interval
+        )
+        self.reader = SignalReader(self.sampler)
+        self.catalog = catalog or PlanCatalog.build(config, self.graph)
+        filters = [s.name for s in self.graph if not s.terminal]
+        self._first = filters[0] if filters else None
+        self._full_depth = filters[-1] if filters else None
+        #: Stage whose batch formation follows the adaptive target (the
+        #: first "config"-batched stage — SNM in the paper's graph).
+        self._batch_stage = next(
+            (s.name for s in self.graph if s.batch.kind == "config"), None
+        )
+        self.initial_plan = Plan(
+            depth=self._full_depth or self.graph.terminal.name,
+            filter_degree=config.filter_degree,
+            batch_target=config.batch_size,
+            band="busy",
+        )
+        self._lock = threading.Lock()
+        self._states: dict[int, PlanState] = {}
+        self._plans: dict[int, list[Plan]] = {}
+        self._open: dict[int, list[int]] = {}  # stream -> [chunk, passed, seen]
+        self._ids: dict[int, str] = {}
+        self.decisions: list[dict] = []
+        self._batch_ewma = float(config.batch_size)
+        self._batch_t: float | None = None
+        self._batch_target = int(config.batch_size)
+
+    # -- stream registry -------------------------------------------------
+    def register(self, stream_idx: int, stream_id: str | None = None) -> None:
+        with self._lock:
+            if stream_idx in self._plans:
+                return
+            self._states[stream_idx] = PlanState(self.config.plan_hysteresis)
+            self._plans[stream_idx] = [self.initial_plan]
+            self._open[stream_idx] = [0, 0, 0]
+            self._ids[stream_idx] = stream_id or f"stream-{stream_idx}"
+
+    # -- content observation (first filter stage, frame order) -----------
+    def observe_first(self, stream_idx: int, frames, passes) -> None:
+        """Report first-stage verdicts for consecutive frames of one stream.
+
+        Must be called in frame order per stream (both runtimes' first
+        stages are FIFO per stream) and *before* routing those frames
+        downstream, so a chunk's plan exists before its frames leave the
+        first stage.
+        """
+        if not self.active:
+            return
+        with self._lock:
+            if stream_idx not in self._plans:
+                self._states[stream_idx] = PlanState(self.config.plan_hysteresis)
+                self._plans[stream_idx] = [self.initial_plan]
+                self._open[stream_idx] = [0, 0, 0]
+                self._ids[stream_idx] = f"stream-{stream_idx}"
+            cur = self._open[stream_idx]
+            for f, ok in zip(frames, passes):
+                c = int(f) // self.epoch
+                if c > cur[0]:
+                    # A gap (lost frames): close the open chunk on what we
+                    # saw so the planner keeps advancing deterministically.
+                    self._finalize(stream_idx, cur[0], cur[1], cur[2])
+                    cur[0], cur[1], cur[2] = c, 0, 0
+                cur[1] += int(bool(ok))
+                cur[2] += 1
+                if (int(f) + 1) % self.epoch == 0:
+                    self._finalize(stream_idx, cur[0], cur[1], cur[2])
+                    cur[0], cur[1], cur[2] = cur[0] + 1, 0, 0
+
+    def _finalize(self, stream_idx: int, chunk: int, passed: int, seen: int) -> None:
+        """Close chunk ``chunk``; decide the plan for ``chunk + 1``."""
+        activity = passed / seen if seen else 0.0
+        t = (chunk + 1) * self.epoch / self.fps  # stream time, clock-free
+        name = f"plan_activity[{stream_idx}]"
+        self.sampler.observe(name, t, activity, force=True)
+        ewma = self.reader.ewma(name, self.config.plan_tau, now=t)
+        state = self._states[stream_idx]
+        prev = self._plans[stream_idx][-1]
+        plan = decide(
+            PlanSignals(activity=ewma, batch_target=self._batch_target),
+            self.catalog,
+            state,
+        )
+        plans = self._plans[stream_idx]
+        while len(plans) <= chunk:  # gap chunks inherit the previous plan
+            plans.append(prev)
+        plans.append(plan)
+        if plan.key() != prev.key():
+            self.decisions.append(
+                {
+                    "t": float(t),
+                    "stream": int(stream_idx),
+                    "chunk": int(chunk + 1),
+                    "band": plan.band,
+                    "depth": plan.depth,
+                    "degree": float(plan.filter_degree),
+                }
+            )
+
+    # -- per-frame lookups (hot path; GIL-safe reads of append-only lists)
+    def plan_for(self, stream_idx: int, frame_idx: int) -> Plan:
+        plans = self._plans.get(stream_idx)
+        if not plans:
+            return self.initial_plan
+        return plans[min(frame_idx // self.epoch, len(plans) - 1)]
+
+    def degree_for(self, stream_idx: int, frame_idx: int) -> float:
+        if not self.active:
+            return self.config.filter_degree
+        return self.plan_for(stream_idx, frame_idx).filter_degree
+
+    def exits_at(self, stage_name: str, stream_idx: int, frame_idx: int) -> bool:
+        """Should a passer of ``stage_name`` route straight to the terminal?"""
+        if not self.active or stage_name == self._full_depth:
+            return False
+        return self.plan_for(stream_idx, frame_idx).depth == stage_name
+
+    # -- clock-domain batch target ---------------------------------------
+    def poll(self, now: float) -> None:
+        """EWMA-follow the batch stage's queue depth (adaptive batching)."""
+        if not self.adaptive_batching or self._batch_stage is None:
+            return
+        with self._lock:
+            depths = self.reader.latest_map("queue_depth")
+            prefix = self._batch_stage
+            vals = [
+                v
+                for k, v in depths.items()
+                if k == prefix or k.startswith(prefix + "[")
+            ]
+            one = self.reader.latest(f"queue_depth[{prefix}]")
+            if one is not None:
+                vals.append(one)
+            if not vals:
+                return
+            raw = sum(vals) / len(vals)
+            if self._batch_t is None:
+                self._batch_ewma = raw
+            else:
+                dt = max(0.0, now - self._batch_t)
+                a = math.exp(-dt / self.config.plan_batch_tau)
+                self._batch_ewma = a * self._batch_ewma + (1.0 - a) * raw
+            self._batch_t = now
+            self._batch_target = max(
+                1, min(self.config.batch_size, math.ceil(self._batch_ewma - 1e-9))
+            )
+
+    @property
+    def batch_target(self) -> int:
+        return self._batch_target if self.adaptive_batching else self.config.batch_size
+
+    # -- reporting --------------------------------------------------------
+    def sorted_decisions(self) -> list[dict]:
+        """The decision log in canonical (stream-time, stream) order.
+
+        Per-stream order is already deterministic; sorting makes the global
+        interleaving independent of worker scheduling, so threaded and
+        simulated runs produce byte-identical logs.
+        """
+        with self._lock:
+            return sorted(
+                (dict(d) for d in self.decisions),
+                key=lambda d: (d["t"], d["stream"], d["chunk"]),
+            )
+
+    def decision_labels(self) -> list[tuple]:
+        """Clock-free decision identities (for cross-runtime equality)."""
+        return [
+            (d["stream"], d["chunk"], d["band"], d["depth"], round(d["degree"], 9))
+            for d in self.sorted_decisions()
+        ]
+
+    def summary(self) -> dict:
+        """Snapshot for ``RunMetrics.extra['qplan']`` and the exporter."""
+        with self._lock:
+            streams = {}
+            filters = [s.name for s in self.graph if not s.terminal]
+            for i in sorted(self._plans):
+                plan = self._plans[i][-1]
+                streams[self._ids[i]] = {
+                    "band": plan.band,
+                    "depth": plan.depth,
+                    "depth_index": (
+                        filters.index(plan.depth) + 1 if plan.depth in filters else 0
+                    ),
+                    "degree": float(plan.filter_degree),
+                    "chunks": len(self._plans[i]) - 1,
+                }
+            return {
+                "plan": self.config.plan,
+                "epoch": self.epoch,
+                "adaptive_batching": self.adaptive_batching,
+                "batch_target": int(self.batch_target),
+                "streams": streams,
+                "decisions": sorted(
+                    (dict(d) for d in self.decisions),
+                    key=lambda d: (d["t"], d["stream"], d["chunk"]),
+                ),
+            }
+
+
+def replay_decisions(
+    sampler: TimeSeriesSampler,
+    config,
+    graph: StageGraph | None = None,
+    catalog: PlanCatalog | None = None,
+) -> list[dict]:
+    """Re-derive the decision log from sampled ``plan_activity[*]`` series.
+
+    Feeding a run's sampler (or a deserialized copy of its series) through
+    the same pure decision core reproduces the exact transitions the live
+    planner logged — the replay-determinism contract that makes planner
+    behaviour auditable from the telemetry artifact alone.
+    """
+    planner = QueryPlanner(
+        config.with_(plan="adaptive"), graph=graph, catalog=catalog
+    )
+    reader = SignalReader(sampler)
+    logs: list[dict] = []
+    for name in sampler.names:
+        if not (name.startswith("plan_activity[") and name.endswith("]")):
+            continue
+        stream_idx = int(name[len("plan_activity["):-1])
+        state = PlanState(config.plan_hysteresis)
+        prev = planner.initial_plan
+        for t, _ in sampler.points(name):
+            chunk = int(round(t * config.stream_fps / config.plan_epoch))
+            ewma = reader.ewma(name, config.plan_tau, now=t)
+            plan = decide(
+                PlanSignals(activity=ewma, batch_target=config.batch_size),
+                planner.catalog,
+                state,
+            )
+            if plan.key() != prev.key():
+                logs.append(
+                    {
+                        "t": float(t),
+                        "stream": stream_idx,
+                        "chunk": chunk,
+                        "band": plan.band,
+                        "depth": plan.depth,
+                        "degree": float(plan.filter_degree),
+                    }
+                )
+            prev = plan
+    return sorted(logs, key=lambda d: (d["t"], d["stream"], d["chunk"]))

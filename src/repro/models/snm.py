@@ -244,7 +244,7 @@ class FusedSNM:
             raise ValueError("FusedSNM needs at least one SNM")
         self.snms = list(snms)
         self._cache_key: tuple | None = None
-        self._t_pre_cache: dict[float, np.ndarray] = {}
+        self._t_pre_cache: dict[tuple, np.ndarray] = {}
         self._refresh()
 
     def _versions(self) -> tuple:
@@ -298,24 +298,41 @@ class FusedSNM:
         logits /= self.temps[stream_idx][:, None]
         return softmax(logits)[:, 1].astype(np.float32, copy=False)
 
-    def t_pre(self, filter_degree: float) -> np.ndarray:
+    def t_pre(self, filter_degree) -> np.ndarray:
         """Per-stream operating thresholds (paper Eq. 2) as a vector.
 
-        Cached per degree (``passes`` calls this once per mega-batch) and
-        returned read-only; invalidated when any member SNM recalibrates.
+        ``filter_degree`` is either one scalar degree applied to every
+        stream, or a per-stream sequence of degrees (the adaptive planner's
+        case — each stream may run a different threshold).  Cached per
+        degree *vector* — a tuple key, so two streams on different degrees
+        can never alias one scalar's cache line — and returned read-only;
+        invalidated when any member SNM recalibrates.
         """
         self._ensure_current()
-        cached = self._t_pre_cache.get(filter_degree)
+        if np.ndim(filter_degree) == 0:
+            key = (float(filter_degree),) * len(self.snms)
+        else:
+            key = tuple(float(d) for d in filter_degree)
+            if len(key) != len(self.snms):
+                raise ValueError(
+                    f"per-stream degree vector has {len(key)} entries for "
+                    f"{len(self.snms)} streams"
+                )
+        cached = self._t_pre_cache.get(key)
         if cached is None:
-            cached = np.array([s.t_pre(filter_degree) for s in self.snms])
+            cached = np.array([s.t_pre(d) for s, d in zip(self.snms, key)])
             cached.setflags(write=False)
-            self._t_pre_cache[filter_degree] = cached
+            self._t_pre_cache[key] = cached
         return cached
 
     def passes(
-        self, probs: np.ndarray, stream_idx: np.ndarray, filter_degree: float
+        self, probs: np.ndarray, stream_idx: np.ndarray, filter_degree
     ) -> np.ndarray:
-        """Mask of frames that continue to T-YOLO, per-stream thresholds."""
+        """Mask of frames that continue to T-YOLO, per-stream thresholds.
+
+        ``filter_degree`` may be a scalar or a per-stream degree vector
+        (see :meth:`t_pre`).
+        """
         return np.asarray(probs) >= self.t_pre(filter_degree)[np.asarray(stream_idx)]
 
 

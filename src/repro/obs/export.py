@@ -123,6 +123,14 @@ METRIC_FAMILIES: dict[str, dict] = {
         "kind": "counter", "labels": (),
         "help": "Regions that opened an additional canvas because the current one was full.",
     },
+    "plan_depth": {
+        "kind": "gauge", "labels": ("stream",),
+        "help": "Query-planner cascade exit depth per stream (stage count; 0 = static plan).",
+    },
+    "plan_filter_degree": {
+        "kind": "gauge", "labels": ("stream",),
+        "help": "Query-planner SNM FilterDegree per stream.",
+    },
     "telemetry_events_total": {
         "kind": "counter", "labels": ("kind",),
         "help": "Events published per kind.",
@@ -211,6 +219,27 @@ def render_prometheus(metrics=None, telemetry=None) -> str:
         lines.append(_line("mosaic_regions_per_canvas", mosaic.get("regions_per_canvas", 0.0)))
         lines += _head("mosaic_spills_total")
         lines.append(_line("mosaic_spills_total", mosaic.get("spills", 0)))
+
+        # Query-planner gauges.  Same contract as the mosaic families:
+        # rendered unconditionally (zeros under the static plan) so
+        # dashboard queries against them resolve on every run.
+        qstreams = getattr(metrics, "extra", {}).get("qplan", {}).get("streams", {})
+        lines += _head("plan_depth")
+        if qstreams:
+            for sid, info in sorted(qstreams.items()):
+                lines.append(
+                    _line("plan_depth", info.get("depth_index", 0), {"stream": sid})
+                )
+        else:
+            lines.append(_line("plan_depth", 0, {"stream": "-"}))
+        lines += _head("plan_filter_degree")
+        if qstreams:
+            for sid, info in sorted(qstreams.items()):
+                lines.append(
+                    _line("plan_filter_degree", info.get("degree", 0.0), {"stream": sid})
+                )
+        else:
+            lines.append(_line("plan_filter_degree", 0.0, {"stream": "-"}))
 
         for family, stats in (
             ("frame_latency_seconds", metrics.frame_latency),

@@ -46,10 +46,12 @@ from ..core.pipeline import (
     MERGED,
     PER_STREAM,
     SHARED_RR,
+    SNM,
     StageGraph,
     StageSpec,
     cascade,
 )
+from ..core.qplan import QueryPlanner
 from ..core.queues import FeedbackQueue, QueueClosed
 from ..devices.placement import Placement, ffs_va_placement
 from ..models.zoo import ModelZoo
@@ -146,6 +148,7 @@ class ThreadedPipeline:
         *,
         reserve_slots: int = 0,
         store: DetStore | None = None,
+        plan_catalog=None,
     ):
         if not streams and reserve_slots <= 0:
             raise ValueError("need at least one stream")
@@ -166,6 +169,16 @@ class ThreadedPipeline:
                 raise ValueError("reserve_slots is incompatible with executor='process'")
             if any(spec.fan_in == FUSED for spec in self.graph):
                 raise ValueError("reserve_slots is incompatible with fused stages")
+            if cfg.plan == "adaptive":
+                # The planner's chunk accounting and the terminal
+                # producer-count bookkeeping assume a fixed stream roster.
+                raise ValueError("reserve_slots is incompatible with plan='adaptive'")
+        if cfg.plan == "adaptive" and len(self.graph) > 2:
+            if self.graph.terminal.fan_in != MERGED:
+                raise ValueError(
+                    "adaptive depth planning needs a merged terminal stage "
+                    "(early exits route straight to its queue)"
+                )
         self.ctxs = [_StreamCtx(stream=s, bundle=zoo[s.stream_id]) for s in streams]
         self.ctxs += [_StreamCtx(stream=None, bundle=None) for _ in range(reserve_slots)]
         n = len(self.ctxs)
@@ -191,6 +204,13 @@ class ThreadedPipeline:
             for spec in self.graph
             if spec.fan_in in (SHARED_RR, FUSED)
         }
+        #: Adaptive depth planning makes every non-terminal worker a
+        #: potential producer of the merged terminal queue (early exits
+        #: skip straight to it); the close protocol must account for that.
+        self._plan_routing = (
+            cfg.plan == "adaptive"
+            and sum(1 for s in self.graph if not s.terminal) > 1
+        )
         # A merged queue is closed by the *last* of its producers.
         self._producers_left = {
             spec.name: self._producer_count(spec)
@@ -211,6 +231,23 @@ class ThreadedPipeline:
             if self.telemetry is not None
             else None
         )
+        #: Content-adaptive query planner (None when plan="static").  It
+        #: shares the telemetry sampler when one exists so its activity
+        #: series ride the same export plane; otherwise it runs a private
+        #: sampler — planning works with telemetry off.
+        self._planner = (
+            QueryPlanner(
+                cfg,
+                graph=self.graph,
+                sampler=self.telemetry.sampler if self.telemetry is not None else None,
+                catalog=plan_catalog,
+            )
+            if cfg.plan == "adaptive"
+            else None
+        )
+        if self._planner is not None:
+            for i, s in enumerate(streams):
+                self._planner.register(i, s.stream_id)
         #: Persistent detection store (None = no persistence).  An injected
         #: store is used as-is; otherwise config.result_store_dir builds one.
         self.store = (
@@ -248,6 +285,9 @@ class ThreadedPipeline:
         #: whose logic provides build_fused; fused stages without one fall
         #: back to grouping each mega-batch by stream.
         self._fused_eval: dict = {}
+        #: Per-degree config clones for plan-driven SNM thresholds, keyed by
+        #: filter degree (built lazily; the planner's degree set is small).
+        self._degree_cfgs: dict[float, FFSVAConfig] = {}
 
     # ------------------------------------------------------------------
     # graph-driven construction helpers
@@ -265,6 +305,15 @@ class ThreadedPipeline:
         upstream = self.graph.upstream(spec.name)
         if not upstream:
             return len(self.ctxs)  # fed directly by the prefetchers
+        if self._plan_routing and spec.terminal:
+            # Early exits let *every* non-terminal stage's workers route
+            # passers straight here, so the queue only closes once all of
+            # them are done (each decrements once per worker on finish).
+            return sum(
+                len(self.ctxs) if s.fan_in == PER_STREAM else 1
+                for s in self.graph
+                if not s.terminal
+            )
         prev = upstream[-1]
         return len(self.ctxs) if prev.fan_in == PER_STREAM else 1
 
@@ -297,6 +346,14 @@ class ThreadedPipeline:
         if rule.kind == "rr_cap":
             return cfg.num_t_yolo, 1
         return rule.size, 1
+
+    def _adaptive_batch_stage(self, spec: StageSpec) -> bool:
+        """True when the planner drives this stage's batch target live."""
+        return (
+            self._planner is not None
+            and self._planner.adaptive_batching
+            and spec.batch.kind == "config"
+        )
 
     def _shared_cap(self, spec: StageSpec) -> int:
         """Frames a shared_rr worker takes from one stream per visit."""
@@ -420,6 +477,12 @@ class ThreadedPipeline:
         nxt = self.graph.next(spec.name)
         if nxt is not None:
             self._close_input(nxt, stream_idx)
+        if self._plan_routing and not spec.terminal and nxt is not None and not nxt.terminal:
+            # Under adaptive depth planning this worker was also a potential
+            # producer of the terminal queue (early exits); release its
+            # share of that producer count.  When ``nxt`` *is* the terminal
+            # the decrement above already covered it.
+            self._close_input(self.graph.terminal, stream_idx)
 
     # ------------------------------------------------------------------
     # stage service
@@ -451,6 +514,42 @@ class ThreadedPipeline:
     def _serve(self, spec: StageSpec, works: list[_Work], scratch: dict | None = None) -> bool:
         """Evaluate one batch and route each frame; False aborts the worker.
 
+        Under adaptive planning the SNM batch is split so that every
+        stream's frames within a group share one plan chunk (and therefore
+        one FilterDegree); splits only occur at the rare chunk-boundary
+        crossings, so the steady state stays a single full batch.
+        """
+        planner = self._planner
+        if planner is None or not planner.active or spec.name != SNM:
+            return self._serve_one(spec, works, scratch)
+        epoch = planner.epoch
+        groups: list[list[_Work]] = []
+        cur: list[_Work] = []
+        seen: dict[int, int] = {}
+        for w in works:
+            c = w.index // epoch
+            if cur and seen.get(w.stream_idx, c) != c:
+                groups.append(cur)
+                cur, seen = [], {}
+            cur.append(w)
+            seen[w.stream_idx] = c
+        groups.append(cur)
+        for group in groups:
+            if not self._serve_one(spec, group, scratch):
+                return False
+        return True
+
+    def _cfg_for_degree(self, degree: float) -> FFSVAConfig:
+        cfg = self._degree_cfgs.get(degree)
+        if cfg is None:
+            cfg = self._degree_cfgs[degree] = self.config.with_(filter_degree=degree)
+        return cfg
+
+    def _serve_one(
+        self, spec: StageSpec, works: list[_Work], scratch: dict | None = None
+    ) -> bool:
+        """Evaluate one plan-homogeneous batch and route each frame.
+
         Every frame of the batch reaches a terminal record or the next
         stage's queue — on failure or abort the leftovers are recorded as
         ``"aborted"`` so no outcome is ever silently lost.
@@ -458,6 +557,18 @@ class ThreadedPipeline:
         done = 0
         tel = self.telemetry
         bus = tel.bus if tel is not None else None
+        planner = self._planner
+        cfg = self.config
+        deg_vec = None  # per-stream degree vector for the fused SNM path
+        if planner is not None and planner.active and spec.name == SNM:
+            if spec.fan_in == FUSED:
+                deg_vec = np.full(len(self.ctxs), cfg.filter_degree)
+                for w in works:
+                    deg_vec[w.stream_idx] = planner.degree_for(w.stream_idx, w.index)
+            else:
+                d = planner.degree_for(works[0].stream_idx, works[0].index)
+                if d != cfg.filter_degree:
+                    cfg = self._cfg_for_degree(d)
         try:
             n = len(works)
             if n == 1:
@@ -486,7 +597,10 @@ class ThreadedPipeline:
                 with self._locks[spec.name]:
                     t_exec = self._now()
                     if fused_fn is not None:
-                        passes, info = fused_fn(pixels, sidx)
+                        if deg_vec is not None:
+                            passes, info = fused_fn(pixels, sidx, degrees=deg_vec)
+                        else:
+                            passes, info = fused_fn(pixels, sidx)
                     else:
                         # Generic fused fallback: evaluate the mega-batch
                         # grouped per stream (same results, no weight fusion).
@@ -494,11 +608,14 @@ class ThreadedPipeline:
                         info = None
                         for k in np.unique(sidx):
                             sel = np.nonzero(sidx == k)[0]
+                            kcfg = cfg
+                            if deg_vec is not None:
+                                kcfg = self._cfg_for_degree(float(deg_vec[int(k)]))
                             p, _ = spec.logic.evaluate(
                                 pixels[sel],
                                 [self.ctxs[int(k)].bundle] * len(sel),
                                 self.zoo,
-                                self.config,
+                                kcfg,
                             )
                             passes[sel] = np.asarray(p, dtype=bool)
                     t_done = self._now()
@@ -513,9 +630,7 @@ class ThreadedPipeline:
                     bundles = [self.ctxs[works[0].stream_idx].bundle] * n
                 with self._locks[spec.name]:
                     t_exec = self._now()
-                    passes, info = spec.logic.evaluate(
-                        pixels, bundles, self.zoo, self.config
-                    )
+                    passes, info = spec.logic.evaluate(pixels, bundles, self.zoo, cfg)
                     t_done = self._now()
                 busy = t_done - t_exec
             passes = np.asarray(passes, dtype=bool)
@@ -525,6 +640,18 @@ class ThreadedPipeline:
                     for k, w in enumerate(works):
                         if passes[k]:
                             self._first_pass[w.stream_idx] += 1
+                if planner is not None and planner.active:
+                    # Feed the planner the first-stage verdicts in frame
+                    # order per stream, *before* routing: a chunk boundary
+                    # inside this batch decides the next chunk's plan here,
+                    # so the plan exists before any of its frames moves on.
+                    by_stream: dict[int, tuple[list, list]] = {}
+                    for k, w in enumerate(works):
+                        fs, ps = by_stream.setdefault(w.stream_idx, ([], []))
+                        fs.append(w.index)
+                        ps.append(bool(passes[k]))
+                    for si in by_stream:
+                        planner.observe_first(si, *by_stream[si])
             if tel is not None:
                 tel.observe_latency("stage_exec_seconds", busy, stage=spec.name)
             if bus is not None and bus.enabled:
@@ -552,8 +679,16 @@ class ThreadedPipeline:
                     detail = None if info is None else int(info[k])
                     self._record(work, spec.name, ref_count=detail)
                 elif passes[k]:
-                    target = self._input_queue(nxt, work.stream_idx)
-                    status = self._put(nxt, target, work)
+                    tgt = nxt
+                    if self._plan_routing and planner.exits_at(
+                        spec.name, work.stream_idx, work.index
+                    ):
+                        # Plan says this stream's chunk stops filtering here:
+                        # skip the remaining filters, go straight to the
+                        # merged terminal stage.
+                        tgt = self.graph.terminal
+                    target = self._input_queue(tgt, work.stream_idx)
+                    status = self._put(tgt, target, work)
                     if status == "abort":
                         for w in works[k:]:
                             self._record(w, ABORTED)
@@ -625,10 +760,18 @@ class ThreadedPipeline:
         """Worker for one stream of a ``per_stream`` stage."""
         q = self.stage_queues[spec.name][idx]
         max_n, min_n = self._batch_bounds(spec)
+        adaptive = self._adaptive_batch_stage(spec)
         scratch = {"cap": max_n}  # per-worker batch pixel buffer
         try:
             while True:
-                batch = q.pop_batch(max_n, min_n=min_n, timeout=0.05)
+                if adaptive:
+                    # The planner's EWMA batch target caps (and relaxes the
+                    # floor of) the configured batch size each iteration.
+                    cap = self._planner.batch_target
+                    take, floor = min(max_n, cap), min(min_n, cap)
+                else:
+                    take, floor = max_n, min_n
+                batch = q.pop_batch(take, min_n=floor, timeout=0.05)
                 if not batch:
                     if self._abort.is_set() or (q.closed and len(q) == 0):
                         break
@@ -675,10 +818,16 @@ class ThreadedPipeline:
         """Single worker draining a ``merged`` stage's one queue."""
         q = self.merged_queues[spec.name]
         max_n, min_n = self._batch_bounds(spec)
+        adaptive = self._adaptive_batch_stage(spec)
         scratch = {"cap": max_n}  # per-worker batch pixel buffer
         try:
             while True:
-                batch = q.pop_batch(max_n, min_n=min_n, timeout=0.05)
+                if adaptive:
+                    cap = self._planner.batch_target
+                    take, floor = min(max_n, cap), min(min_n, cap)
+                else:
+                    take, floor = max_n, min_n
+                batch = q.pop_batch(take, min_n=floor, timeout=0.05)
                 if not batch:
                     if self._abort.is_set() or (q.closed and len(q) == 0):
                         break
@@ -711,8 +860,11 @@ class ThreadedPipeline:
                 # lengths are lower bounds that cannot shrink under us.
                 eof = all(q.closed for q in queues)
                 lens = [len(q) for q in queues]
+                size = cfg.batch_size
+                if self._adaptive_batch_stage(spec):
+                    size = min(size, self._planner.batch_target)
                 takes = decide_fused_batch(
-                    cfg.batch_policy, lens, cfg.batch_size, depth, eof=eof, start=rr
+                    cfg.batch_policy, lens, size, depth, eof=eof, start=rr
                 )
                 if sum(takes) == 0:
                     if self._abort.is_set() or (eof and sum(lens) == 0):
@@ -782,9 +934,29 @@ class ThreadedPipeline:
             t = self._now()
             prev = self._sample(t, prev)
             self.admission.poll(t)
+            if self._planner is not None:
+                self._planner.poll(t)
         t = self._now()
         self._sample(t, prev, force=True)
         self.admission.poll(t)
+        if self._planner is not None:
+            self._planner.poll(t)
+
+    def _planner_loop(self, stop: threading.Event) -> None:
+        """Feed queue-depth gauges to a telemetry-less adaptive planner.
+
+        When telemetry is attached the planner shares its sampler and
+        ``_sampler_loop`` polls it; this thread exists only so
+        ``adaptive_batching`` keeps working with telemetry disabled.
+        """
+        planner = self._planner
+        interval = planner.sampler.interval
+        while not stop.wait(interval):
+            t = self._now()
+            planner.sampler.observe_many(
+                t, {f"queue_depth[{q.name}]": len(q) for q in self._all_queues()}
+            )
+            planner.poll(t)
 
     # ------------------------------------------------------------------
     # cluster-instance control (attach / detach / seal)
@@ -1020,6 +1192,18 @@ class ThreadedPipeline:
                 name="telemetry-sampler", daemon=True,
             )
             sampler.start()
+        planner_stop = None
+        if (
+            self.telemetry is None
+            and self._planner is not None
+            and self._planner.adaptive_batching
+        ):
+            planner_stop = threading.Event()
+            planner_thread = threading.Thread(
+                target=self._planner_loop, args=(planner_stop,),
+                name="qplan-sampler", daemon=True,
+            )
+            planner_thread.start()
         for t in threads:
             t.start()
         for t in threads:
@@ -1035,6 +1219,9 @@ class ThreadedPipeline:
         if sampler_stop is not None:
             sampler_stop.set()
             sampler.join(timeout=2.0)
+        if planner_stop is not None:
+            planner_stop.set()
+            planner_thread.join(timeout=2.0)
         pool_stats = {
             name: pool.shutdown().as_dict() for name, pool in self._pools.items()
         }
@@ -1086,4 +1273,6 @@ class ThreadedPipeline:
             m.extra["queue_put_timeouts"] = {
                 q.name: q.put_timeouts for q in self._all_queues()
             }
+        if self._planner is not None:
+            m.extra["qplan"] = self._planner.summary()
         return m

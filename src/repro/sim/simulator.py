@@ -52,6 +52,7 @@ from ..core.pipeline import (
     MERGED,
     PER_STREAM,
     SHARED_RR,
+    SNM,
     StageGraph,
     StageSpec,
     arbitration_batch,
@@ -59,6 +60,7 @@ from ..core.pipeline import (
     stage_per_frame_time,
     stage_service_time,
 )
+from ..core.qplan import QueryPlanner
 from ..core.queues import SimQueue
 from ..core.trace import FrameTrace
 from ..devices.costs import CostModel
@@ -159,6 +161,7 @@ class PipelineSimulator:
         graph: StageGraph | str | None = None,
         telemetry: Telemetry | None = None,
         store=None,
+        plan_catalog=None,
     ):
         if not traces:
             raise ValueError("need at least one stream trace")
@@ -168,6 +171,12 @@ class PipelineSimulator:
         self.placement = placement or ffs_va_placement()
         self.placement.reset()
         self.online = online
+        if cfg.plan == "adaptive" and len(self.graph) > 2:
+            if self.graph.terminal.fan_in != MERGED:
+                raise ValueError(
+                    "adaptive depth planning needs a merged terminal stage "
+                    "(early exits route straight to its queue)"
+                )
 
         self.streams: list[_StreamState] = []
         for trace in traces:
@@ -234,6 +243,31 @@ class PipelineSimulator:
             if self.telemetry is not None
             else None
         )
+        #: Content-adaptive query planner — the *identical* decision code the
+        #: threaded engine runs, driven here by the virtual clock.  It shares
+        #: the telemetry sampler when one exists, else runs a private one.
+        self._planner = (
+            QueryPlanner(
+                cfg,
+                graph=self.graph,
+                sampler=self.telemetry.sampler if self.telemetry is not None else None,
+                catalog=plan_catalog,
+            )
+            if cfg.plan == "adaptive"
+            else None
+        )
+        if self._planner is not None:
+            for i, t in enumerate(traces):
+                self._planner.register(i, t.stream_id)
+        self._plan_routing = (
+            self._planner is not None
+            and self._planner.active
+            and sum(1 for s in self.graph if not s.terminal) > 1
+        )
+        #: Lazy per-(stage, stream, degree) verdict masks for plan-driven
+        #: FilterDegree switches (the static-config mask in ``_SimStage``
+        #: covers the common degree).
+        self._degree_masks: dict[tuple, np.ndarray] = {}
         #: Persistent detection store (None = no persistence).  Rows are
         #: stamped with *stream time* on global frame indices, so they are
         #: byte-identical to the threaded runtime's for the same workload.
@@ -243,12 +277,6 @@ class PipelineSimulator:
             else DetStore.from_config(cfg, terminal=self.graph.terminal.name)
         )
         self._prev_sample = {"t": 0.0, "done": {}, "busy": {}}
-        # Downstream stage names, precomputed so disabled-telemetry event
-        # sites pay only their guard branch (no graph lookups on the hot path).
-        self._next_name = {
-            spec.name: (None if spec.terminal else self.graph.next(spec.name).name)
-            for spec in self.graph
-        }
 
     # ------------------------------------------------------------------
     # graph-driven construction helpers
@@ -311,11 +339,22 @@ class PipelineSimulator:
     # ------------------------------------------------------------------
     # out-buffer draining (blocked workers delivering held survivors)
     # ------------------------------------------------------------------
-    def _next_queue(self, spec: StageSpec, stream_idx: int) -> SimQueue:
-        nxt = self._stages[self.graph.next(spec.name).name]
-        if nxt.merged_q is not None:
-            return nxt.merged_q
-        return nxt.queues[stream_idx]
+    def _route(self, spec: StageSpec, stream_idx: int, frame_idx: int):
+        """(queue, stage name) a survivor of ``spec`` flows into.
+
+        Under adaptive depth planning a frame whose stream's plan exits the
+        cascade at ``spec`` skips the remaining filters and goes straight to
+        the merged terminal queue — the same per-frame lookup the threaded
+        engine's routing loop makes.
+        """
+        nxt = self.graph.next(spec.name)
+        if self._plan_routing and self._planner.exits_at(
+            spec.name, stream_idx, frame_idx
+        ):
+            nxt = self.graph.terminal
+        stg = self._stages[nxt.name]
+        q = stg.merged_q if stg.merged_q is not None else stg.queues[stream_idx]
+        return q, nxt.name
 
     def _drain_out_buffers(self, now: float) -> bool:
         progress = False
@@ -325,13 +364,13 @@ class PipelineSimulator:
             for dq in stg.out.values():
                 while dq:
                     s_idx, f_idx = dq[0]
-                    target = self._next_queue(spec, s_idx)
+                    target, tname = self._route(spec, s_idx, f_idx)
                     if not target.has_room(1):
                         break  # the worker delivers FIFO; head blocks the rest
                     target.put(dq.popleft())
                     if tel is not None and tel.bus.enabled:
                         tel.bus.emit(
-                            "frame_enter", now, self._next_name[spec.name],
+                            "frame_enter", now, tname,
                             stream=s_idx, frame=f_idx,
                         )
                     progress = True
@@ -387,9 +426,17 @@ class PipelineSimulator:
             else:
                 eof = self._upstream_drained(spec, stream_idx)
             return decide_batch(
-                cfg.batch_policy, len(q), cfg.batch_size, q.depth, eof=eof
+                cfg.batch_policy, len(q), self._batch_size_now(), q.depth, eof=eof
             )
         return min(len(q), rule.size)
+
+    def _batch_size_now(self) -> int:
+        """Configured batch size, capped by the planner's live target."""
+        planner = self._planner
+        size = self.config.batch_size
+        if planner is not None and planner.adaptive_batching:
+            size = min(size, planner.batch_target)
+        return size
 
     def _begin(
         self,
@@ -400,7 +447,25 @@ class PipelineSimulator:
         now: float,
     ) -> None:
         stg = self._stages[spec.name]
-        passes = [bool(stg.passes[s][f]) for s, f in frames]
+        planner = self._planner
+        if planner is None or not planner.active:
+            passes = [bool(stg.passes[s][f]) for s, f in frames]
+        else:
+            # Verdicts under the plan's FilterDegree, observed frame-by-frame
+            # in FIFO order *at evaluation time* — the same contract the
+            # threaded engine keeps (observe after evaluate, before routing),
+            # so a chunk boundary inside this batch decides the next chunk's
+            # plan before any later frame's degree is looked up.
+            is_first = spec.name == self.graph.first.name
+            passes = []
+            for s, f in frames:
+                if spec.name == SNM:
+                    ok = bool(self._degree_mask(spec, stg, s, planner.degree_for(s, f))[f])
+                else:
+                    ok = bool(stg.passes[s][f])
+                if is_first:
+                    planner.observe_first(s, [f], [ok])
+                passes.append(ok)
         for s, _ in frames:
             stg.in_flight[s] += 1
         # Process-pool stages are modeled as idealized linear scaling across
@@ -418,6 +483,22 @@ class PipelineSimulator:
         self._start(
             device_name, _Service(spec.name, stream_idx, frames, passes, now, now + dt)
         )
+
+    def _degree_mask(
+        self, spec: StageSpec, stg: _SimStage, s_idx: int, degree: float
+    ) -> np.ndarray:
+        """Verdict mask of ``spec`` for one stream at one FilterDegree."""
+        if degree == self.config.filter_degree:
+            return stg.passes[s_idx]
+        key = (spec.name, s_idx, degree)
+        mask = self._degree_masks.get(key)
+        if mask is None:
+            cfg = self.config.with_(filter_degree=degree)
+            mask = np.asarray(
+                spec.logic.trace_mask(self.streams[s_idx].trace, cfg), dtype=bool
+            )
+            self._degree_masks[key] = mask
+        return mask
 
     def _mosaic_service_time(self, stg: _SimStage, frames: list) -> float:
         """Per-canvas charge for one fused mosaic batch.
@@ -467,7 +548,7 @@ class PipelineSimulator:
             takes = decide_fused_batch(
                 self.config.batch_policy,
                 lens,
-                self.config.batch_size,
+                self._batch_size_now(),
                 stg.queues[0].depth,
                 eof=eof,
                 start=stg.rr,
@@ -576,7 +657,6 @@ class PipelineSimulator:
                 stream=svc.stream_idx, t_start=svc.start, n=n_in,
             )
 
-        nxt_name = self._next_name[svc.stage]
         out_key = svc.stream_idx if spec.fan_in == PER_STREAM else device_name
         is_first = svc.stage == self.graph.first.name
         for (s_idx, f_idx), ok in zip(svc.frames, svc.passes):
@@ -602,20 +682,20 @@ class PipelineSimulator:
                         "frame_latency_seconds", latency, stage=svc.stage
                     )
             elif ok:
-                target = self._next_queue(spec, s_idx)
+                target, tname = self._route(spec, s_idx, f_idx)
                 held = stg.out.get(out_key)
                 if target.has_room(1) and not held:
                     target.put((s_idx, f_idx))
                     if emit:
                         tel.bus.emit(
-                            "frame_enter", now, nxt_name, stream=s_idx, frame=f_idx
+                            "frame_enter", now, tname, stream=s_idx, frame=f_idx
                         )
                 else:
                     # The worker is blocked on a full downstream queue and
                     # holds the survivor in its out-buffer.
                     if emit:
                         tel.bus.emit(
-                            "queue_block", now, nxt_name,
+                            "queue_block", now, tname,
                             stream=s_idx, frame=f_idx, n=len(target),
                         )
                     stg.out.setdefault(out_key, deque()).append((s_idx, f_idx))
@@ -701,6 +781,17 @@ class PipelineSimulator:
         tel.sampler.observe_many(now, gauges, force=force)
         self._prev_sample = {"t": now, "done": done, "busy": busy}
 
+    def _observe_planner_queues(self, now: float) -> None:
+        gauges: dict[str, float] = {}
+        for spec in self.graph:
+            stg = self._stages[spec.name]
+            if stg.merged_q is not None:
+                gauges[f"queue_depth[{spec.name}]"] = len(stg.merged_q)
+            else:
+                for i, q in enumerate(stg.queues):
+                    gauges[f"queue_depth[{spec.name}[{i}]]"] = len(q)
+        self._planner.sampler.observe_many(now, gauges)
+
     # ------------------------------------------------------------------
     # cluster-instance control (attach / detach)
     # ------------------------------------------------------------------
@@ -712,6 +803,10 @@ class PipelineSimulator:
         frames arrive on the *original* stream's clock via
         ``arrival_offset`` (global index of the trace's first frame).
         """
+        if self._planner is not None:
+            # The planner's chunk accounting assumes a fixed stream roster
+            # (the threaded engine rejects reserve_slots for the same reason).
+            raise ValueError("attach_stream is incompatible with plan='adaptive'")
         idx = len(self.streams)
         st = _StreamState(trace=trace, n=len(trace), arrival_offset=arrival_offset)
         st.ingest_time = np.full(st.n, np.nan)
@@ -760,11 +855,20 @@ class PipelineSimulator:
         now = self._now
         inf = float("inf")
         sample = self.telemetry is not None
+        planner = self._planner
+        batching = planner is not None and planner.adaptive_batching
         while True:
             self._start_all(now)
             if sample and self.telemetry.sampler.due(now):
                 self._sample(now)
                 self.admission.poll(now)
+                if planner is not None:
+                    planner.poll(now)
+            elif batching and planner.sampler.due(now):
+                # Telemetry off: feed the planner's private sampler the same
+                # queue-depth gauges the telemetry sweep would have recorded.
+                self._observe_planner_queues(now)
+                planner.poll(now)
             if all(st.finished for st in self.streams):
                 break
             t_heap = self._heap[0][0] if self._heap else inf
@@ -840,6 +944,9 @@ class PipelineSimulator:
             self.admission.poll(now)
             m.extra["telemetry"] = self.telemetry.bus.stats()
             m.extra["admission"] = self.admission.summary()
+        if self._planner is not None:
+            self._planner.poll(now)
+            m.extra["qplan"] = self._planner.summary()
         return m
 
 
