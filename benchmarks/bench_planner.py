@@ -22,6 +22,12 @@ against every fixed ``(cascade, FilterDegree)`` operating point:
   ``BENCH_planner.json``: no fixed point dominates adaptive, and adaptive
   beats the best *accuracy-qualified* fixed point (recall >= adaptive's)
   on throughput.
+* **Lineage depth split** — the adaptive run carries telemetry, and every
+  complete frame lineage (the same reconstruction ``/lineage`` and
+  ``ffs-va explain`` serve) is bucketed by the planner depth in effect for
+  its chunk, splitting its end-to-end latency into wait (gap + batch +
+  queue) vs service seconds.  Recorded under ``adaptive.lineage_split`` —
+  what each depth choice costs, and where.
 
 Event-level accuracy is scene recall: a scene is a maximal run of frames
 whose ground-truth count meets ``number_of_objects``, detected when any of
@@ -49,6 +55,7 @@ from repro.core.pipeline import cascade
 from repro.core.qplan import PlanCatalog, _runs
 from repro.models import ModelZoo
 from repro.nn import TrainConfig
+from repro.obs import Telemetry, build_all_lineages
 from repro.runtime import ThreadedPipeline
 from repro.sim import PipelineSimulator
 from repro.video import jackson, make_stream
@@ -263,14 +270,79 @@ def _run_fixed(traces, name: str, degree: float) -> dict:
     }
 
 
+def lineage_depth_split(sim, telemetry) -> dict:
+    """Lineage-derived wait/service seconds grouped by in-effect plan depth.
+
+    Replays the run's event ring through the lineage reconstructor (the
+    same fold ``/lineage`` serves) and buckets every complete frame by the
+    cascade exit depth the planner had in effect for its chunk.  The split
+    answers *what the planner's depth choice costs where*: a deeper plan
+    buys recall with service seconds, a shallow one trades them for queue
+    waits upstream of the exit.  Only complete lineages participate (the
+    incompleteness contract — size the ring to the run, never fabricate).
+    """
+    lineages = build_all_lineages(
+        telemetry.bus.events(),
+        terminal=sim.graph.terminal.name,
+        dropped=telemetry.bus.dropped,
+    )
+    planner = sim._planner
+    by_depth: dict[str, dict] = {}
+    incomplete = 0
+    for lin in lineages:
+        if not lin.hops or lin.incomplete:
+            incomplete += 1
+            continue
+        depth = planner.plan_for(lin.stream, lin.frame).depth
+        totals = lin.totals()
+        row = by_depth.setdefault(
+            depth, {"frames": 0, "wait_s": 0.0, "service_s": 0.0}
+        )
+        row["frames"] += 1
+        row["wait_s"] += totals["gap"] + totals["batch_wait"] + totals["queue_wait"]
+        row["service_s"] += totals["service"]
+    for row in by_depth.values():
+        denom = row["wait_s"] + row["service_s"]
+        row["wait_s"] = round(row["wait_s"], 4)
+        row["service_s"] = round(row["service_s"], 4)
+        row["wait_share"] = round(row["wait_s"] / denom, 4) if denom > 0 else 0.0
+    return {
+        "by_depth": dict(sorted(by_depth.items())),
+        "frames": len(lineages),
+        "incomplete": incomplete,
+        "dropped_events": telemetry.bus.dropped,
+    }
+
+
 def _run_adaptive(traces) -> dict:
     cfg = _plan_cfg(adaptive_batching=True)
     catalog = PlanCatalog.build(cfg, traces=traces)
-    sim = PipelineSimulator(traces, cfg, online=False, plan_catalog=catalog)
+    # The event ring must hold the whole run for the lineage split to see
+    # every frame: ~7 events/frame (admission + enter/disposition per hop
+    # + shared batch_execs) across the fleet.
+    telemetry = Telemetry(capacity=1 << 20)
+    sim = PipelineSimulator(
+        traces, cfg, online=False, plan_catalog=catalog, telemetry=telemetry
+    )
     m = sim.run()
     reach = adaptive_reach(traces, sim.graph, cfg, sim._planner)
     err = _conservation(reach, m)
     qplan = m.extra["qplan"]
+    lineage = lineage_depth_split(sim, telemetry)
+    if lineage["dropped_events"]:
+        print(
+            f"WARNING: lineage ring evicted {lineage['dropped_events']} "
+            "events; depth split covers a subset",
+            file=sys.stderr,
+        )
+    print_table(
+        "Lineage wait/service split by in-effect plan depth (adaptive run)",
+        ["depth", "frames", "wait s", "service s", "wait share"],
+        [
+            [d, r["frames"], r["wait_s"], r["service_s"], r["wait_share"]]
+            for d, r in lineage["by_depth"].items()
+        ],
+    )
     return {
         "plan": "adaptive",
         "cascade": cfg.cascade,
@@ -285,6 +357,7 @@ def _run_adaptive(traces) -> dict:
             sid: st["band"] for sid, st in sorted(qplan["streams"].items())
         },
         "decisions": len(qplan["decisions"]),
+        "lineage_split": lineage,
     }
 
 

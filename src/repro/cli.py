@@ -7,6 +7,7 @@ Usage (also available as ``python -m repro``)::
     ffs-va analyze  --workload jackson --tor 0.3 --frames 600
     ffs-va simulate --workload jackson --tor 0.103 --streams 20 --mode online
     ffs-va plan     --workload jackson --tor 0.103
+    ffs-va explain  --workload jackson --frames 600 --stream stream-0 --frame 120
 
 Every command synthesizes its stream deterministically from the workload
 preset, TOR and seed, so results are reproducible from the command line
@@ -261,6 +262,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="training frames per stream (threaded mode)")
 
     p = sub.add_parser(
+        "explain",
+        help="run a workload with telemetry and explain one frame's lineage "
+             "(per-hop queue/batch/service latency decomposition)",
+    )
+    _add_stream_args(p)
+    _add_config_args(p)
+    _add_store_args(p)
+    p.add_argument(
+        "--stream", default=None,
+        help="stream id to explain (default: the first stream)",
+    )
+    p.add_argument(
+        "--frame", type=int, default=None, metavar="N",
+        help="global frame index to explain; omit for the critical-path "
+             "summary over every observed frame",
+    )
+    p.add_argument(
+        "--runtime", choices=["sim", "threaded"], default="sim",
+        help="sim: virtual-clock simulator (deterministic lineage); "
+             "threaded: the real pipeline (trains models first)",
+    )
+    p.add_argument("--streams", type=int, default=1)
+    p.add_argument("--mode", choices=["offline", "online"], default="offline")
+    p.add_argument("--train-frames", type=int, default=300,
+                   help="training frames per stream (threaded runtime)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw /lineage JSON body instead of a table")
+
+    p = sub.add_parser(
         "query",
         help="query a persisted detection store (no pipeline in the loop)",
     )
@@ -490,6 +520,134 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _print_attribution(body: dict) -> None:
+    """Render the critical-path summary (no --frame) as a terminal report."""
+    print(f"critical-path attribution over {body['frames']} frame(s) "
+          f"({body['complete']} complete, {body['incomplete']} incomplete)")
+    if body.get("warning"):
+        print(f"  warning: {body['warning']}")
+    for name, comp in list(body["components"].items())[:8]:
+        print(f"  {name:<24} {comp['seconds'] * 1e3:10.1f} ms  {comp['share']:6.1%}")
+    for q, info in body.get("quantiles", {}).items():
+        if info is None:
+            continue
+        print(f"  {q}: stream {info['stream']} frame {info['frame']} — "
+              f"{info['latency_s'] * 1e3:.1f} ms, dominated by {info['top']}")
+
+
+def _print_lineage(body: dict) -> None:
+    """Render one frame's hop table."""
+    tag = "  [INCOMPLETE: ring evicted part of this story]" if body["incomplete"] else ""
+    print(f"frame {body['frame']} of stream {body['stream']} — "
+          f"disposition: {body['disposition'] or 'unknown'}{tag}")
+    if body.get("plan"):
+        decided = " ".join(f"{k}={v}" for k, v in sorted(body["plan"].items()))
+        print(f"  plan in effect: {decided}")
+    header = (f"  {'hop':>3}  {'stage':<8} {'gap ms':>9} {'batch ms':>9} "
+              f"{'queue ms':>9} {'svc ms':>9} {'bsz':>4} {'batch#':>6}  outcome")
+    print(header)
+    for i, hop in enumerate(body["hops"]):
+        note = hop["disposition"] + ("" if hop["complete"] else "  (enter evicted)")
+        if hop["blocked"]:
+            note += f"  blocked x{hop['blocked']}"
+        print(f"  {i:>3}  {hop['stage']:<8} {hop['gap'] * 1e3:>9.3f} "
+              f"{hop['batch_wait'] * 1e3:>9.3f} {hop['queue_wait'] * 1e3:>9.3f} "
+              f"{hop['service'] * 1e3:>9.3f} "
+              f"{hop['batch_size'] if hop['batch_size'] is not None else '-':>4} "
+              f"{hop['batch_id'] if hop['batch_id'] is not None else '-':>6}  {note}")
+    t = body["totals"]
+    print(f"  totals: gap {t['gap'] * 1e3:.3f} + batch_wait {t['batch_wait'] * 1e3:.3f}"
+          f" + queue_wait {t['queue_wait'] * 1e3:.3f} + service {t['service'] * 1e3:.3f}"
+          f" = {t['total'] * 1e3:.3f} ms"
+          f" (recorded end-to-end {body['total_latency'] * 1e3:.3f} ms)")
+
+
+def _print_store_row(store_dir: str, stream_id: str, frame: int) -> None:
+    """Join the explained frame against its persisted DetectionRecord."""
+    from .store import open_store
+
+    try:
+        reader = open_store(store_dir)
+    except FileNotFoundError:
+        return
+    row = None
+    for rec in reader.iter_records():
+        if rec.stream == stream_id and rec.frame == frame:
+            row = rec
+    if row is None:
+        print(f"  store: no persisted record for {stream_id}#{frame}")
+    else:
+        print(f"  store: disposition={row.disposition} cls={row.cls} "
+              f"score={row.score:g} t={row.t:.2f}s")
+
+
+def _cmd_explain(args) -> int:
+    import json as _json
+
+    from .obs.export import _lineage_reply
+
+    config = _config_from(args).with_(telemetry=True)
+    telemetry = Telemetry.from_config(config)
+    if args.runtime == "sim":
+        base = workload_trace(
+            _WORKLOADS[args.workload](), args.frames, tor=args.tor, seed=args.seed
+        )
+        traces = [
+            base.rotated(997 * i).renamed(f"stream-{i}") for i in range(args.streams)
+        ]
+        sim = PipelineSimulator(
+            traces, config, online=(args.mode == "online"), telemetry=telemetry
+        )
+        if args.mode == "offline":
+            sim.run()
+        else:
+            horizon = max(len(t) for t in traces) / config.stream_fps + 2.0
+            sim.run(max_virtual_time=horizon)
+        context = sim.lineage_context
+    else:
+        from .runtime.engine import ThreadedPipeline
+
+        spec = _WORKLOADS[args.workload]()
+        streams = [
+            make_stream(spec, args.frames, tor=args.tor, seed=args.seed + i)
+            for i in range(args.streams)
+        ]
+        zoo = ModelZoo()
+        for s in streams:
+            zoo.train_for_stream(s, n_train_frames=args.train_frames)
+        pipeline = ThreadedPipeline(streams, zoo, config, telemetry=telemetry)
+        pipeline.run(args.frames, online=(args.mode == "online"))
+        context = pipeline.lineage_context
+
+    ctx = context()
+    query: dict = {}
+    stream_q = args.stream
+    if args.frame is not None:
+        if stream_q is None:
+            smap = ctx.get("streams", {})
+            stream_q = (
+                min(smap, key=lambda k: smap[k]["index"]) if smap else "0"
+            )
+        query = {"stream": [stream_q], "frame": [str(args.frame)]}
+    status, _, payload = _lineage_reply(telemetry, context, query)
+    body = _json.loads(payload)
+    if args.json:
+        print(_json.dumps(body, indent=2))
+        return 0 if status == 200 else 1
+    if args.frame is None:
+        _print_attribution(body)
+        return 0
+    if not body.get("found"):
+        print(f"frame {args.frame} of {stream_q}: no surviving lineage "
+              f"({body.get('warning') or 'frame never observed'})",
+              file=sys.stderr)
+        return 1
+    _print_lineage(body)
+    if config.result_store_dir is not None:
+        _print_store_row(config.result_store_dir, stream_q, args.frame)
+    return 0
+
+
 def _cmd_query(args) -> int:
     from .store import (
         count_detections,
@@ -554,6 +712,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "plan": _cmd_plan,
     "cluster": _cmd_cluster,
+    "explain": _cmd_explain,
     "query": _cmd_query,
 }
 

@@ -37,6 +37,15 @@ from .export import (
     snapshot_json,
 )
 from .hist import DEFAULT_BUCKETS, LatencyHistogram
+from .lineage import (
+    FrameLineage,
+    LineageHop,
+    build_all_lineages,
+    build_lineage,
+    critical_path_summary,
+    lineage_section,
+    lineage_to_dict,
+)
 from .sampler import Series, TimeSeriesSampler
 from .trace import (
     FrameSpan,
@@ -61,6 +70,13 @@ __all__ = [
     "SignalReader",
     "Hysteresis",
     "FrameSpan",
+    "FrameLineage",
+    "LineageHop",
+    "build_lineage",
+    "build_all_lineages",
+    "critical_path_summary",
+    "lineage_section",
+    "lineage_to_dict",
     "build_spans",
     "chrome_trace",
     "dump_chrome_trace",
@@ -164,6 +180,7 @@ class Telemetry:
         trace_dir: str | None = None,
         store=None,
         store_dir: str | None = None,
+        lineage=None,
     ) -> TelemetryServer:
         """Start an HTTP endpoint exposing this telemetry (caller stops it).
 
@@ -172,7 +189,9 @@ class Telemetry:
         ``trace_dir``, the endpoint also serves that directory's rotating
         trace segments under ``/traces``; with a live detection ``store``
         (or a ``store_dir`` to read), ``/query`` and ``/subscribe`` serve
-        the persisted results.
+        the persisted results.  ``lineage`` is a zero-arg callable returning
+        the pipeline's lineage context (``pipeline.lineage_context``) so
+        ``/lineage`` can resolve stream ids and attach the in-effect plan.
         """
         return TelemetryServer(
             lambda: (metrics_provider(), self),
@@ -180,4 +199,5 @@ class Telemetry:
             trace_dir=trace_dir,
             store=store,
             store_dir=store_dir,
+            context=lineage,
         ).start()

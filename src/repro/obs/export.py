@@ -31,6 +31,7 @@ import json
 import os
 import threading
 import time
+import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from queue import Empty
@@ -110,6 +111,14 @@ METRIC_FAMILIES: dict[str, dict] = {
     "stage_exec_seconds_hist": {
         "kind": "histogram", "labels": ("stage",),
         "help": "Explicit-bucket histogram of stage_exec_seconds.",
+    },
+    "stage_wait_seconds_hist": {
+        "kind": "histogram", "labels": ("stage",),
+        "help": "Per-frame wait (enter to service start) per stage.",
+    },
+    "stage_service_seconds_hist": {
+        "kind": "histogram", "labels": ("stage",),
+        "help": "Per-frame service window (batch busy time) per stage.",
     },
     "mosaic_fill_ratio": {
         "kind": "gauge", "labels": (),
@@ -428,6 +437,75 @@ def _trace_segment_reply(trace_dir: str, filename: str) -> tuple[int, str, bytes
         return 410, "application/json", b'{"error": "segment rotated out"}'
 
 
+def _lineage_reply(telemetry, context: dict | None, query: dict) -> tuple[int, str, bytes]:
+    """Build the ``/lineage`` response: one frame's story, or the summary.
+
+    ``?stream=&frame=`` reconstructs that frame's lineage from the live
+    event ring (``stream`` accepts a stream id from the pipeline's lineage
+    context or a raw stream index; ``frame`` is the global frame number —
+    the context's per-stream offset translates it to the local index the
+    simulator's events use).  Without ``frame``, the critical-path summary
+    over every observed frame is returned instead.  When the ring has
+    evicted events, the reply carries an explicit ``warning`` — waits are
+    never fabricated from missing data.
+    """
+    from .lineage import (
+        build_lineage,
+        critical_path_summary,
+        lineage_to_dict,
+    )
+
+    if telemetry is None:
+        return 404, "application/json", b'{"error": "no telemetry attached"}'
+    ctx = context() if context is not None else None
+    ctx = ctx or {}
+    terminal = ctx.get("terminal")
+    dropped = telemetry.bus.dropped
+    events = telemetry.bus.events()
+    frame_q = query.get("frame", [None])[0]
+    stream_q = query.get("stream", [None])[0]
+    if frame_q is None or stream_q is None:
+        body = critical_path_summary(events, terminal=terminal, dropped=dropped)
+        if dropped > 0:
+            body["warning"] = (
+                f"event ring evicted {dropped} events; attribution covers "
+                "surviving frames only"
+            )
+        return 200, "application/json", json.dumps(body).encode()
+    info = ctx.get("streams", {}).get(stream_q)
+    offset = 0
+    if info is not None:
+        index, offset = info["index"], info.get("offset", 0)
+    else:
+        try:
+            index = int(stream_q)
+        except ValueError:
+            return 404, "application/json", json.dumps(
+                {"error": f"unknown stream {stream_q!r}",
+                 "streams": sorted(ctx.get("streams", {}))}
+            ).encode()
+    try:
+        frame = int(frame_q)
+    except ValueError:
+        return 400, "application/json", b'{"error": "frame must be an integer"}'
+    lineage = build_lineage(
+        events, index, frame - offset,
+        terminal=terminal, dropped=dropped, qplan=ctx.get("qplan"),
+    )
+    body = lineage_to_dict(lineage)
+    body["stream"] = stream_q
+    body["stream_index"] = index
+    body["frame"] = frame
+    body["frame_local"] = frame - offset
+    if dropped > 0:
+        body["warning"] = (
+            f"event ring evicted {dropped} events; this lineage may be "
+            "missing hops or waits"
+        )
+    status = 200 if lineage.found else 404
+    return status, "application/json", json.dumps(body).encode()
+
+
 class TelemetryServer:
     """Stdlib HTTP endpoint exposing ``/metrics``, ``/snapshot``, ``/traces``.
 
@@ -455,6 +533,7 @@ class TelemetryServer:
         trace_dir: str | None = None,
         store=None,
         store_dir: str | None = None,
+        context=None,
     ):
         self._provider = provider
         self._requested = (host, port)
@@ -463,6 +542,10 @@ class TelemetryServer:
         if store_dir is None and store is not None:
             store_dir = str(store.directory)
         self._store_dir = store_dir
+        #: Zero-arg callable returning the pipeline's lineage context
+        #: (terminal stage, stream-id resolution map, live qplan summary);
+        #: None keeps ``/lineage`` index-addressed with no plan attachment.
+        self._context = context
         self._hub = None
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
@@ -472,6 +555,7 @@ class TelemetryServer:
         provider = self._provider
         trace_dir = self._trace_dir
         store_dir = self._store_dir
+        context = self._context
         if self._store is not None and self._hub is None:
             from ..store.server import SubscriptionHub
 
@@ -559,6 +643,11 @@ class TelemetryServer:
 
                         snap["store"] = store_section(store_dir, hub)
                     self._send(200, "application/json", json.dumps(snap).encode())
+                elif route == "/lineage":
+                    _, telemetry = provider()
+                    self._send(
+                        *_lineage_reply(telemetry, context, parse_qs(parsed.query))
+                    )
                 elif route == "/traces" and trace_dir is not None:
                     self._send(*_traces_reply(trace_dir, parse_qs(parsed.query)))
                 elif route.startswith("/traces/") and trace_dir is not None:
@@ -663,6 +752,46 @@ class MetricsAggregator:
                 self.errors[label] = repr(exc)
         return out
 
+    def scrape_histograms(self) -> dict[str, dict[tuple, "LatencyHistogram"]]:
+        """Merge every instance's explicit-bucket histograms cluster-wide.
+
+        Scrapes each target's ``/snapshot`` (which carries the histograms in
+        :meth:`~repro.obs.hist.LatencyHistogram.to_dict` form) and folds
+        same-family, same-label series together with
+        :meth:`~repro.obs.hist.LatencyHistogram.merge`.  A bound-mismatched
+        series is rejected (recorded under ``errors``), never silently
+        misbinned; unreachable instances are likewise recorded, not raised.
+        """
+        from .hist import LatencyHistogram
+
+        merged: dict[str, dict[tuple, LatencyHistogram]] = {}
+        for label, url in self.targets.items():
+            if label in self.errors:
+                # The /metrics scrape already failed this cycle: the whole
+                # instance is down — don't re-count it per endpoint.
+                continue
+            try:
+                with urllib.request.urlopen(
+                    url.rstrip("/") + "/snapshot", timeout=self.timeout
+                ) as resp:
+                    snap = json.load(resp)
+            except Exception as exc:  # noqa: BLE001 - any scrape failure counts
+                self.errors[f"{label}:snapshot"] = repr(exc)
+                continue
+            for family, entries in snap.get("histograms", {}).items():
+                series = merged.setdefault(family, {})
+                for entry in entries:
+                    key = tuple(sorted(entry["labels"].items()))
+                    hist = LatencyHistogram.from_dict(entry)
+                    if key in series:
+                        try:
+                            series[key].merge(hist)
+                        except ValueError as exc:
+                            self.errors[f"{label}:{family}"] = repr(exc)
+                    else:
+                        series[key] = hist
+        return merged
+
     def render(self) -> str:
         """One exposition: per-instance samples plus cluster sums."""
         per_instance = self.scrape()
@@ -695,11 +824,50 @@ class MetricsAggregator:
                     lines.append(f"{_PREFIX}_cluster_{name}{{{inner}}} {value:g}")
                 else:
                     lines.append(f"{_PREFIX}_cluster_{name} {value:g}")
+        # True cluster-wide histograms: same-bounds bucket sums over every
+        # instance's series, exposed under ffsva_cluster_<family>_hist_* —
+        # a scraper gets aggregatable tail latency without re-deriving it
+        # from per-instance labeled buckets.
+        for family, series in sorted(self.scrape_histograms().items()):
+            name = f"{_PREFIX}_cluster_{family}_hist"
+            lines.append(
+                f"# HELP {name} Cluster-wide explicit-bucket histogram of {family}."
+            )
+            lines.append(f"# TYPE {name} histogram")
+            for key in sorted(series):
+                hist = series[key]
+                labels = dict(key)
+                running = 0
+                for bound, n in zip(hist.bounds, hist.counts):
+                    running += n
+                    inner = ",".join(
+                        f'{k}="{_escape(str(v))}"'
+                        for k, v in sorted({**labels, "le": format(bound, "g")}.items())
+                    )
+                    lines.append(f"{name}_bucket{{{inner}}} {running}")
+                inner = ",".join(
+                    f'{k}="{_escape(str(v))}"'
+                    for k, v in sorted({**labels, "le": "+Inf"}.items())
+                )
+                lines.append(f"{name}_bucket{{{inner}}} {hist.count}")
+                if labels:
+                    inner = ",".join(
+                        f'{k}="{_escape(str(v))}"' for k, v in sorted(labels.items())
+                    )
+                    lines.append(f"{name}_sum{{{inner}}} {hist.sum}")
+                    lines.append(f"{name}_count{{{inner}}} {hist.count}")
+                else:
+                    lines.append(f"{name}_sum {hist.sum}")
+                    lines.append(f"{name}_count {hist.count}")
         lines.append(
             f"# HELP {_PREFIX}_cluster_scrape_errors_total Instances whose last scrape failed."
         )
         lines.append(f"# TYPE {_PREFIX}_cluster_scrape_errors_total gauge")
-        lines.append(f"{_PREFIX}_cluster_scrape_errors_total {len(self.errors)}")
+        # One instance, one error: the /metrics and /snapshot scrapes (and
+        # any per-family merge rejection) record under "<label>[:detail]"
+        # keys, so an unreachable instance is not double-counted.
+        failed = {key.split(":", 1)[0] for key in self.errors}
+        lines.append(f"{_PREFIX}_cluster_scrape_errors_total {len(failed)}")
         return "\n".join(lines) + "\n"
 
     def instances_json(self) -> dict:
@@ -709,6 +877,83 @@ class MetricsAggregator:
         }
 
 
+def _cluster_lineage_reply(
+    aggregator: MetricsAggregator, handoffs, raw_query: str
+) -> tuple[int, str, bytes]:
+    """Fan ``/lineage`` out to every instance and stitch the replies.
+
+    A frame completes on exactly one instance (the handoff conservation
+    invariant), but the *caller* does not know which — and after a shed the
+    same stream's earlier frames live on the source instance.  The stitched
+    reply reports every instance that found the frame, the merged hop list
+    (each hop tagged with its instance), and — when a handoff record covers
+    the stream — which side of the boundary this frame fell on.  Instance
+    ``incomplete``/``warning`` flags are preserved, never masked.
+    """
+    query = parse_qs(raw_query)
+    stream_q = query.get("stream", [None])[0]
+    frame_q = query.get("frame", [None])[0]
+    if stream_q is None or frame_q is None:
+        return 400, "application/json", b'{"error": "need stream= and frame="}'
+    per_instance: dict[str, dict] = {}
+    errors: dict[str, str] = {}
+    for label, url in aggregator.targets.items():
+        try:
+            with urllib.request.urlopen(
+                url.rstrip("/") + "/lineage?" + raw_query,
+                timeout=aggregator.timeout,
+            ) as resp:
+                per_instance[label] = json.load(resp)
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:  # instance is up but never saw the frame
+                try:
+                    per_instance[label] = json.load(exc)
+                except ValueError:
+                    per_instance[label] = {"found": False}
+            else:
+                errors[label] = repr(exc)
+        except Exception as exc:  # noqa: BLE001 - any fan-out failure counts
+            errors[label] = repr(exc)
+    found = {
+        label: reply
+        for label, reply in per_instance.items()
+        if reply.get("found") and reply.get("hops")
+    }
+    records = [dict(h) for h in handoffs()] if handoffs is not None else []
+    relevant = [h for h in records if str(h.get("stream")) == stream_q]
+    handoff = None
+    if relevant:
+        try:
+            frame_n = int(frame_q)
+        except ValueError:
+            frame_n = None
+        handoff = relevant[-1]
+        if frame_n is not None and handoff.get("boundary") is not None:
+            handoff = {
+                **handoff,
+                "side": "dst" if frame_n >= handoff["boundary"] else "src",
+            }
+    hops: list[dict] = []
+    for label in sorted(found):
+        for hop in found[label]["hops"]:
+            hops.append({**hop, "instance": label})
+    body = {
+        "stream": stream_q,
+        "frame": frame_q,
+        "found": bool(found),
+        "instances": per_instance,
+        "errors": errors,
+        "hops": hops,
+        "handoff": handoff,
+        "incomplete": any(r.get("incomplete") for r in found.values()),
+        "warnings": {
+            label: r["warning"] for label, r in per_instance.items() if r.get("warning")
+        },
+    }
+    status = 200 if found else 404
+    return status, "application/json", json.dumps(body).encode()
+
+
 class ClusterMetricsServer:
     """HTTP surface for a :class:`MetricsAggregator`.
 
@@ -716,7 +961,12 @@ class ClusterMetricsServer:
     * ``GET /instances`` — the target map and last scrape errors as JSON;
     * ``GET /query``     — with ``store_dirs`` set, one query over every
       instance's detection store, merged — the store-plane analogue of the
-      aggregated ``/metrics``.
+      aggregated ``/metrics``;
+    * ``GET /lineage``   — one frame's story stitched across the cluster:
+      every instance's ``/lineage`` is queried and the instances that saw
+      the frame contribute their hops (a handed-off stream's frames live on
+      exactly one side of the boundary, so this finds the right instance
+      and annotates the move via ``handoffs``).
     """
 
     def __init__(
@@ -726,16 +976,22 @@ class ClusterMetricsServer:
         host: str = "127.0.0.1",
         *,
         store_dirs: dict[str, str] | None = None,
+        handoffs=None,
     ):
         self._aggregator = aggregator
         self._requested = (host, port)
         self._store_dirs = dict(store_dirs) if store_dirs else None
+        #: Zero-arg callable returning the applied handoff records
+        #: (``{"stream", "src", "dst", "boundary"}`` dicts) so ``/lineage``
+        #: can say which instances a stream's frames are split across.
+        self._handoffs = handoffs
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
     def start(self) -> "ClusterMetricsServer":
         aggregator = self._aggregator
         store_dirs = self._store_dirs
+        handoffs = self._handoffs
 
         class Handler(BaseHTTPRequestHandler):
             def log_message(self, fmt, *args):
@@ -764,6 +1020,12 @@ class ClusterMetricsServer:
                     from ..store.server import query_reply
 
                     self._send(*query_reply(store_dirs, parse_qs(parsed.query)))
+                elif route == "/lineage":
+                    self._send(
+                        *_cluster_lineage_reply(
+                            aggregator, handoffs, parsed.query
+                        )
+                    )
                 else:
                     self._send(404, "text/plain", b"try /metrics or /instances\n")
 

@@ -14,6 +14,7 @@ in the first bucket, multi-second end-to-end stragglers in the last.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 
 __all__ = ["DEFAULT_BUCKETS", "LatencyHistogram"]
@@ -46,7 +47,7 @@ class LatencyHistogram:
     :class:`~repro.obs.Telemetry` serializes observations.
     """
 
-    __slots__ = ("bounds", "counts", "inf", "sum", "count")
+    __slots__ = ("bounds", "counts", "inf", "sum", "count", "skew_clamped")
 
     def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS):
         if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
@@ -56,8 +57,14 @@ class LatencyHistogram:
         self.inf = 0  # observations above the largest bound
         self.sum = 0.0
         self.count = 0
+        #: Negative/NaN observations clamped to 0 (cross-process clock skew
+        #: on ProcPool / cluster timestamps can produce them).
+        self.skew_clamped = 0
 
     def observe(self, value: float) -> None:
+        if value < 0.0 or math.isnan(value):
+            value = 0.0
+            self.skew_clamped += 1
         i = bisect_left(self.bounds, value)
         if i < len(self.counts):
             self.counts[i] += 1
@@ -65,6 +72,27 @@ class LatencyHistogram:
             self.inf += 1
         self.sum += value
         self.count += 1
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram in place (same bounds only).
+
+        Classic-bucket histograms are plain counters, so cluster-wide
+        aggregation is element-wise addition — but only when both series
+        used identical bucket ladders; anything else would silently
+        misattribute observations, so it is rejected.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} != {other.bounds}"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.inf += other.inf
+        self.sum += other.sum
+        self.count += other.count
+        self.skew_clamped += other.skew_clamped
+        return self
 
     def cumulative(self) -> list[tuple[str, int]]:
         """``(le_label, cumulative_count)`` pairs ending with ``+Inf``."""
@@ -76,6 +104,17 @@ class LatencyHistogram:
         out.append(("+Inf", self.count))
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from its :meth:`to_dict` form (snapshot JSON)."""
+        h = cls(bounds=tuple(data["bounds"]))
+        h.counts = [int(n) for n in data["counts"]]
+        h.inf = int(data["inf"])
+        h.sum = float(data["sum"])
+        h.count = int(data["count"])
+        h.skew_clamped = int(data.get("skew_clamped", 0))
+        return h
+
     def to_dict(self) -> dict:
         return {
             "bounds": list(self.bounds),
@@ -83,4 +122,5 @@ class LatencyHistogram:
             "inf": self.inf,
             "sum": self.sum,
             "count": self.count,
+            "skew_clamped": self.skew_clamped,
         }

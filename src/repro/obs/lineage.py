@@ -1,0 +1,456 @@
+"""Per-frame lineage reconstruction and critical-path latency attribution.
+
+The cascade's end-to-end latency is dominated by *waiting* — in stage
+queues, in batch formation, and across handoffs — but the event stream
+only records points in time.  This module folds the six-kind event stream
+(:data:`~repro.obs.bus.EVENT_KINDS`) into a per-frame :class:`FrameLineage`:
+an ordered list of :class:`LineageHop` records, one per stage visit, each
+decomposed into
+
+* ``batch_wait`` — the share of the enter→service window attributable to
+  batch formation: the frame sat in the queue while later co-batched
+  frames were still arriving (``t_enter`` → ``t_ready``, where ``t_ready``
+  is the last observed enter among the frames served in the same batch);
+* ``queue_wait`` — the residual wait of the fully-formed batch for the
+  device (``t_ready`` → ``t_start``);
+* ``service``    — the busy window covering this frame (``t_start`` → ``t_end``);
+* ``gap``        — the transfer gap since the previous hop's disposition
+  (out-buffer holds in the simulator, thread handoff in the runtime).
+
+so that ``gap + batch_wait + queue_wait + service`` summed over hops equals
+the frame's recorded end-to-end latency on frames with complete lineage.
+
+**Incompleteness contract.**  The event bus is a bounded ring: under
+pressure it evicts oldest-first and counts the evictions.  Reconstruction
+never fabricates waits from missing data — a hop whose ``frame_enter`` was
+evicted reports ``complete=False`` with zero waits (only its service window
+is known), and the lineage reports ``incomplete=True``.  When *some*
+co-batched enters survive, ``t_ready`` is the max of the survivors — a
+lower bound that keeps the decomposition a true partition of the observed
+window while attributing conservatively to ``batch_wait``.
+
+Both runtimes emit the same event schema (wall clocks in the threaded
+runtime, virtual clocks in the simulator), so lineage is runtime-agnostic
+and — because the simulator is deterministic — byte-stable there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bus import TelemetryEvent
+
+__all__ = [
+    "LineageHop",
+    "FrameLineage",
+    "build_lineage",
+    "build_all_lineages",
+    "critical_path_summary",
+    "lineage_section",
+    "lineage_to_dict",
+]
+
+#: Clock-noise floor for the structural ``waited`` flag: threaded runs pay
+#: a few microseconds of scheduler latency on every queue hop, which must
+#: not read as "this frame waited" when the simulator's virtual clock says
+#: zero.  Real queue/batch waits in both runtimes are >= model-cost scale
+#: (milliseconds).
+WAIT_RESOLUTION = 1e-3
+
+#: Hop components in render order.
+COMPONENTS = ("gap", "batch_wait", "queue_wait", "service")
+
+
+@dataclass(frozen=True)
+class LineageHop:
+    """One frame's visit to one stage, decomposed.
+
+    ``t_enter`` is ``None`` when the hop's ``frame_enter`` event was
+    evicted from the ring — waits are then reported as zero and
+    ``complete`` is ``False`` (never fabricated).  ``t_ready`` is the
+    batch-complete time: the latest *observed* enter among the frames
+    served in the same batch, clamped into ``[t_enter, t_start]``.
+    """
+
+    stage: str
+    t_enter: float | None
+    t_ready: float | None
+    t_start: float
+    t_end: float
+    disposition: str  # "pass" | "filtered" | "analyzed"
+    gap: float  # since the previous hop's disposition (0.0 on the first hop)
+    batch_size: int | None  # from the covering batch_exec (None if evicted)
+    batch_id: int | None  # ordinal of that batch at this stage (canvas identity)
+    blocked: int  # queue_block events this frame hit entering the stage
+    complete: bool  # the enter event survived: waits below are real
+
+    @property
+    def batch_wait(self) -> float:
+        """Seconds waiting for the batch to finish forming."""
+        if not self.complete:
+            return 0.0
+        return max(0.0, self.t_ready - self.t_enter)
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds the formed batch waited for the device."""
+        if not self.complete:
+            return 0.0
+        return max(0.0, self.t_start - max(self.t_ready, self.t_enter))
+
+    @property
+    def service(self) -> float:
+        """Seconds of (batched) service covering this frame."""
+        return max(0.0, self.t_end - self.t_start)
+
+    @property
+    def waited(self) -> bool:
+        """Whether this hop waited beyond the clock-noise floor."""
+        return (self.batch_wait + self.queue_wait + self.gap) > WAIT_RESOLUTION
+
+    def components(self) -> dict[str, float]:
+        return {
+            "gap": self.gap,
+            "batch_wait": self.batch_wait,
+            "queue_wait": self.queue_wait,
+            "service": self.service,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "stage": self.stage,
+            "t_enter": self.t_enter,
+            "t_ready": self.t_ready,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "disposition": self.disposition,
+            "gap": self.gap,
+            "batch_wait": self.batch_wait,
+            "queue_wait": self.queue_wait,
+            "service": self.service,
+            "batch_size": self.batch_size,
+            "batch_id": self.batch_id,
+            "blocked": self.blocked,
+            "complete": self.complete,
+        }
+
+
+@dataclass
+class FrameLineage:
+    """One frame's reconstructed story through the cascade."""
+
+    stream: int
+    frame: int
+    hops: list[LineageHop] = field(default_factory=list)
+    #: Any events for this frame survived in the ring at all.
+    found: bool = False
+    #: Some of this frame's story was evicted (missing admission or a hop
+    #: with no surviving enter) — waits are partial, never fabricated.
+    incomplete: bool = False
+    #: Bus eviction counter at reconstruction time (context for readers).
+    dropped_events: int = 0
+    #: Admission time into the first stage (None if evicted).
+    t_admitted: float | None = None
+    #: The in-effect query-planner decision, when a qplan summary was given.
+    plan: dict | None = None
+
+    @property
+    def disposition(self) -> str | None:
+        """How the frame's journey ended (last observed hop)."""
+        return self.hops[-1].disposition if self.hops else None
+
+    @property
+    def total_latency(self) -> float:
+        """End-to-end seconds from first observed time to last disposition."""
+        if not self.hops:
+            return 0.0
+        t0 = self.t_admitted
+        if t0 is None:
+            first = self.hops[0]
+            t0 = first.t_enter if first.t_enter is not None else first.t_start
+        return max(0.0, self.hops[-1].t_end - t0)
+
+    def totals(self) -> dict[str, float]:
+        """Per-component seconds summed over hops (partition of the total)."""
+        out = {c: 0.0 for c in COMPONENTS}
+        for hop in self.hops:
+            for c, v in hop.components().items():
+                out[c] += v
+        out["total"] = sum(out[c] for c in COMPONENTS)
+        return out
+
+    def structure(self) -> list[tuple[str, str, bool]]:
+        """Clock-free structural identity: (stage, disposition, waited) per
+        hop — what threaded and simulated lineages of the same workload must
+        agree on even though wall times differ."""
+        return [(h.stage, h.disposition, h.waited) for h in self.hops]
+
+
+def lineage_to_dict(lineage: FrameLineage) -> dict:
+    """JSON-compatible rendering (the ``/lineage`` endpoint's body)."""
+    return {
+        "stream": lineage.stream,
+        "frame": lineage.frame,
+        "found": lineage.found,
+        "incomplete": lineage.incomplete,
+        "dropped_events": lineage.dropped_events,
+        "t_admitted": lineage.t_admitted,
+        "disposition": lineage.disposition,
+        "plan": lineage.plan,
+        "total_latency": lineage.total_latency,
+        "totals": lineage.totals(),
+        "hops": [h.to_dict() for h in lineage.hops],
+    }
+
+
+# ---------------------------------------------------------------------------
+# event folding
+# ---------------------------------------------------------------------------
+
+
+class _Folded:
+    """One pass over the event stream, indexed for lineage assembly."""
+
+    __slots__ = ("enters", "admissions", "blocks", "dispositions", "batches", "ready")
+
+    def __init__(self, events: list[TelemetryEvent]):
+        #: (stream, frame, stage) -> first observed enter ts
+        self.enters: dict[tuple, float] = {}
+        #: (stream, frame) -> admission ts
+        self.admissions: dict[tuple, float] = {}
+        #: (stream, frame, stage) -> queue_block count
+        self.blocks: dict[tuple, int] = {}
+        #: (stream, frame) -> [disposition events, ts order]
+        self.dispositions: dict[tuple, list[TelemetryEvent]] = {}
+        #: (stage, t_start, ts) -> (batch ordinal at stage, n)
+        self.batches: dict[tuple, tuple[int, int | None]] = {}
+        #: (stage, t_start, ts) -> latest observed member enter ts
+        self.ready: dict[tuple, float] = {}
+        per_stage_seq: dict[str, int] = {}
+        for ev in sorted(events, key=lambda e: e.ts):
+            if ev.kind == "batch_exec":
+                key = (ev.stage, ev.t_start, ev.ts)
+                if key not in self.batches:
+                    seq = per_stage_seq.get(ev.stage, 0)
+                    per_stage_seq[ev.stage] = seq + 1
+                    self.batches[key] = (seq, ev.n)
+                continue
+            if ev.stream is None or ev.frame is None:
+                continue
+            fkey = (ev.stream, ev.frame)
+            skey = (ev.stream, ev.frame, ev.stage)
+            if ev.kind == "admission":
+                self.admissions.setdefault(fkey, ev.ts)
+            elif ev.kind == "frame_enter":
+                self.enters.setdefault(skey, ev.ts)
+            elif ev.kind == "queue_block":
+                self.blocks[skey] = self.blocks.get(skey, 0) + 1
+            elif ev.kind in ("frame_pass", "frame_filter"):
+                self.dispositions.setdefault(fkey, []).append(ev)
+                t_start = ev.t_start if ev.t_start is not None else ev.ts
+                bkey = (ev.stage, t_start, ev.ts)
+                t_enter = self.enters.get(skey)
+                if t_enter is not None:
+                    prev = self.ready.get(bkey)
+                    self.ready[bkey] = (
+                        t_enter if prev is None else max(prev, t_enter)
+                    )
+
+    def assemble(
+        self, stream: int, frame: int, *, terminal: str | None, dropped: int,
+        plan: dict | None = None,
+    ) -> FrameLineage:
+        fkey = (stream, frame)
+        lineage = FrameLineage(
+            stream=stream, frame=frame, dropped_events=dropped, plan=plan,
+            t_admitted=self.admissions.get(fkey),
+        )
+        prev_end: float | None = None
+        for ev in self.dispositions.get(fkey, []):
+            t_start = ev.t_start if ev.t_start is not None else ev.ts
+            skey = (stream, frame, ev.stage)
+            bkey = (ev.stage, t_start, ev.ts)
+            t_enter = self.enters.get(skey)
+            complete = t_enter is not None
+            t_ready = None
+            if complete:
+                # Lower-bound batch-complete time from the surviving
+                # co-member enters, clamped into [t_enter, t_start]; enter
+                # events race service start in the threaded runtime, so the
+                # clamp also absorbs enter-after-start stamps.
+                t_ready = min(max(self.ready.get(bkey, t_enter), t_enter), t_start)
+                t_enter = min(t_enter, t_start)
+            batch = self.batches.get(bkey)
+            if ev.kind == "frame_filter":
+                disposition = "filtered"
+            elif terminal is not None and ev.stage == terminal:
+                disposition = "analyzed"
+            else:
+                disposition = "pass"
+            anchor = t_enter if complete else t_start
+            gap = 0.0 if prev_end is None else max(0.0, anchor - prev_end)
+            lineage.hops.append(
+                LineageHop(
+                    stage=ev.stage,
+                    t_enter=t_enter,
+                    t_ready=t_ready,
+                    t_start=t_start,
+                    t_end=ev.ts,
+                    disposition=disposition,
+                    gap=gap,
+                    batch_size=batch[1] if batch else None,
+                    batch_id=batch[0] if batch else None,
+                    blocked=self.blocks.get(skey, 0),
+                    complete=complete,
+                )
+            )
+            prev_end = ev.ts
+        lineage.found = bool(lineage.hops) or fkey in self.admissions
+        lineage.incomplete = bool(lineage.hops) and (
+            lineage.t_admitted is None
+            or any(not h.complete for h in lineage.hops)
+        )
+        return lineage
+
+
+def _plan_for(qplan: dict | None, stream: int, frame: int) -> dict | None:
+    """The in-effect planner decision for (stream, frame), if any.
+
+    ``qplan`` is the ``RunMetrics.extra["qplan"]`` summary: decisions are
+    per-chunk re-plans; the one in effect is the latest whose chunk starts
+    at or before the frame's chunk.
+    """
+    if not qplan:
+        return None
+    epoch = qplan.get("epoch") or 0
+    if epoch <= 0:
+        return None
+    chunk = frame // epoch
+    in_effect = None
+    for d in qplan.get("decisions", []):
+        if d.get("stream") == stream and d.get("chunk", 0) <= chunk:
+            if in_effect is None or d["chunk"] >= in_effect["chunk"]:
+                in_effect = d
+    return dict(in_effect) if in_effect is not None else None
+
+
+def build_lineage(
+    events: list[TelemetryEvent],
+    stream: int,
+    frame: int,
+    *,
+    terminal: str | None = None,
+    dropped: int = 0,
+    qplan: dict | None = None,
+) -> FrameLineage:
+    """Reconstruct one frame's lineage from a bus's event snapshot."""
+    folded = _Folded(events)
+    return folded.assemble(
+        stream, frame, terminal=terminal, dropped=dropped,
+        plan=_plan_for(qplan, stream, frame),
+    )
+
+
+def build_all_lineages(
+    events: list[TelemetryEvent],
+    *,
+    terminal: str | None = None,
+    dropped: int = 0,
+) -> list[FrameLineage]:
+    """Every observed frame's lineage, ordered by (stream, frame)."""
+    folded = _Folded(events)
+    keys = set(folded.dispositions) | set(folded.admissions)
+    return [
+        folded.assemble(s, f, terminal=terminal, dropped=dropped)
+        for s, f in sorted(keys)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# critical-path attribution
+# ---------------------------------------------------------------------------
+
+
+def _quantile_frame(ordered: list[FrameLineage], q: float) -> FrameLineage:
+    """Nearest-rank quantile over lineages already sorted by total latency."""
+    idx = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[idx]
+
+
+def _breakdown(lineage: FrameLineage) -> dict[str, float]:
+    """Seconds per ``stage/component`` pair for one frame."""
+    out: dict[str, float] = {}
+    for hop in lineage.hops:
+        for comp, v in hop.components().items():
+            if v > 0.0:
+                key = f"{hop.stage}/{comp}"
+                out[key] = out.get(key, 0.0) + v
+    return out
+
+
+def critical_path_summary(
+    events: list[TelemetryEvent],
+    *,
+    terminal: str | None = None,
+    dropped: int = 0,
+) -> dict:
+    """Attribute end-to-end latency to (stage, component) pairs.
+
+    Only frames with *complete* lineage participate (the incompleteness
+    contract: evicted events must not skew attribution); their counts are
+    reported so a reader can judge coverage.  For each of p50/p95/p99 the
+    nearest-rank frame's full decomposition is reported along with its top
+    contributor — "where does the tail live" as one key.
+    """
+    lineages = build_all_lineages(events, terminal=terminal, dropped=dropped)
+    complete = [
+        lin for lin in lineages if lin.hops and not lin.incomplete
+    ]
+    summary: dict = {
+        "frames": len(lineages),
+        "complete": len(complete),
+        "incomplete": len(lineages) - len(complete),
+        "dropped_events": dropped,
+        "quantiles": {},
+        "components": {},
+    }
+    if not complete:
+        return summary
+    agg: dict[str, float] = {}
+    grand = 0.0
+    for lin in complete:
+        for key, v in _breakdown(lin).items():
+            agg[key] = agg.get(key, 0.0) + v
+            grand += v
+    summary["components"] = {
+        key: {
+            "seconds": agg[key],
+            "share": agg[key] / grand if grand > 0 else 0.0,
+        }
+        for key in sorted(agg, key=lambda k: -agg[k])
+    }
+    ordered = sorted(
+        complete, key=lambda lin: (lin.total_latency, lin.stream, lin.frame)
+    )
+    for name, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        lin = _quantile_frame(ordered, q)
+        breakdown = _breakdown(lin)
+        top = max(breakdown, key=breakdown.get) if breakdown else None
+        summary["quantiles"][name] = {
+            "stream": lin.stream,
+            "frame": lin.frame,
+            "latency_s": lin.total_latency,
+            "top": top,
+            "breakdown": dict(
+                sorted(breakdown.items(), key=lambda kv: -kv[1])
+            ),
+        }
+    return summary
+
+
+def lineage_section(telemetry, *, terminal: str | None = None) -> dict:
+    """The ``RunMetrics.extra["lineage"]`` bottleneck-attribution section."""
+    bus = telemetry.bus
+    return critical_path_summary(
+        bus.events(), terminal=terminal, dropped=bus.dropped
+    )

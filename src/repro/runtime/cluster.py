@@ -114,7 +114,8 @@ def _instance_main(
         reserve_slots=config.cluster_reserve_slots,
     )
     server = tel.serve(
-        lambda: pipeline.metrics, port=0, trace_dir=trace_dir, store=pipeline.store
+        lambda: pipeline.metrics, port=0, trace_dir=trace_dir, store=pipeline.store,
+        lineage=pipeline.lineage_context,
     )
     by_id = {s.stream_id: s for s in roster}
     ends = {s.stream_id: _planned(s, n_frames) for s in roster}
@@ -273,6 +274,11 @@ class ClusterSupervisor:
         for i, s in enumerate(self.streams):
             self.partition[i % n].append(s)
         self.router = StreamRouter()
+        #: Applied handoffs with their frame boundary — everything the
+        #: cluster ``/lineage`` endpoint needs to label which side of a
+        #: migration a frame ran on.  (``router.moves()`` knows src/dst but
+        #: not the boundary; that is only decided at detach time.)
+        self.handoffs: list[dict] = []
 
     # -- control-channel RPC -------------------------------------------
     @staticmethod
@@ -359,7 +365,10 @@ class ClusterSupervisor:
                     for i in range(n_inst)
                 }
             agg_server = ClusterMetricsServer(
-                aggregator, port=0, store_dirs=store_dirs
+                aggregator,
+                port=0,
+                store_dirs=store_dirs,
+                handoffs=lambda: list(self.handoffs),
             ).start()
 
             if online:
@@ -432,6 +441,14 @@ class ClusterSupervisor:
         """Apply one router move: detach at a boundary, re-forward, release."""
         src, dst = chans[move.src], chans[move.dst]
         handoff = self._rpc(src, {"cmd": "detach", "stream": move.stream})
+        self.handoffs.append(
+            {
+                "stream": move.stream,
+                "src": move.src,
+                "dst": move.dst,
+                "boundary": int(handoff["next"]),
+            }
+        )
         try:
             if handoff["next"] < handoff["end"]:
                 self._rpc(

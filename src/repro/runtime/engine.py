@@ -56,6 +56,7 @@ from ..core.queues import FeedbackQueue, QueueClosed
 from ..devices.placement import Placement, ffs_va_placement
 from ..models.zoo import ModelZoo
 from ..obs import Telemetry
+from ..obs.lineage import lineage_section
 from ..store.detstore import DetectionRecord, DetStore
 from .procpool import ProcPool
 from ..video.stream import VideoStream
@@ -85,6 +86,10 @@ class _Work:
     index: int
     pixels: np.ndarray
     t_start: float
+    #: When the frame last landed in a stage's input queue (run-relative
+    #: clock; stamped only when telemetry is attached).  Service time minus
+    #: this is the hop's wait, feeding ``stage_wait_seconds``.
+    t_enter: float = 0.0
 
 
 @dataclass
@@ -431,11 +436,13 @@ class ThreadedPipeline:
                 if queue.put(work, timeout=0.1):
                     if spec.fan_in in (SHARED_RR, FUSED):
                         self._wake[spec.name].set()
-                    if tel is not None and tel.bus.enabled:
-                        tel.bus.emit(
-                            "frame_enter", self._now(), spec.name,
-                            stream=work.stream_idx, frame=work.index,
-                        )
+                    if tel is not None:
+                        work.t_enter = t_enter = self._now()
+                        if tel.bus.enabled:
+                            tel.bus.emit(
+                                "frame_enter", t_enter, spec.name,
+                                stream=work.stream_idx, frame=work.index,
+                            )
                     return "ok"
             except QueueClosed:
                 if tel is not None and tel.bus.enabled:
@@ -654,6 +661,18 @@ class ThreadedPipeline:
                         planner.observe_first(si, *by_stream[si])
             if tel is not None:
                 tel.observe_latency("stage_exec_seconds", busy, stage=spec.name)
+                # Per-frame wait/service attribution: the hop's queue wait
+                # is service start minus the frame's last enqueue stamp
+                # (clock races can make it slightly negative; the histogram
+                # clamps and counts those as skew).  Service is the batch's
+                # busy window, charged to every frame it covered.
+                for w in works:
+                    tel.observe_latency(
+                        "stage_wait_seconds", t_exec - w.t_enter, stage=spec.name
+                    )
+                    tel.observe_latency(
+                        "stage_service_seconds", busy, stage=spec.name
+                    )
             if bus is not None and bus.enabled:
                 if bus.wants("batch_exec"):
                     bus.emit(
@@ -1273,6 +1292,29 @@ class ThreadedPipeline:
             m.extra["queue_put_timeouts"] = {
                 q.name: q.put_timeouts for q in self._all_queues()
             }
+            m.extra["lineage"] = lineage_section(self.telemetry, terminal=terminal)
         if self._planner is not None:
             m.extra["qplan"] = self._planner.summary()
         return m
+
+    def lineage_context(self) -> dict:
+        """Stream-resolution context for the ``/lineage`` endpoint.
+
+        The threaded runtime offers global frame indices (an attached
+        stream keeps its ``[start, end)`` numbering), so every stream's
+        offset is zero; the map covers every slot that ever carried a
+        stream, including finished ones, so lineage stays queryable after
+        a stream drains.
+        """
+        streams = {
+            ctx.stream.stream_id: {"index": i, "offset": 0}
+            for i, ctx in enumerate(self.ctxs)
+            if ctx.stream is not None
+        }
+        return {
+            "terminal": self.graph.terminal.name,
+            "streams": streams,
+            "qplan": (
+                self._planner.summary() if self._planner is not None else None
+            ),
+        }

@@ -45,6 +45,7 @@ class ClusterSimResult:
     instances: list[RunMetrics]
     router_log: list[dict] = field(default_factory=list)
     moves: list[tuple[str, int, int]] = field(default_factory=list)
+    handoffs: list[dict] = field(default_factory=list)
     virtual_time: float = 0.0
 
     @property
@@ -103,6 +104,9 @@ class ClusterSimulator:
             )
         self.router = StreamRouter()
         self._attaches_used = [0] * n
+        #: Applied handoffs with their frame boundary, the same record the
+        #: live supervisor keeps for cluster lineage stitching.
+        self.handoffs: list[dict] = []
 
     def _report(self, inst: PipelineSimulator, i: int) -> InstanceReport:
         adm = inst.admission
@@ -124,6 +128,14 @@ class ClusterSimulator:
             if st.trace.stream_id == move.stream and st.active
         )
         k = src.detach_stream(idx)
+        self.handoffs.append(
+            {
+                "stream": move.stream,
+                "src": move.src,
+                "dst": move.dst,
+                "boundary": int(k),
+            }
+        )
         end = self._ends[move.stream]
         if k < end:
             tail = self._by_id[move.stream].sliced(k, end)
@@ -160,5 +172,6 @@ class ClusterSimulator:
             instances=metrics,
             router_log=self.router.log,
             moves=self.router.moves(),
+            handoffs=list(self.handoffs),
             virtual_time=t,
         )

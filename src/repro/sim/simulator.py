@@ -68,6 +68,7 @@ from ..devices.placement import Placement, ffs_va_placement
 from ..models.mosaic import MosaicStats, Region, effective_regions, plan_mosaics
 from ..models.tyolo import TYOLO_GRID
 from ..obs import Telemetry
+from ..obs.lineage import lineage_section
 from ..store.detstore import DetectionRecord, DetStore
 
 __all__ = ["PipelineSimulator", "simulate_offline", "simulate_online"]
@@ -129,6 +130,9 @@ class _SimStage:
     #: running consolidation statistics.
     regions: list | None = None
     mosaic_stats: MosaicStats | None = None
+    #: Telemetry only: (stream_idx, frame_idx) -> virtual enqueue time,
+    #: popped at service completion to split wait from service per frame.
+    enter_t: dict = field(default_factory=dict)
 
     def queued(self) -> int:
         if self.merged_q is not None:
@@ -315,13 +319,15 @@ class PipelineSimulator:
                 q.put((idx, st.admitted))
                 t_in = max(now, self._arrival_time(st, st.admitted))
                 st.ingest_time[st.admitted] = t_in
-                if tel is not None and tel.bus.enabled:
-                    tel.bus.emit(
-                        "admission", t_in, first_name, stream=idx, frame=st.admitted
-                    )
-                    tel.bus.emit(
-                        "frame_enter", t_in, first_name, stream=idx, frame=st.admitted
-                    )
+                if tel is not None:
+                    first.enter_t[(idx, st.admitted)] = t_in
+                    if tel.bus.enabled:
+                        tel.bus.emit(
+                            "admission", t_in, first_name, stream=idx, frame=st.admitted
+                        )
+                        tel.bus.emit(
+                            "frame_enter", t_in, first_name, stream=idx, frame=st.admitted
+                        )
                 st.admitted += 1
                 progress = True
         return progress
@@ -368,11 +374,13 @@ class PipelineSimulator:
                     if not target.has_room(1):
                         break  # the worker delivers FIFO; head blocks the rest
                     target.put(dq.popleft())
-                    if tel is not None and tel.bus.enabled:
-                        tel.bus.emit(
-                            "frame_enter", now, tname,
-                            stream=s_idx, frame=f_idx,
-                        )
+                    if tel is not None:
+                        self._stages[tname].enter_t[(s_idx, f_idx)] = now
+                        if tel.bus.enabled:
+                            tel.bus.emit(
+                                "frame_enter", now, tname,
+                                stream=s_idx, frame=f_idx,
+                            )
                     progress = True
         return progress
 
@@ -651,6 +659,18 @@ class PipelineSimulator:
             tel.observe_latency(
                 "stage_exec_seconds", svc.end - svc.start, stage=svc.stage
             )
+            # Per-frame wait/service attribution on the virtual clock — the
+            # exact twin of the threaded runtime's stage_wait_seconds /
+            # stage_service_seconds observations.
+            service = svc.end - svc.start
+            for key in svc.frames:
+                t_en = stg.enter_t.pop(key, svc.start)
+                tel.observe_latency(
+                    "stage_wait_seconds", svc.start - t_en, stage=svc.stage
+                )
+                tel.observe_latency(
+                    "stage_service_seconds", service, stage=svc.stage
+                )
         if emit:
             tel.bus.emit(
                 "batch_exec", now, svc.stage,
@@ -686,10 +706,12 @@ class PipelineSimulator:
                 held = stg.out.get(out_key)
                 if target.has_room(1) and not held:
                     target.put((s_idx, f_idx))
-                    if emit:
-                        tel.bus.emit(
-                            "frame_enter", now, tname, stream=s_idx, frame=f_idx
-                        )
+                    if tel is not None:
+                        self._stages[tname].enter_t[(s_idx, f_idx)] = now
+                        if emit:
+                            tel.bus.emit(
+                                "frame_enter", now, tname, stream=s_idx, frame=f_idx
+                            )
                 else:
                     # The worker is blocked on a full downstream queue and
                     # holds the survivor in its out-buffer.
@@ -944,10 +966,33 @@ class PipelineSimulator:
             self.admission.poll(now)
             m.extra["telemetry"] = self.telemetry.bus.stats()
             m.extra["admission"] = self.admission.summary()
+            m.extra["lineage"] = lineage_section(
+                self.telemetry, terminal=self.graph.terminal.name
+            )
         if self._planner is not None:
             self._planner.poll(now)
             m.extra["qplan"] = self._planner.summary()
         return m
+
+    def lineage_context(self) -> dict:
+        """Stream-resolution context for the ``/lineage`` endpoint.
+
+        Simulator events carry *local* frame indices; a stream attached
+        mid-run (cluster handoff twin) reports its ``arrival_offset`` so the
+        endpoint can translate a global frame number into the local index
+        its events use.
+        """
+        streams = {
+            st.trace.stream_id: {"index": i, "offset": st.arrival_offset}
+            for i, st in enumerate(self.streams)
+        }
+        return {
+            "terminal": self.graph.terminal.name,
+            "streams": streams,
+            "qplan": (
+                self._planner.summary() if self._planner is not None else None
+            ),
+        }
 
 
 def simulate_offline(
